@@ -1,0 +1,100 @@
+// Reproduces Appendix C.1 / §3's optimization claim: federated averaging is
+// ROBUST to aggressive small-batch hyperparameters, while centralized
+// training at the same batch degrades sharply once the learning rate
+// leaves its tuned band ("using small batch sizes in centralized training
+// always resulted in model divergence unless the maximal learning rate was
+// reduced").
+//
+// Protocol: batch 4, no gradient clipping, equal sequential optimization
+// steps.  Sweep the max LR over two orders of magnitude and measure each
+// method's degradation relative to its own best configuration.  At paper
+// scale the centralized runs diverge outright; tiny stand-ins saturate
+// their loss instead, so the measurable signature is the *relative*
+// blow-up, which must be worse for centralized.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/centralized.hpp"
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "util/table.hpp"
+
+using namespace photon;
+
+namespace {
+
+constexpr int kSeqSteps = 480;  // equal sequential steps for both methods
+
+double run_centralized(float lr) {
+  CentralizedConfig cc;
+  cc.model = bench::standin_sweep();
+  cc.batch = 4;  // small hardware batch
+  cc.steps = kSeqSteps;
+  cc.max_lr = lr;
+  cc.warmup_steps = 16;
+  cc.max_grad_norm = 1e9f;  // no clipping: expose the instability
+  cc.divergence_loss = 1e9;  // run to completion; judge by final ppl
+  cc.eval_every = kSeqSteps;
+  cc.eval_batches = 3;
+  cc.eval_batch_size = 6;
+  cc.eval_tokens = 1 << 13;
+  cc.seed = 21;
+  return CentralizedTrainer(cc).run().history.final_perplexity();
+}
+
+double run_photon(float lr) {
+  RunnerConfig rc = bench::sweep_config(bench::standin_sweep());
+  rc.population = 4;
+  rc.local_steps = 8;
+  rc.local_batch = 4;
+  rc.rounds = kSeqSteps / 8;
+  rc.eval_every = rc.rounds;
+  rc.max_lr = lr;
+  rc.warmup_steps = 16;
+  rc.max_grad_norm = 1e9f;  // no clipping here either
+  return PhotonRunner(rc).run().final_perplexity();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Appendix C.1: small batch (B=4) + high LR, centralized vs federated");
+
+  const std::vector<float> lrs{0.003f, 0.01f, 0.03f, 0.1f, 0.3f};
+  std::vector<double> cent, photon;
+  for (const float lr : lrs) {
+    cent.push_back(run_centralized(lr));
+    photon.push_back(run_photon(lr));
+  }
+  const double cent_best = *std::min_element(cent.begin(), cent.end());
+  const double photon_best = *std::min_element(photon.begin(), photon.end());
+
+  TablePrinter t({"max LR", "Cent PPL", "Cent vs best", "Photon PPL",
+                  "Photon vs best"});
+  for (std::size_t i = 0; i < lrs.size(); ++i) {
+    t.add_row({TablePrinter::fmt(lrs[i], 3), TablePrinter::fmt(cent[i], 1),
+               TablePrinter::fmt_ratio(cent[i] / cent_best, 2),
+               TablePrinter::fmt(photon[i], 1),
+               TablePrinter::fmt_ratio(photon[i] / photon_best, 2)});
+  }
+  t.print();
+
+  // Degradation at the two most aggressive learning rates.
+  const double cent_blowup =
+      std::max(cent[lrs.size() - 1], cent[lrs.size() - 2]) / cent_best;
+  const double photon_blowup =
+      std::max(photon[lrs.size() - 1], photon[lrs.size() - 2]) / photon_best;
+  std::printf(
+      "\nworst-case degradation at aggressive LRs: centralized %.2fx vs "
+      "Photon %.2fx of own best\n"
+      "Claim check: federated averaging is more robust to high LRs at small "
+      "batches: %s\n"
+      "(at paper scale the centralized runs diverge outright; stand-ins "
+      "saturate instead of diverging)\n",
+      cent_blowup, photon_blowup,
+      photon_blowup < cent_blowup ? "YES" : "NO");
+  return 0;
+}

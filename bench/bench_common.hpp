@@ -1,0 +1,94 @@
+#pragma once
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Each bench regenerates one table or figure from the paper.  Where the
+// paper trains 125M-7B models on H100 fleets, the benches train *stand-in*
+// models (tens of kB of parameters) whose optimization dynamics mirror the
+// paper's, and translate round counts into wall-clock time through the
+// identical Appendix-B.1 analytic model with the paper's measured
+// throughputs.  Headline shape — who wins, by what factor, where the
+// crossovers sit — is the reproduction target, not absolute numbers.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "core/runner.hpp"
+#include "nn/config.hpp"
+#include "sim/mfu.hpp"
+
+namespace photon::bench {
+
+/// Stand-in architectures used by the trained benches (vocab/seq sized for
+/// CPU-speed federated sweeps).
+inline ModelConfig standin_sweep() {
+  // ~17k params, ~2 ms/step: used for the N x tau sweeps.
+  return ModelConfig{2, 24, 2, 64, 24, 4};
+}
+
+inline ModelConfig standin_125m() {
+  // nano: stand-in for the 125M model in head-to-head comparisons.
+  return ModelConfig::nano();
+}
+
+inline ModelConfig standin_3b() {
+  // stand-in for billion-scale "3B" in convergence curves.
+  return ModelConfig{3, 40, 2, 128, 32, 4};
+}
+
+inline ModelConfig standin_7b() {
+  // larger stand-in for "7B" curves.
+  return ModelConfig{4, 56, 4, 128, 32, 4};
+}
+
+/// Default sweep runner config shared by the figure benches: small batch,
+/// high LR (the Photon recipe), quick eval.
+inline RunnerConfig sweep_config(ModelConfig model, std::uint64_t seed = 21) {
+  RunnerConfig rc;
+  rc.model = model;
+  rc.local_batch = 4;
+  rc.max_lr = 1e-2f;
+  rc.warmup_steps = 16;
+  rc.max_grad_norm = 1.0f;
+  rc.eval_every = 1;
+  rc.eval_batches = 3;
+  rc.eval_batch_size = 6;
+  rc.eval_tokens = 1 << 13;
+  rc.seed = seed;
+  return rc;
+}
+
+/// Map "local steps per round" stand-ins: the paper sweeps {64, 128, 512};
+/// CPU stand-ins use {8, 16, 64} (same 1:2:8 ratios).
+struct TauMapping {
+  int standin;
+  int paper;
+};
+
+inline std::vector<TauMapping> tau_mappings() {
+  return {{8, 64}, {16, 128}, {64, 512}};
+}
+
+/// Translate a stand-in run into paper-scale wall seconds: R rounds of the
+/// *paper's* tau at the paper's throughput nu, plus per-round aggregation
+/// cost for the paper's 125M model at 10 Gbps (Appendix B.1).
+inline double paper_scale_seconds(int rounds, int paper_tau, int clients,
+                                  Topology topology,
+                                  double nu_bps = 2.0 /* 125M, App. B.1 */) {
+  CostModelConfig cc;
+  cc.bandwidth_mbps = 1250.0;  // 10 Gbps
+  const WallTimeModel model(cc);
+  // 125M parameters in BF16 on the wire.
+  const double s_mb = static_cast<double>(ModelConfig::paper_125m().num_params()) *
+                      2.0 / (1024.0 * 1024.0);
+  return model.total_time(topology, clients, s_mb,
+                          static_cast<double>(paper_tau), nu_bps, rounds);
+}
+
+/// Simple fixed-width section header for bench output.
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace photon::bench

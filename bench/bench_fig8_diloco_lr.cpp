@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 8 (Appendix A): tuning DiLoCo's outer Nesterov
+// learning rate (momentum 0.9, N = 4 clients, B_g = 128-analog).
+//
+// Claim reproduced: the outer learning rate has a stability CLIFF — below
+// it, higher eta_s trains faster; beyond it, training degrades then
+// diverges outright.  At the paper's 125M scale the cliff sits just above
+// 0.1 ("the only value which didn't bring exploding loss"); tiny clipped
+// stand-ins tolerate more, so we sweep past the paper's range to expose
+// the same cliff at its shifted location (between 0.7 and 3.0 here).
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/diloco.hpp"
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "util/table.hpp"
+
+using namespace photon;
+
+int main() {
+  bench::print_header(
+      "Fig. 8: DiLoCo outer-LR sweep (N=4, momentum 0.9), PPL over rounds");
+
+  constexpr int kRounds = 60;
+  constexpr double kTarget = 13.2;  // paper PPL 35 analog
+  const std::vector<float> lrs{0.1f, 0.3f, 0.7f, 1.5f, 3.0f};
+
+  std::vector<std::vector<double>> curves;
+  for (const float lr : lrs) {
+    RunnerConfig rc = diloco_config(bench::sweep_config(bench::standin_sweep()),
+                                    {lr, 0.9f});
+    rc.population = 4;
+    rc.local_steps = 8;
+    rc.local_batch = 4;  // B_g = 4 * 32 = 128 at paper scale
+    rc.rounds = kRounds;
+    rc.eval_every = 4;
+    PhotonRunner runner(rc);
+    const TrainingHistory& h = runner.run();
+    std::vector<double> curve;
+    for (const auto& rec : h.records()) {
+      if (rec.eval_perplexity >= 0) curve.push_back(rec.eval_perplexity);
+    }
+    curves.push_back(std::move(curve));
+  }
+
+  std::vector<std::string> headers{"round"};
+  for (const float lr : lrs) {
+    headers.push_back("eta=" + TablePrinter::fmt(lr, 1));
+  }
+  TablePrinter t(headers);
+  std::size_t rows = 0;
+  for (const auto& c : curves) rows = std::max(rows, c.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row{std::to_string((i + 1) * 4)};
+    for (const auto& c : curves) {
+      if (i >= c.size()) {
+        row.push_back("-");
+      } else if (c[i] > 1e4 || !std::isfinite(c[i])) {
+        row.push_back("diverged");
+      } else {
+        row.push_back(TablePrinter::fmt(c[i], 2));
+      }
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  TablePrinter s({"eta_s", "best PPL", "final PPL", "reached target",
+                  "diverged (>1e4)"});
+  std::vector<bool> diverged_at;
+  std::vector<double> best_at;
+  for (std::size_t i = 0; i < lrs.size(); ++i) {
+    double best = 1e30, final_ppl = -1.0;
+    bool diverged = false;
+    for (double p : curves[i]) {
+      best = std::min(best, p);
+      final_ppl = p;
+      diverged = diverged || p > 1e4 || !std::isfinite(p);
+    }
+    diverged_at.push_back(diverged);
+    best_at.push_back(best);
+    s.add_row({TablePrinter::fmt(lrs[i], 1), TablePrinter::fmt(best, 2),
+               diverged ? "diverged" : TablePrinter::fmt(final_ppl, 2),
+               best <= kTarget ? "yes" : "no", diverged ? "YES" : "no"});
+  }
+  s.print();
+
+  // Claim shape: some moderate eta is best; the largest eta diverges; best
+  // improves with eta up to the cliff.
+  const bool cliff_exists = diverged_at.back();
+  const bool moderate_beats_small = best_at[1] < best_at[0];
+  std::printf(
+      "\nClaim check: outer-LR stability cliff exists (largest eta "
+      "diverges): %s; below the cliff higher eta converges faster: %s.\n"
+      "Paper: at 125M the cliff sits just above 0.1; stand-ins shift it "
+      "higher (expected for small clipped models).\n",
+      cliff_exists ? "YES" : "NO", moderate_beats_small ? "YES" : "NO");
+  return 0;
+}

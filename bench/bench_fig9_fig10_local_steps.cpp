@@ -1,0 +1,16 @@
+// Reproduces paper Figs. 9 and 10 (Appendix D.2): the Fig.-6 wall-time
+// split repeated at 64 and 128 local steps per round.
+//
+// Claim reproduced: halving communication frequency (128 vs 64 local
+// steps) markedly lowers the communication share, especially for PS and at
+// larger client counts, at a small cost in total compute.
+
+#include "topology_walltime.hpp"
+
+int main() {
+  photon::bench::emit_topology_walltime_figure(/*tau_standin=*/8,
+                                               /*tau_paper=*/64, "Fig. 9");
+  photon::bench::emit_topology_walltime_figure(/*tau_standin=*/16,
+                                               /*tau_paper=*/128, "Fig. 10");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks for the compute and communication
+// substrate: training-step throughput per stand-in scale, collective
+// reductions, codecs, and message framing.  These are the numbers that set
+// the wall-clock cost of every experiment bench in this directory.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "comm/collective.hpp"
+#include "comm/compression.hpp"
+#include "comm/message.hpp"
+#include "data/corpus.hpp"
+#include "data/stream.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace photon;
+
+void BM_TrainStep(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  ModelConfig cfg = scale == 0   ? ModelConfig{2, 24, 2, 64, 24, 4}
+                    : scale == 1 ? ModelConfig::nano()
+                                 : ModelConfig::micro();
+  GptModel model(cfg, 1);
+  CorpusConfig cc;
+  cc.vocab_size = cfg.vocab_size;
+  auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
+  CorpusStreamSource stream(corpus, 3);
+  AdamW opt(model.num_params());
+  const Batch b = stream.next_batch(4, cfg.seq_len);
+  for (auto _ : state) {
+    model.zero_grad();
+    const float loss = model.train_step_fb(b.tokens, b.targets, 4, cfg.seq_len);
+    benchmark::DoNotOptimize(loss);
+    clip_grad_norm(model.grads(), 1.0);
+    opt.step(model.params(), model.grads(), 1e-3f);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * cfg.seq_len);
+  state.counters["params"] = static_cast<double>(cfg.num_params());
+}
+BENCHMARK(BM_TrainStep)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(n) * n, 1.0f);
+  std::vector<float> b(static_cast<std::size_t>(n) * n, 2.0f);
+  std::vector<float> out(static_cast<std::size_t>(n) * n);
+  for (auto _ : state) {
+    kernels::matmul(out.data(), a.data(), b.data(), n, n, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Collective(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto topo = static_cast<Topology>(state.range(1));
+  std::vector<std::vector<float>> bufs(
+      static_cast<std::size_t>(k), std::vector<float>(1 << 16, 1.0f));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& b : bufs) std::fill(b.begin(), b.end(), 1.0f);
+    std::vector<std::span<float>> spans;
+    for (auto& b : bufs) spans.emplace_back(b);
+    state.ResumeTiming();
+    const auto report = collective_mean(topo, spans, 1250.0);
+    benchmark::DoNotOptimize(report.total_bytes);
+  }
+  state.SetBytesProcessed(state.iterations() * k * (1 << 18));
+}
+BENCHMARK(BM_Collective)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({16, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Codec(benchmark::State& state) {
+  const char* names[] = {"rle0", "lzss"};
+  const Codec* codec = codec_by_name(names[state.range(0)]);
+  Rng rng(5);
+  std::vector<std::uint8_t> input(1 << 16);
+  for (auto& b : input) {
+    b = rng.next_bool(0.5) ? 0 : static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  for (auto _ : state) {
+    const auto compressed = codec->compress(input);
+    benchmark::DoNotOptimize(compressed.data());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_Codec)->Arg(0)->Arg(1);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  Message m;
+  m.payload.assign(1 << 15, 0.25f);
+  m.metadata["loss"] = 1.0;
+  for (auto _ : state) {
+    const auto wire = m.encode();
+    const Message back = Message::decode(wire);
+    benchmark::DoNotOptimize(back.payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+#pragma once
+// Shared harness for the Fig. 3 / Fig. 4 family: federated vs centralized
+// pre-training on FINITE data shards with held-out evaluation.
+//
+// This mirrors the paper's setting: clients hold fixed C4 shards (finite
+// data revisited over epochs) while perplexity is reported on a held-out
+// validation set.  In this regime the paper's mechanism is visible: small
+// local batches + high learning rates + round averaging act as a
+// regularizer (noise injection / flat minima), so the federated model
+// generalizes better than centralized training on the pooled shards.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/config.hpp"
+
+namespace photon::bench {
+
+struct CurvePoint {
+  std::uint64_t tokens = 0;
+  double ppl = 0.0;
+};
+
+struct FedVsCentConfig {
+  ModelConfig model;
+  int clients = 4;
+  int tau = 16;           // local steps per round
+  int rounds = 60;
+  int local_batch = 4;
+  float fed_lr = 1e-2f;   // small batch + HIGH learning rate (Photon recipe)
+  float cent_lr = 3e-3f;  // best stable centralized LR at batch 16
+  std::size_t pool_tokens = 6000;  // finite training pool (shared across
+                                   // methods; sharded for the federation)
+  int eval_every_rounds = 5;
+  std::uint64_t seed = 21;
+};
+
+struct FedVsCentResult {
+  std::vector<CurvePoint> fed_curve;
+  std::vector<CurvePoint> cent_curve;
+  double fed_final = -1.0;
+  double cent_final = -1.0;
+};
+
+/// Run both methods at matched token budgets and report held-out curves.
+FedVsCentResult run_fed_vs_cent(const FedVsCentConfig& config);
+
+}  // namespace photon::bench

@@ -1,0 +1,86 @@
+#include "topology_walltime.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "comm/cost_model.hpp"
+#include "core/runner.hpp"
+#include "util/table.hpp"
+
+namespace photon::bench {
+namespace {
+
+constexpr double kTargetLo = 13.2;  // paper PPL 35 analog
+
+int rounds_to_target(int clients, int tau_standin) {
+  RunnerConfig rc = sweep_config(standin_sweep());
+  rc.population = clients;
+  rc.local_steps = tau_standin;
+  rc.local_batch = 4;
+  rc.rounds = std::max(6, 2400 / tau_standin);
+  rc.target_perplexity = kTargetLo;
+  PhotonRunner runner(rc);
+  const TrainingHistory& h = runner.run();
+  return h.first_round_reaching(kTargetLo);
+}
+
+}  // namespace
+
+void emit_topology_walltime_figure(int tau_standin, int tau_paper,
+                                   const char* figure) {
+  print_header(std::string(figure) +
+               ": wall time split LC vs comm by topology (tau=" +
+               std::to_string(tau_paper) + ", 125M, 10 Gbps)");
+
+  CostModelConfig cc;
+  cc.bandwidth_mbps = 1250.0;
+  const WallTimeModel model(cc);
+  const double s_mb =
+      static_cast<double>(ModelConfig::paper_125m().num_params()) * 2.0 /
+      (1024.0 * 1024.0);
+  constexpr double kNu = 2.0;  // batches/s, Appendix B.1 for 125M
+
+  TablePrinter t({"N", "rounds", "LC [s]", "PS comm [s]", "PS %",
+                  "AR comm [s]", "AR %", "RAR comm [s]", "RAR %"});
+  double prev_total_rar = -1.0;
+  bool rar_preserves_scaling = true;
+  bool comm_grows_with_n = true;
+  double prev_ps_per_round = -1.0;
+  for (const int n : {2, 4, 8, 16}) {
+    const int r = rounds_to_target(n, tau_standin);
+    if (r < 0) {
+      t.add_row({std::to_string(n), "n/a", "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const double rounds = r + 1;
+    const double lc = rounds * model.local_time(tau_paper, kNu);
+    const double ps = rounds * model.comm_time_ps(n, s_mb);
+    const double ar = rounds * model.comm_time_ar(n, s_mb);
+    const double rar = rounds * model.comm_time_rar(n, s_mb);
+    auto pct = [&](double comm) {
+      return TablePrinter::fmt(100.0 * comm / (lc + comm), 1) + "%";
+    };
+    t.add_row({std::to_string(n), TablePrinter::fmt(rounds, 0),
+               TablePrinter::fmt(lc, 0), TablePrinter::fmt(ps, 1), pct(ps),
+               TablePrinter::fmt(ar, 1), pct(ar), TablePrinter::fmt(rar, 1),
+               pct(rar)});
+    const double total_rar = lc + rar;
+    if (prev_total_rar > 0.0 && total_rar > prev_total_rar * 1.02) {
+      rar_preserves_scaling = false;
+    }
+    prev_total_rar = total_rar;
+    const double ps_per_round = model.comm_time_ps(n, s_mb);
+    if (prev_ps_per_round > 0.0 && ps_per_round <= prev_ps_per_round) {
+      comm_grows_with_n = false;
+    }
+    prev_ps_per_round = ps_per_round;
+  }
+  t.print();
+  std::printf("Claim check: per-round comm grows with N: %s; "
+              "RAR preserves the wall-time benefit of scaling N: %s\n",
+              comm_grows_with_n ? "YES" : "NO",
+              rar_preserves_scaling ? "YES" : "NO");
+}
+
+}  // namespace photon::bench

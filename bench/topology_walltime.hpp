@@ -1,0 +1,14 @@
+#pragma once
+// Shared driver for the Fig. 6 / Fig. 9 / Fig. 10 family: wall time split
+// into local compute and communication per topology, for a given number of
+// local steps per round.
+
+namespace photon::bench {
+
+/// Train the stand-in federation to the harder perplexity target for each
+/// N in {2,4,8,16} at `tau_standin` local steps, then print the paper-scale
+/// wall-time split (LC vs PS/AR/RAR communication) at `tau_paper`.
+void emit_topology_walltime_figure(int tau_standin, int tau_paper,
+                                   const char* figure);
+
+}  // namespace photon::bench

@@ -1,0 +1,72 @@
+#pragma once
+// Distributed Data Parallel baseline (paper Alg. 2): K workers, per-step
+// gradient Ring-AllReduce, synchronized optimizer step.
+//
+// Because synchronous DDP keeps all replicas bit-identical, we hold one
+// model and run the K workers' micro-batches through it, averaging their
+// gradients with the real ring_all_reduce collective to exercise the same
+// reduction Photon uses — while accounting the per-step communication that
+// makes DDP infeasible over WAN links (§2: "64x-512x less communication").
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/cost_model.hpp"
+#include "core/metrics.hpp"
+#include "data/stream.hpp"
+#include "nn/config.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scheduler.hpp"
+
+namespace photon {
+
+struct DdpConfig {
+  ModelConfig model = ModelConfig::nano();
+  int workers = 4;      // N
+  int worker_batch = 4; // per-worker micro batch
+  int steps = 400;
+  float max_lr = 1e-2f;
+  float min_lr_factor = 0.1f;
+  int warmup_steps = 20;
+  float max_grad_norm = 1.0f;
+  AdamWConfig adamw;
+
+  double bandwidth_mbps = 1250.0;  // inter-worker link for accounting
+
+  int eval_every = 16;
+  int eval_batches = 4;
+  int eval_batch_size = 8;
+  double target_perplexity = -1.0;
+  std::size_t eval_tokens = 1 << 14;
+  int corpus_branching = 12;
+  int corpus_mean_doc_len = 96;
+  double sim_throughput_bps = 1.0;
+  std::uint64_t seed = 42;
+};
+
+struct DdpResult {
+  TrainingHistory history;
+  std::uint64_t total_comm_bytes = 0;  // all-worker gradient traffic
+  double total_comm_seconds = 0.0;     // simulated RAR time
+  int steps_run = 0;
+};
+
+class DdpTrainer {
+ public:
+  explicit DdpTrainer(DdpConfig config);
+  ~DdpTrainer();
+
+  DdpResult run();
+  GptModel& model() { return *model_; }
+
+ private:
+  DdpConfig config_;
+  std::unique_ptr<GptModel> model_;
+  std::unique_ptr<AdamW> opt_;
+  std::unique_ptr<CosineSchedule> schedule_;
+  std::vector<std::unique_ptr<DataSource>> worker_streams_;
+  TokenDataset eval_set_;
+};
+
+}  // namespace photon

@@ -1,0 +1,13 @@
+#include "baselines/diloco.hpp"
+
+namespace photon {
+
+RunnerConfig diloco_config(RunnerConfig base, DiLoCoRecipe recipe) {
+  base.server_opt = "nesterov";
+  base.server_lr = recipe.server_lr;
+  base.server_momentum = recipe.server_momentum;
+  base.stateless_optimizer = false;  // DiLoCo workers keep AdamW state
+  return base;
+}
+
+}  // namespace photon

@@ -1,0 +1,27 @@
+#pragma once
+// DiLoCo baseline (Douillard et al. 2023), the paper's main comparison
+// (Table 3, Fig. 8).
+//
+// DiLoCo is Photon's federated machinery with a different recipe:
+//  * OuterOpt: SGD with Nesterov momentum (eta_s tuned in {0.1..0.7},
+//    momentum 0.9 per Appendix A / Fig. 8);
+//  * stateful inner AdamW (workers persist optimizer state across rounds);
+//  * the original work's much larger per-worker batches.
+// We express it as a RunnerConfig transformation so both methods share the
+// identical substrate — exactly the controlled comparison the paper runs.
+
+#include "core/runner.hpp"
+
+namespace photon {
+
+struct DiLoCoRecipe {
+  float server_lr = 0.1f;      // eta_s (0.1 is the only stable value, Fig. 8)
+  float server_momentum = 0.9f;
+};
+
+/// Transform a Photon experiment config into its DiLoCo counterpart:
+/// same model, federation shape, data, and schedule; DiLoCo outer optimizer
+/// and stateful local AdamW.
+RunnerConfig diloco_config(RunnerConfig base, DiLoCoRecipe recipe = {});
+
+}  // namespace photon

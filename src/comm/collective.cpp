@@ -1,0 +1,181 @@
+#include "comm/collective.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace photon {
+namespace {
+
+void validate(const std::vector<std::span<float>>& buffers) {
+  if (buffers.empty()) throw std::invalid_argument("collective: no buffers");
+  const std::size_t n = buffers.front().size();
+  if (n == 0) throw std::invalid_argument("collective: empty buffers");
+  for (const auto& b : buffers) {
+    if (b.size() != n) {
+      throw std::invalid_argument("collective: buffer size mismatch");
+    }
+  }
+}
+
+double seconds_for(std::uint64_t bytes, double bandwidth_mbps) {
+  return static_cast<double>(bytes) / (bandwidth_mbps * 1024.0 * 1024.0);
+}
+
+}  // namespace
+
+CollectiveReport ps_all_reduce_mean(std::vector<std::span<float>> buffers,
+                                    double bandwidth_mbps) {
+  validate(buffers);
+  const int k = static_cast<int>(buffers.size());
+  const std::size_t n = buffers.front().size();
+  const std::uint64_t buf_bytes = static_cast<std::uint64_t>(n) * sizeof(float);
+
+  // Server accumulates all K updates...
+  std::vector<double> acc(n, 0.0);
+  for (const auto& b : buffers) {
+    for (std::size_t i = 0; i < n; ++i) acc[i] += b[i];
+  }
+  const double inv = 1.0 / k;
+  // ...then broadcasts the mean back.
+  for (auto& b : buffers) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b[i] = static_cast<float>(acc[i] * inv);
+    }
+  }
+
+  CollectiveReport r;
+  r.topology = Topology::kParameterServer;
+  r.workers = k;
+  // Server moves K*S inbound (upload phase is the Eq. 2 bottleneck: K*S/B).
+  r.bottleneck_bytes = static_cast<std::uint64_t>(k) * buf_bytes;
+  r.total_bytes = 2ull * static_cast<std::uint64_t>(k) * buf_bytes;
+  r.seconds = seconds_for(r.bottleneck_bytes, bandwidth_mbps);
+  return r;
+}
+
+CollectiveReport all_reduce_mean(std::vector<std::span<float>> buffers,
+                                 double bandwidth_mbps) {
+  validate(buffers);
+  const int k = static_cast<int>(buffers.size());
+  const std::size_t n = buffers.front().size();
+  const std::uint64_t buf_bytes = static_cast<std::uint64_t>(n) * sizeof(float);
+
+  // Every worker receives every other worker's buffer and reduces locally.
+  // Simulate worker 0's reduction then copy (all workers compute the same).
+  std::vector<double> acc(n, 0.0);
+  for (const auto& b : buffers) {
+    for (std::size_t i = 0; i < n; ++i) acc[i] += b[i];
+  }
+  const double inv = 1.0 / k;
+  for (auto& b : buffers) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b[i] = static_cast<float>(acc[i] * inv);
+    }
+  }
+
+  CollectiveReport r;
+  r.topology = Topology::kAllReduce;
+  r.workers = k;
+  // Eq. 3: each worker sends its model to K-1 peers -> (K-1)*S through its
+  // uplink, which is the per-worker bottleneck.
+  r.bottleneck_bytes = static_cast<std::uint64_t>(k - 1) * buf_bytes;
+  r.total_bytes = static_cast<std::uint64_t>(k) * (k - 1) * buf_bytes;
+  r.seconds = seconds_for(r.bottleneck_bytes, bandwidth_mbps);
+  return r;
+}
+
+CollectiveReport ring_all_reduce_mean(std::vector<std::span<float>> buffers,
+                                      double bandwidth_mbps) {
+  validate(buffers);
+  const int k = static_cast<int>(buffers.size());
+  const std::size_t n = buffers.front().size();
+
+  CollectiveReport r;
+  r.topology = Topology::kRingAllReduce;
+  r.workers = k;
+
+  if (k == 1) {
+    r.seconds = 0.0;
+    return r;
+  }
+
+  // Chunk boundaries: chunk c covers [starts[c], starts[c+1]).
+  std::vector<std::size_t> starts(static_cast<std::size_t>(k) + 1);
+  for (int c = 0; c <= k; ++c) {
+    starts[static_cast<std::size_t>(c)] =
+        n * static_cast<std::size_t>(c) / static_cast<std::size_t>(k);
+  }
+  auto chunk = [&](int worker, int c) {
+    const int cc = ((c % k) + k) % k;
+    return buffers[static_cast<std::size_t>(worker)].subspan(
+        starts[static_cast<std::size_t>(cc)],
+        starts[static_cast<std::size_t>(cc) + 1] -
+            starts[static_cast<std::size_t>(cc)]);
+  };
+
+  // Reduce-scatter: in step s, worker w sends chunk (w - s) to worker w+1,
+  // which accumulates it.  After k-1 steps worker w owns the full sum of
+  // chunk (w + 1).
+  for (int s = 0; s < k - 1; ++s) {
+    // Snapshot senders' chunks to preserve simultaneous-send semantics.
+    std::vector<std::vector<float>> staged(static_cast<std::size_t>(k));
+    for (int w = 0; w < k; ++w) {
+      const auto src = chunk(w, w - s);
+      staged[static_cast<std::size_t>(w)].assign(src.begin(), src.end());
+    }
+    for (int w = 0; w < k; ++w) {
+      const int dst = (w + 1) % k;
+      auto dst_chunk = chunk(dst, w - s);
+      const auto& sent = staged[static_cast<std::size_t>(w)];
+      for (std::size_t i = 0; i < dst_chunk.size(); ++i) {
+        dst_chunk[i] += sent[i];
+      }
+    }
+  }
+
+  // All-gather: worker w owns the fully reduced chunk (w + 1); circulate.
+  for (int s = 0; s < k - 1; ++s) {
+    std::vector<std::vector<float>> staged(static_cast<std::size_t>(k));
+    for (int w = 0; w < k; ++w) {
+      const auto src = chunk(w, w + 1 - s);
+      staged[static_cast<std::size_t>(w)].assign(src.begin(), src.end());
+    }
+    for (int w = 0; w < k; ++w) {
+      const int dst = (w + 1) % k;
+      auto dst_chunk = chunk(dst, w + 1 - s);
+      const auto& sent = staged[static_cast<std::size_t>(w)];
+      std::memcpy(dst_chunk.data(), sent.data(), sent.size() * sizeof(float));
+    }
+  }
+
+  // Mean.
+  const float inv = 1.0f / static_cast<float>(k);
+  for (auto& b : buffers) {
+    for (auto& x : b) x *= inv;
+  }
+
+  // Per-worker traffic: 2 * (k-1) chunk transfers of ~S/k each.
+  const std::uint64_t buf_bytes = static_cast<std::uint64_t>(n) * sizeof(float);
+  r.bottleneck_bytes =
+      2ull * buf_bytes * static_cast<std::uint64_t>(k - 1) /
+      static_cast<std::uint64_t>(k);
+  r.total_bytes = r.bottleneck_bytes * static_cast<std::uint64_t>(k);
+  r.seconds = seconds_for(r.bottleneck_bytes, bandwidth_mbps);
+  return r;
+}
+
+CollectiveReport collective_mean(Topology topology,
+                                 std::vector<std::span<float>> buffers,
+                                 double bandwidth_mbps) {
+  switch (topology) {
+    case Topology::kParameterServer:
+      return ps_all_reduce_mean(std::move(buffers), bandwidth_mbps);
+    case Topology::kAllReduce:
+      return all_reduce_mean(std::move(buffers), bandwidth_mbps);
+    case Topology::kRingAllReduce:
+      return ring_all_reduce_mean(std::move(buffers), bandwidth_mbps);
+  }
+  throw std::invalid_argument("collective_mean: bad topology");
+}
+
+}  // namespace photon

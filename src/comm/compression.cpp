@@ -1,0 +1,196 @@
+#include "comm/compression.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace photon {
+namespace {
+
+// ------------------------------- RLE0 --------------------------------
+// Format: a stream of ops.
+//   0x00 <count:u8>         -> `count` zero bytes (count >= 1)
+//   0x01 <count:u8> <bytes> -> `count` literal bytes (count >= 1)
+constexpr std::uint8_t kOpZeros = 0x00;
+constexpr std::uint8_t kOpLiteral = 0x01;
+
+// ------------------------------- LZSS --------------------------------
+// Greedy LZSS: flag byte groups 8 items; bit set = (offset:u16, len:u8)
+// match into a 4 KiB sliding window, bit clear = literal byte.
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 255;
+
+}  // namespace
+
+std::vector<std::uint8_t> Rle0Codec::compress(
+    std::span<const std::uint8_t> input) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    if (input[i] == 0) {
+      std::size_t run = 1;
+      while (i + run < input.size() && input[i + run] == 0 && run < 255) ++run;
+      out.push_back(kOpZeros);
+      out.push_back(static_cast<std::uint8_t>(run));
+      i += run;
+    } else {
+      std::size_t run = 1;
+      while (i + run < input.size() && input[i + run] != 0 && run < 255) ++run;
+      out.push_back(kOpLiteral);
+      out.push_back(static_cast<std::uint8_t>(run));
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+                 input.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Rle0Codec::decompress(
+    std::span<const std::uint8_t> input) const {
+  std::vector<std::uint8_t> out;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    if (i + 2 > input.size()) throw std::runtime_error("rle0: truncated op");
+    const std::uint8_t op = input[i];
+    const std::size_t count = input[i + 1];
+    i += 2;
+    if (count == 0) throw std::runtime_error("rle0: zero count");
+    if (op == kOpZeros) {
+      out.insert(out.end(), count, std::uint8_t{0});
+    } else if (op == kOpLiteral) {
+      if (i + count > input.size()) throw std::runtime_error("rle0: truncated literal");
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+                 input.begin() + static_cast<std::ptrdiff_t>(i + count));
+      i += count;
+    } else {
+      throw std::runtime_error("rle0: bad op");
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> LzssCodec::compress(
+    std::span<const std::uint8_t> input) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() + input.size() / 8 + 16);
+
+  // Hash chain over 4-byte prefixes for match finding.
+  constexpr std::size_t kHashSize = 1 << 14;
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(input.size(), -1);
+  auto hash4 = [&](std::size_t pos) {
+    std::uint32_t x;
+    std::memcpy(&x, input.data() + pos, 4);
+    return static_cast<std::size_t>((x * 2654435761u) >> 18) % kHashSize;
+  };
+
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t flag_pos = out.size();
+    out.push_back(0);
+    std::uint8_t flags = 0;
+    for (int bit = 0; bit < 8 && i < input.size(); ++bit) {
+      std::size_t best_len = 0;
+      std::size_t best_off = 0;
+      if (i + kMinMatch <= input.size()) {
+        const std::size_t h = hash4(i);
+        std::int32_t cand = head[h];
+        int probes = 32;
+        while (cand >= 0 && probes-- > 0) {
+          const auto c = static_cast<std::size_t>(cand);
+          if (i - c > kWindow) break;
+          std::size_t len = 0;
+          const std::size_t limit = std::min(kMaxMatch, input.size() - i);
+          while (len < limit && input[c + len] == input[i + len]) ++len;
+          if (len >= kMinMatch && len > best_len) {
+            best_len = len;
+            best_off = i - c;
+          }
+          cand = prev[c];
+        }
+      }
+      if (best_len >= kMinMatch) {
+        flags |= static_cast<std::uint8_t>(1u << bit);
+        out.push_back(static_cast<std::uint8_t>(best_off & 0xff));
+        out.push_back(static_cast<std::uint8_t>(best_off >> 8));
+        out.push_back(static_cast<std::uint8_t>(best_len));
+        // Insert skipped positions into the hash chains.
+        const std::size_t end = i + best_len;
+        while (i < end) {
+          if (i + 4 <= input.size()) {
+            const std::size_t h = hash4(i);
+            prev[i] = head[h];
+            head[h] = static_cast<std::int32_t>(i);
+          }
+          ++i;
+        }
+      } else {
+        out.push_back(input[i]);
+        if (i + 4 <= input.size()) {
+          const std::size_t h = hash4(i);
+          prev[i] = head[h];
+          head[h] = static_cast<std::int32_t>(i);
+        }
+        ++i;
+      }
+    }
+    out[flag_pos] = flags;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> LzssCodec::decompress(
+    std::span<const std::uint8_t> input) const {
+  std::vector<std::uint8_t> out;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const std::uint8_t flags = input[i++];
+    for (int bit = 0; bit < 8 && i < input.size(); ++bit) {
+      if (flags & (1u << bit)) {
+        if (i + 3 > input.size()) throw std::runtime_error("lzss: truncated match");
+        const std::size_t off = static_cast<std::size_t>(input[i]) |
+                                (static_cast<std::size_t>(input[i + 1]) << 8);
+        const std::size_t len = input[i + 2];
+        i += 3;
+        if (off == 0 || off > out.size()) throw std::runtime_error("lzss: bad offset");
+        const std::size_t start = out.size() - off;
+        for (std::size_t j = 0; j < len; ++j) out.push_back(out[start + j]);
+      } else {
+        out.push_back(input[i++]);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Identity codec used when message.codec == "".
+class IdentityCodec final : public Codec {
+ public:
+  std::string name() const override { return ""; }
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input) const override {
+    return {input.begin(), input.end()};
+  }
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input) const override {
+    return {input.begin(), input.end()};
+  }
+};
+
+}  // namespace
+
+const Codec* codec_by_name(const std::string& name) {
+  static const IdentityCodec identity;
+  static const Rle0Codec rle0;
+  static const LzssCodec lzss;
+  if (name.empty()) return &identity;
+  if (name == "rle0") return &rle0;
+  if (name == "lzss") return &lzss;
+  return nullptr;
+}
+
+}  // namespace photon

@@ -1,0 +1,51 @@
+#pragma once
+// Lossless payload codecs for the Link post-processing pipeline (paper §4:
+// "By default, Photon uses lossless compression techniques without
+// pruning").
+//
+// Two real codecs are provided:
+//  * rle0  — run-length encodes zero bytes; effective on clipped/sparse
+//            pseudo-gradients and on padded buffers.
+//  * lzss  — greedy LZSS with a 4 KiB window; general-purpose lossless.
+// Both round-trip bit-exactly on arbitrary input (property-tested).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace photon {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input) const = 0;
+  virtual std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input) const = 0;
+};
+
+class Rle0Codec final : public Codec {
+ public:
+  std::string name() const override { return "rle0"; }
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input) const override;
+};
+
+class LzssCodec final : public Codec {
+ public:
+  std::string name() const override { return "lzss"; }
+  std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> input) const override;
+  std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> input) const override;
+};
+
+/// Codec registry; returns nullptr for unknown names, and an identity for "".
+const Codec* codec_by_name(const std::string& name);
+
+}  // namespace photon

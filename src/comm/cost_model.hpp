@@ -1,0 +1,70 @@
+#pragma once
+// Analytic wall-time model from the paper, Appendix B.1 (Eqs. 1-7).
+//
+// The paper's reported wall times (Table 2, Table 3, Figs. 5/6/9/10) are
+// produced by this model using empirically measured local throughputs nu —
+// we implement the identical equations so those tables regenerate exactly.
+//
+// Units follow the paper: model size S in megabytes, bandwidth B in MB/s,
+// throughput nu in batches/second, times in seconds.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace photon {
+
+enum class Topology { kParameterServer, kAllReduce, kRingAllReduce };
+
+const char* topology_name(Topology t);
+
+struct CostModelConfig {
+  double bandwidth_mbps = 1250.0;   // B: 10 Gbps link = 1250 MB/s
+  double server_tflops = 5.0;       // zeta (Eq. 7 default: 5 TFLOPS)
+  int congestion_threshold = 100;   // theta: channels before bandwidth scaling
+};
+
+class WallTimeModel {
+ public:
+  explicit WallTimeModel(CostModelConfig config = {});
+
+  /// Eq. 1: T_L = tau / nu.
+  double local_time(double local_steps, double throughput_bps) const;
+
+  /// Eq. 2: T_C^PS = K*S/B (both branches of the paper's case split equal).
+  double comm_time_ps(int clients, double model_mb) const;
+
+  /// Eq. 3: T_C^AR = (K-1)*S/B.
+  double comm_time_ar(int clients, double model_mb) const;
+
+  /// Eq. 4: T_C^RAR = 2*S*(K-1)/(K*B).
+  double comm_time_rar(int clients, double model_mb) const;
+
+  double comm_time(Topology topology, int clients, double model_mb) const;
+
+  /// Eq. 7: T_agg = K*S/zeta; negligible next to comm, reported separately.
+  double aggregation_time(int clients, double model_mb) const;
+
+  /// Eq. 5: one round = local compute + communication.  Single-client
+  /// rounds have no communication (paper: "excluding N=1").
+  double round_time(Topology topology, int clients, double model_mb,
+                    double local_steps, double throughput_bps) const;
+
+  /// Eq. 6: T = R * T_r.
+  double total_time(Topology topology, int clients, double model_mb,
+                    double local_steps, double throughput_bps,
+                    std::int64_t rounds) const;
+
+  const CostModelConfig& config() const { return config_; }
+
+ private:
+  CostModelConfig config_;
+};
+
+/// Model size in MB for a parameter count at fp32 (what Photon ships).
+double model_size_mb(std::int64_t num_params);
+
+/// DDP per-step gradient traffic (Ring-AllReduce over gradients each batch):
+/// bytes/worker/step = 2*S*(K-1)/K.  Used for the 64x-512x comparison.
+double ddp_bytes_per_step_mb(int workers, double model_mb);
+
+}  // namespace photon

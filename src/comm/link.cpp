@@ -1,0 +1,109 @@
+#include "comm/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace photon {
+
+SimLink::SimLink(std::string name, double bandwidth_gbps, double latency_ms)
+    : name_(std::move(name)),
+      bandwidth_gbps_(bandwidth_gbps),
+      latency_s_(latency_ms / 1000.0) {
+  if (bandwidth_gbps_ <= 0.0) {
+    throw std::invalid_argument("SimLink: bandwidth must be > 0");
+  }
+  if (latency_s_ < 0.0) {
+    throw std::invalid_argument("SimLink: latency must be >= 0");
+  }
+}
+
+double SimLink::transfer_time(std::uint64_t bytes) const {
+  const double bytes_per_second = bandwidth_gbps_ * 1e9 / 8.0;
+  return latency_s_ + static_cast<double>(bytes) / bytes_per_second;
+}
+
+Message SimLink::transmit(const Message& message) {
+  const auto wire = message.encode();
+  ++stats_.messages;
+  stats_.payload_bytes += message.payload.size() * sizeof(float);
+  stats_.wire_bytes += wire.size();
+  stats_.transfer_seconds += transfer_time(wire.size());
+  return Message::decode(wire);
+}
+
+double SimLink::account_raw(std::uint64_t bytes) {
+  ++stats_.messages;
+  stats_.payload_bytes += bytes;
+  stats_.wire_bytes += bytes;
+  const double t = transfer_time(bytes);
+  stats_.transfer_seconds += t;
+  return t;
+}
+
+NetworkFabric::NetworkFabric(std::vector<std::string> sites)
+    : sites_(std::move(sites)),
+      bandwidth_(sites_.size() * sites_.size(), 0.0) {
+  if (sites_.size() < 2) {
+    throw std::invalid_argument("NetworkFabric: need at least 2 sites");
+  }
+}
+
+std::size_t NetworkFabric::site_index(const std::string& name) const {
+  const auto it = std::find(sites_.begin(), sites_.end(), name);
+  if (it == sites_.end()) {
+    throw std::out_of_range("NetworkFabric: unknown site " + name);
+  }
+  return static_cast<std::size_t>(it - sites_.begin());
+}
+
+void NetworkFabric::set_bandwidth(std::size_t from, std::size_t to,
+                                  double gbps) {
+  if (from >= sites_.size() || to >= sites_.size() || from == to) {
+    throw std::out_of_range("NetworkFabric::set_bandwidth: bad indices");
+  }
+  if (gbps <= 0.0) {
+    throw std::invalid_argument("NetworkFabric: bandwidth must be > 0");
+  }
+  bandwidth_[from * sites_.size() + to] = gbps;
+}
+
+void NetworkFabric::set_symmetric_bandwidth(std::size_t a, std::size_t b,
+                                            double gbps) {
+  set_bandwidth(a, b, gbps);
+  set_bandwidth(b, a, gbps);
+}
+
+double NetworkFabric::bandwidth(std::size_t from, std::size_t to) const {
+  if (from >= sites_.size() || to >= sites_.size()) {
+    throw std::out_of_range("NetworkFabric::bandwidth: bad indices");
+  }
+  return bandwidth_[from * sites_.size() + to];
+}
+
+double NetworkFabric::slowest_ring_link_gbps() const {
+  double slowest = bandwidth(sites_.size() - 1, 0);
+  for (std::size_t i = 0; i + 1 < sites_.size(); ++i) {
+    slowest = std::min(slowest, bandwidth(i, i + 1));
+  }
+  if (slowest <= 0.0) {
+    throw std::runtime_error("NetworkFabric: ring has an unset link");
+  }
+  return slowest;
+}
+
+double NetworkFabric::slowest_star_link_gbps(std::size_t hub) const {
+  double slowest = -1.0;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (i == hub) continue;
+    const double up = bandwidth(i, hub);
+    const double down = bandwidth(hub, i);
+    const double worst = std::min(up, down);
+    slowest = slowest < 0.0 ? worst : std::min(slowest, worst);
+  }
+  if (slowest <= 0.0) {
+    throw std::runtime_error("NetworkFabric: star has an unset link");
+  }
+  return slowest;
+}
+
+}  // namespace photon

@@ -1,0 +1,81 @@
+#pragma once
+// Link: the Agg <-> LLM-C communication gateway (paper §4).
+//
+// In this reproduction the federation runs in one process, so Link's job is
+// (a) full wire serialization/compression/CRC of every message, exercising
+// the real code path, and (b) faithful accounting of bytes and transfer
+// time over a simulated network link with finite bandwidth and latency.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/message.hpp"
+
+namespace photon {
+
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;   // uncompressed payload volume
+  std::uint64_t wire_bytes = 0;      // bytes actually on the wire
+  double transfer_seconds = 0.0;     // simulated time spent transferring
+};
+
+class SimLink {
+ public:
+  /// bandwidth in Gbps (paper quotes links in Gbps), latency in ms.
+  SimLink(std::string name, double bandwidth_gbps, double latency_ms = 0.0);
+
+  const std::string& name() const { return name_; }
+  double bandwidth_gbps() const { return bandwidth_gbps_; }
+  double latency_s() const { return latency_s_; }
+
+  /// Simulated seconds to move `bytes` over this link.
+  double transfer_time(std::uint64_t bytes) const;
+
+  /// Serialize, "send", and deserialize a message; returns the received
+  /// copy (bit-exact, CRC-checked) and records stats.
+  Message transmit(const Message& message);
+
+  /// Account a raw transfer without message framing (e.g. data streaming).
+  double account_raw(std::uint64_t bytes);
+
+  const LinkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  std::string name_;
+  double bandwidth_gbps_;
+  double latency_s_;
+  LinkStats stats_;
+};
+
+/// Directed bandwidth matrix between named sites, used to model the
+/// federation of Fig. 2 where the slowest ring link bottlenecks RAR.
+class NetworkFabric {
+ public:
+  explicit NetworkFabric(std::vector<std::string> sites);
+
+  std::size_t num_sites() const { return sites_.size(); }
+  const std::vector<std::string>& sites() const { return sites_; }
+  std::size_t site_index(const std::string& name) const;
+
+  void set_bandwidth(std::size_t from, std::size_t to, double gbps);
+  void set_symmetric_bandwidth(std::size_t a, std::size_t b, double gbps);
+  double bandwidth(std::size_t from, std::size_t to) const;
+
+  /// The slowest link along the ring 0 -> 1 -> ... -> n-1 -> 0; this is the
+  /// RAR bottleneck (paper Fig. 2 caption).
+  double slowest_ring_link_gbps() const;
+
+  /// Bandwidth of the slowest client<->hub connection for a PS rooted at
+  /// `hub` (paper: "the connection speed to England limits each update").
+  double slowest_star_link_gbps(std::size_t hub) const;
+
+ private:
+  std::vector<std::string> sites_;
+  std::vector<double> bandwidth_;  // (n, n) Gbps, 0 on diagonal
+};
+
+}  // namespace photon

@@ -1,0 +1,74 @@
+#include "comm/message.hpp"
+
+#include <stdexcept>
+
+#include "comm/compression.hpp"
+
+namespace photon {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50484F54;  // "PHOT"
+
+}  // namespace
+
+std::vector<std::uint8_t> Message::encode() const {
+  const Codec* codec_ptr = codec_by_name(codec);
+  if (codec_ptr == nullptr) {
+    throw std::runtime_error("Message: unknown codec " + codec);
+  }
+
+  BinaryWriter payload_writer;
+  payload_writer.write_vector(payload);
+  const auto compressed = codec_ptr->compress(payload_writer.bytes());
+
+  BinaryWriter w;
+  w.write(kMagic);
+  w.write(static_cast<std::uint8_t>(type));
+  w.write(round);
+  w.write(sender);
+  w.write_string(codec);
+  w.write(static_cast<std::uint64_t>(metadata.size()));
+  for (const auto& [key, value] : metadata) {
+    w.write_string(key);
+    w.write(value);
+  }
+  w.write(static_cast<std::uint64_t>(compressed.size()));
+  w.write_raw(compressed);
+  w.write(crc32(compressed));
+  return w.take();
+}
+
+Message Message::decode(std::span<const std::uint8_t> wire) {
+  BinaryReader r(wire);
+  if (r.read<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("Message::decode: bad magic");
+  }
+  Message m;
+  m.type = static_cast<MessageType>(r.read<std::uint8_t>());
+  m.round = r.read<std::uint32_t>();
+  m.sender = r.read<std::uint32_t>();
+  m.codec = r.read_string();
+  const auto n_meta = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_meta; ++i) {
+    const std::string key = r.read_string();
+    m.metadata[key] = r.read<double>();
+  }
+  const auto payload_len = r.read<std::uint64_t>();
+  const auto compressed = r.read_raw(payload_len);
+  const auto expected_crc = r.read<std::uint32_t>();
+  if (crc32(compressed) != expected_crc) {
+    throw std::runtime_error("Message::decode: CRC mismatch");
+  }
+  const Codec* codec_ptr = codec_by_name(m.codec);
+  if (codec_ptr == nullptr) {
+    throw std::runtime_error("Message::decode: unknown codec");
+  }
+  const auto raw = codec_ptr->decompress(compressed);
+  BinaryReader pr(raw);
+  m.payload = pr.read_vector<float>();
+  return m;
+}
+
+std::size_t Message::encoded_size() const { return encode().size(); }
+
+}  // namespace photon

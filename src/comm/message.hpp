@@ -1,0 +1,45 @@
+#pragma once
+// Link wire messages between the Aggregator and LLM clients.
+//
+// A message carries model parameters or pseudo-gradients plus training
+// metadata (paper §4, "Link between Agg and LLM-C": payloads carry training
+// and evaluation instructions, metrics, and global instructions).  Payloads
+// are CRC-protected and optionally compressed with a lossless codec.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/serialization.hpp"
+
+namespace photon {
+
+enum class MessageType : std::uint8_t {
+  kModelBroadcast = 0,  // Agg -> LLM-C: global parameters + round config
+  kClientUpdate = 1,    // LLM-C -> Agg: pseudo-gradient + metrics
+  kMetrics = 2,         // LLM-C -> Agg: metrics only (eval rounds)
+  kControl = 3,         // either direction: instructions
+};
+
+struct Message {
+  MessageType type = MessageType::kControl;
+  std::uint32_t round = 0;
+  std::uint32_t sender = 0;
+  std::string codec;                         // "" = uncompressed payload
+  std::vector<float> payload;                // parameters / pseudo-gradient
+  std::map<std::string, double> metadata;    // metrics & instructions
+
+  /// Serialize to wire bytes (header + optionally compressed payload + CRC).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parse wire bytes; throws std::runtime_error on CRC mismatch or
+  /// truncation.
+  static Message decode(std::span<const std::uint8_t> wire);
+
+  /// Wire size without building the buffer (used by cost accounting).
+  std::size_t encoded_size() const;
+};
+
+}  // namespace photon

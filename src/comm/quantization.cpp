@@ -1,0 +1,67 @@
+#include "comm/quantization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace photon {
+
+Int8Quantizer::Int8Quantizer(std::uint32_t chunk_size, bool stochastic,
+                             std::uint64_t seed)
+    : chunk_size_(chunk_size), stochastic_(stochastic), rng_(seed) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("Int8Quantizer: chunk_size == 0");
+  }
+}
+
+QuantizedUpdate Int8Quantizer::quantize(std::span<const float> update) {
+  QuantizedUpdate q;
+  q.count = update.size();
+  q.chunk_size = chunk_size_;
+  q.codes.resize(update.size());
+  const std::size_t chunks =
+      (update.size() + chunk_size_ - 1) / chunk_size_;
+  q.scales.resize(chunks);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size_;
+    const std::size_t end = std::min(begin + chunk_size_, update.size());
+    float max_abs = 0.0f;
+    for (std::size_t i = begin; i < end; ++i) {
+      max_abs = std::max(max_abs, std::abs(update[i]));
+    }
+    const float scale = max_abs > 0.0f ? max_abs : 1.0f;
+    q.scales[c] = scale;
+    const float inv = 127.0f / scale;
+    for (std::size_t i = begin; i < end; ++i) {
+      float v = update[i] * inv;  // in [-127, 127]
+      if (stochastic_) {
+        const float floor_v = std::floor(v);
+        const float frac = v - floor_v;
+        v = floor_v + (rng_.next_float() < frac ? 1.0f : 0.0f);
+      } else {
+        v = std::round(v);
+      }
+      q.codes[i] = static_cast<std::int8_t>(
+          std::clamp(v, -127.0f, 127.0f));
+    }
+  }
+  return q;
+}
+
+std::vector<float> Int8Quantizer::dequantize(const QuantizedUpdate& q) const {
+  if (q.codes.size() != q.count) {
+    throw std::invalid_argument("Int8Quantizer: corrupt update");
+  }
+  std::vector<float> out(q.count);
+  for (std::size_t i = 0; i < q.count; ++i) {
+    const std::size_t chunk = i / q.chunk_size;
+    if (chunk >= q.scales.size()) {
+      throw std::invalid_argument("Int8Quantizer: missing scale");
+    }
+    out[i] = static_cast<float>(q.codes[i]) * q.scales[chunk] / 127.0f;
+  }
+  return out;
+}
+
+}  // namespace photon

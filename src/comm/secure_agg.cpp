@@ -1,0 +1,54 @@
+#include "comm/secure_agg.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace photon {
+
+SecureAggregator::SecureAggregator(int num_clients, std::uint64_t session_seed)
+    : num_clients_(num_clients), session_seed_(session_seed) {
+  if (num_clients < 2) {
+    throw std::invalid_argument("SecureAggregator: need >= 2 clients");
+  }
+}
+
+std::uint64_t SecureAggregator::pair_seed(int a, int b) const {
+  // Symmetric in (a, b) so both ends of a pair derive the same stream.
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return hash_combine(session_seed_, hash_combine(lo, hi));
+}
+
+void SecureAggregator::mask_in_place(int client, std::span<float> update,
+                                     float mask_stddev) const {
+  if (client < 0 || client >= num_clients_) {
+    throw std::out_of_range("SecureAggregator::mask_in_place: bad client");
+  }
+  for (int peer = 0; peer < num_clients_; ++peer) {
+    if (peer == client) continue;
+    Rng stream(pair_seed(client, peer));
+    // The lower-id member of each pair adds the mask, the higher subtracts.
+    const float sign = client < peer ? 1.0f : -1.0f;
+    for (auto& x : update) {
+      x += sign * stream.gaussian(0.0f, mask_stddev);
+    }
+  }
+}
+
+void SecureAggregator::sum_into(const std::vector<std::vector<float>>& masked,
+                                std::span<float> out) {
+  if (masked.empty()) throw std::invalid_argument("sum_into: empty");
+  for (const auto& m : masked) {
+    if (m.size() != out.size()) {
+      throw std::invalid_argument("sum_into: size mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    double acc = 0.0;
+    for (const auto& m : masked) acc += m[i];
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+}  // namespace photon

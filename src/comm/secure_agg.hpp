@@ -1,0 +1,43 @@
+#pragma once
+// Secure aggregation via pairwise additive masking (Bonawitz et al. 2016),
+// the scheme the paper's Link supports "for enhanced privacy, if needed".
+//
+// Every ordered client pair (i, j) derives a shared mask stream from a
+// pairwise seed; client i adds it and client j subtracts it, so individual
+// masked updates are statistically hidden from the server while the *sum*
+// over the full cohort is exact.  This implementation covers the
+// full-participation case (no dropout recovery protocol), matching how the
+// paper's experiments use it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace photon {
+
+class SecureAggregator {
+ public:
+  /// `session_seed` plays the role of the key-agreement transcript: all
+  /// pairwise seeds are derived from it and the client ids.
+  SecureAggregator(int num_clients, std::uint64_t session_seed);
+
+  int num_clients() const { return num_clients_; }
+
+  /// Mask client `client`'s update in place.  The mask has the same scale
+  /// as `mask_stddev` Gaussian noise per pair.
+  void mask_in_place(int client, std::span<float> update,
+                     float mask_stddev = 1.0f) const;
+
+  /// Sum of masked updates == sum of plain updates (masks cancel).  Helper
+  /// for the server side: element-wise sum of buffers into `out`.
+  static void sum_into(const std::vector<std::vector<float>>& masked,
+                       std::span<float> out);
+
+ private:
+  std::uint64_t pair_seed(int a, int b) const;
+
+  int num_clients_;
+  std::uint64_t session_seed_;
+};
+
+}  // namespace photon

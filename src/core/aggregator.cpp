@@ -1,0 +1,190 @@
+#include "core/aggregator.hpp"
+
+#include <stdexcept>
+
+#include "comm/collective.hpp"
+#include "comm/message.hpp"
+#include "comm/secure_agg.hpp"
+#include "tensor/kernels.hpp"
+#include "util/logging.hpp"
+#include "util/threadpool.hpp"
+
+namespace photon {
+
+Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
+                       std::unique_ptr<ServerOpt> server_opt,
+                       std::vector<std::unique_ptr<LLMClient>> clients,
+                       std::uint64_t init_seed)
+    : model_config_(model),
+      config_(std::move(config)),
+      server_opt_(std::move(server_opt)),
+      clients_(std::move(clients)),
+      sampler_(static_cast<int>(clients_.size()), config_.seed),
+      checkpoints_(config_.checkpoint_dir) {
+  if (clients_.empty()) {
+    throw std::invalid_argument("Aggregator: no clients");
+  }
+  if (server_opt_ == nullptr) {
+    throw std::invalid_argument("Aggregator: null server optimizer");
+  }
+  if (config_.local_steps <= 0) {
+    throw std::invalid_argument("Aggregator: local_steps must be > 0");
+  }
+  for (const auto& c : clients_) {
+    if (c->config().model.num_params() != model_config_.num_params()) {
+      throw std::invalid_argument("Aggregator: client/global model mismatch");
+    }
+  }
+  links_.reserve(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    links_.emplace_back("agg<->client" + std::to_string(i),
+                        config_.link_bandwidth_gbps);
+  }
+
+  // InitModel (Alg. 1 L2): the server initializes the global parameters.
+  GptModel init(model_config_, init_seed);
+  global_params_.assign(init.params().begin(), init.params().end());
+}
+
+RoundRecord Aggregator::run_round() {
+  const int k = config_.clients_per_round > 0
+                    ? config_.clients_per_round
+                    : static_cast<int>(clients_.size());
+  const std::vector<int> cohort = sampler_.sample(k, round_);
+  if (cohort.empty()) {
+    throw std::runtime_error("Aggregator::run_round: no available clients");
+  }
+  std::uint64_t link_bytes_before = 0;
+  for (const auto& link : links_) link_bytes_before += link.stats().wire_bytes;
+
+  RoundRecord record;
+  record.round = round_;
+  record.participants = cohort;
+
+  // Broadcast + local training (Alg. 1 L5-6), clients in parallel.
+  std::vector<ClientUpdate> updates(cohort.size());
+  auto run_client = [&](std::size_t i) {
+    const int id = cohort[i];
+    SimLink& link = links_[static_cast<std::size_t>(id)];
+    Message broadcast;
+    broadcast.type = MessageType::kModelBroadcast;
+    broadcast.round = round_;
+    broadcast.sender = 0;
+    broadcast.payload = global_params_;
+    broadcast.metadata["local_steps"] = config_.local_steps;
+    const Message received = link.transmit(broadcast);
+    updates[i] = clients_[static_cast<std::size_t>(id)]->run_round(
+        received.payload, round_, config_.local_steps, schedule_step_base_);
+  };
+  if (config_.parallel_clients && cohort.size() > 1) {
+    global_pool().parallel_for(cohort.size(), run_client);
+  } else {
+    for (std::size_t i = 0; i < cohort.size(); ++i) run_client(i);
+  }
+
+  // Updates return through the Link (Alg. 1 L7), exercising the codec each
+  // client's post-processing selected.
+  std::vector<std::vector<float>> deltas(cohort.size());
+  std::vector<MetricDict> client_metrics(cohort.size());
+  std::vector<double> weights(cohort.size());
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const int id = cohort[i];
+    SimLink& link = links_[static_cast<std::size_t>(id)];
+    Message up;
+    up.type = MessageType::kClientUpdate;
+    up.round = round_;
+    up.sender = static_cast<std::uint32_t>(id);
+    up.codec = updates[i].post.codec;
+    up.payload = updates[i].delta;
+    up.metadata = updates[i].metrics;
+    const Message received = link.transmit(up);
+    deltas[i] = received.payload;
+    client_metrics[i] = received.metadata;
+    weights[i] = static_cast<double>(updates[i].tokens);
+    record.tokens_this_round += updates[i].tokens;
+    record.mean_train_loss +=
+        updates[i].mean_train_loss / static_cast<double>(cohort.size());
+  }
+  // Aggregate (Alg. 1 L8): element-wise mean of pseudo-gradients through
+  // the configured topology; secure aggregation masks first and forces PS.
+  std::vector<float> pseudo_grad;
+  double sim_comm_seconds = 0.0;
+  std::uint64_t collective_bytes = 0;
+  if (config_.secure_aggregation && cohort.size() > 1) {
+    SecureAggregator sec(static_cast<int>(cohort.size()),
+                         hash_combine(config_.seed, round_));
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      sec.mask_in_place(static_cast<int>(i), deltas[i]);
+    }
+    pseudo_grad.assign(deltas.front().size(), 0.0f);
+    SecureAggregator::sum_into(deltas, pseudo_grad);
+    const float inv = 1.0f / static_cast<float>(cohort.size());
+    kernels::scale_inplace(pseudo_grad.data(), inv, pseudo_grad.size());
+    const auto report = CollectiveReport{
+        Topology::kParameterServer, static_cast<int>(cohort.size()),
+        static_cast<std::uint64_t>(cohort.size()) * pseudo_grad.size() *
+            sizeof(float),
+        2ull * cohort.size() * pseudo_grad.size() * sizeof(float), 0.0};
+    collective_bytes = report.total_bytes;
+    sim_comm_seconds = static_cast<double>(report.bottleneck_bytes) /
+                       (config_.bandwidth_mbps * 1024.0 * 1024.0);
+  } else if (cohort.size() > 1) {
+    std::vector<std::span<float>> spans;
+    spans.reserve(deltas.size());
+    for (auto& d : deltas) spans.emplace_back(d);
+    const CollectiveReport report =
+        collective_mean(config_.topology, spans, config_.bandwidth_mbps);
+    pseudo_grad = deltas.front();
+    sim_comm_seconds = report.seconds;
+    collective_bytes = report.total_bytes;
+  } else {
+    pseudo_grad = deltas.front();
+  }
+
+  // ServerOpt (Alg. 1 L9).
+  record.update_norm =
+      kernels::l2_norm(pseudo_grad.data(), pseudo_grad.size());
+  server_opt_->apply(global_params_, pseudo_grad);
+
+  // AggMetrics (L10) and Checkpoint (L11).
+  record.client_metrics = aggregate_metrics(client_metrics, weights);
+  checkpoints_.save(round_, global_params_);
+
+  // Wire bytes: broadcast + update message bytes through Agg links plus the
+  // aggregation collective's fabric traffic.
+  std::uint64_t link_bytes_after = 0;
+  for (const auto& link : links_) link_bytes_after += link.stats().wire_bytes;
+  record.comm_bytes = (link_bytes_after - link_bytes_before) + collective_bytes;
+
+  record.sim_comm_seconds = sim_comm_seconds;
+  record.sim_local_seconds =
+      static_cast<double>(config_.local_steps) / config_.sim_throughput_bps;
+
+  PHOTON_LOG_INFO("aggregator",
+                  "round %u: K=%zu loss %.4f update-norm %.4f",
+                  round_, cohort.size(), record.mean_train_loss,
+                  record.update_norm);
+
+  history_.add(record);
+  ++round_;
+  schedule_step_base_ += config_.local_steps;
+  return record;
+}
+
+void Aggregator::record_eval(double perplexity) {
+  if (history_.empty()) {
+    throw std::runtime_error("Aggregator::record_eval: no rounds yet");
+  }
+  history_.last_mutable().eval_perplexity = perplexity;
+}
+
+bool Aggregator::restore_latest_checkpoint() {
+  const auto ckpt = checkpoints_.latest();
+  if (!ckpt.has_value()) return false;
+  if (ckpt->params.size() != global_params_.size()) return false;
+  global_params_ = ckpt->params;
+  round_ = ckpt->round + 1;
+  return true;
+}
+
+}  // namespace photon

@@ -1,0 +1,94 @@
+#pragma once
+// Aggregator (Agg): the central orchestrator of paper Alg. 1, L1-12.
+//
+// Per round it samples clients, broadcasts the global model through each
+// client's Link (real serialization + compression + CRC), runs the sampled
+// clients' local pipelines in parallel, aggregates pseudo-gradients with the
+// configured topology (PS / AR / RAR, optionally under secure aggregation),
+// applies ServerOpt, aggregates metrics, and checkpoints.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/link.hpp"
+#include "core/checkpoint.hpp"
+#include "core/client.hpp"
+#include "core/metrics.hpp"
+#include "core/sampler.hpp"
+#include "core/server_opt.hpp"
+#include "nn/config.hpp"
+#include "nn/model.hpp"
+
+namespace photon {
+
+struct AggregatorConfig {
+  /// K: clients sampled per round; 0 = full participation.
+  int clients_per_round = 0;
+  /// tau: local steps per round.
+  int local_steps = 16;
+  Topology topology = Topology::kRingAllReduce;
+  /// Bandwidth used by the aggregation collective (MB/s), Appendix B.1's B.
+  double bandwidth_mbps = 1250.0;
+  /// Secure aggregation (pairwise masking); forces PS accounting since
+  /// peer-to-peer aggregation is prohibited under privacy constraints (§4).
+  bool secure_aggregation = false;
+  /// Per-client Agg<->LLM-C link speed for wire accounting (Gbps).
+  double link_bandwidth_gbps = 10.0;
+  /// nu: simulated local throughput (batches/s) for wall-time accounting.
+  double sim_throughput_bps = 1.0;
+  std::filesystem::path checkpoint_dir;  // empty = memory-only checkpoints
+  std::uint64_t seed = 0x41676701ULL;
+  /// Run sampled clients on the global thread pool.
+  bool parallel_clients = true;
+};
+
+class Aggregator {
+ public:
+  Aggregator(const ModelConfig& model, AggregatorConfig config,
+             std::unique_ptr<ServerOpt> server_opt,
+             std::vector<std::unique_ptr<LLMClient>> clients,
+             std::uint64_t init_seed);
+
+  /// Execute one federated round; returns (and stores) its record.
+  RoundRecord run_round();
+
+  std::uint32_t round() const { return round_; }
+  int population() const { return static_cast<int>(clients_.size()); }
+  std::span<const float> global_params() const { return global_params_; }
+  const ModelConfig& model_config() const { return model_config_; }
+
+  ClientSampler& sampler() { return sampler_; }
+  ServerOpt& server_opt() { return *server_opt_; }
+  CheckpointStore& checkpoints() { return checkpoints_; }
+  TrainingHistory& history() { return history_; }
+  const TrainingHistory& history() const { return history_; }
+  LLMClient& client(int id) { return *clients_.at(static_cast<std::size_t>(id)); }
+  const LinkStats& link_stats(int id) const {
+    return links_.at(static_cast<std::size_t>(id)).stats();
+  }
+
+  /// Annotate the most recent round's record with an eval result.
+  void record_eval(double perplexity);
+
+  /// Restore the global model from the latest checkpoint (crash recovery).
+  bool restore_latest_checkpoint();
+
+ private:
+  ModelConfig model_config_;
+  AggregatorConfig config_;
+  std::unique_ptr<ServerOpt> server_opt_;
+  std::vector<std::unique_ptr<LLMClient>> clients_;
+  std::vector<SimLink> links_;
+  ClientSampler sampler_;
+  CheckpointStore checkpoints_;
+  TrainingHistory history_;
+  std::vector<float> global_params_;
+  std::uint32_t round_ = 0;
+  std::int64_t schedule_step_base_ = 0;
+};
+
+}  // namespace photon

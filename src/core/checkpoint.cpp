@@ -1,0 +1,72 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serialization.hpp"
+
+namespace photon {
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir,
+                                 std::size_t keep_last)
+    : dir_(std::move(dir)), keep_last_(std::max<std::size_t>(1, keep_last)) {
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+void CheckpointStore::save(std::uint32_t round, std::span<const float> params,
+                           double eval_perplexity) {
+  Checkpoint ckpt;
+  ckpt.round = round;
+  ckpt.params.assign(params.begin(), params.end());
+  ckpt.eval_perplexity = eval_perplexity;
+  if (!dir_.empty()) write_to_disk(ckpt);
+  memory_.push_back(std::move(ckpt));
+  if (memory_.size() > keep_last_) {
+    memory_.erase(memory_.begin(),
+                  memory_.begin() +
+                      static_cast<std::ptrdiff_t>(memory_.size() - keep_last_));
+  }
+}
+
+std::optional<Checkpoint> CheckpointStore::latest() const {
+  if (memory_.empty()) return std::nullopt;
+  return memory_.back();
+}
+
+std::optional<Checkpoint> CheckpointStore::at_round(std::uint32_t round) const {
+  for (auto it = memory_.rbegin(); it != memory_.rend(); ++it) {
+    if (it->round == round) return *it;
+  }
+  if (!dir_.empty()) return read_from_disk(round);
+  return std::nullopt;
+}
+
+void CheckpointStore::write_to_disk(const Checkpoint& ckpt) const {
+  BinaryWriter w;
+  w.write(ckpt.round);
+  w.write(ckpt.eval_perplexity);
+  w.write_vector(ckpt.params);
+  const auto path = dir_ / ("ckpt_" + std::to_string(ckpt.round) + ".bin");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("CheckpointStore: cannot write " + path.string());
+  os.write(reinterpret_cast<const char*>(w.bytes().data()),
+           static_cast<std::streamsize>(w.size()));
+}
+
+std::optional<Checkpoint> CheckpointStore::read_from_disk(
+    std::uint32_t round) const {
+  const auto path = dir_ / ("ckpt_" + std::to_string(round) + ".bin");
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+  BinaryReader r(bytes);
+  Checkpoint ckpt;
+  ckpt.round = r.read<std::uint32_t>();
+  ckpt.eval_perplexity = r.read<double>();
+  ckpt.params = r.read_vector<float>();
+  return ckpt;
+}
+
+}  // namespace photon

@@ -1,0 +1,49 @@
+#pragma once
+// Checkpointing (paper Alg. 1 L11 server-side, L27 client-side): global
+// model snapshots each round for fast recovery, with optional persistence
+// to disk.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace photon {
+
+struct Checkpoint {
+  std::uint32_t round = 0;
+  std::vector<float> params;
+  double eval_perplexity = -1.0;
+};
+
+class CheckpointStore {
+ public:
+  /// `dir` empty = memory-only store (tests, sweeps); otherwise snapshots
+  /// are also written as <dir>/ckpt_<round>.bin.
+  explicit CheckpointStore(std::filesystem::path dir = {},
+                           std::size_t keep_last = 3);
+
+  void save(std::uint32_t round, std::span<const float> params,
+            double eval_perplexity = -1.0);
+
+  /// Most recent checkpoint, if any.
+  std::optional<Checkpoint> latest() const;
+
+  /// Checkpoint for an exact round (memory first, then disk).
+  std::optional<Checkpoint> at_round(std::uint32_t round) const;
+
+  std::size_t num_in_memory() const { return memory_.size(); }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  void write_to_disk(const Checkpoint& ckpt) const;
+  std::optional<Checkpoint> read_from_disk(std::uint32_t round) const;
+
+  std::filesystem::path dir_;
+  std::size_t keep_last_;
+  std::vector<Checkpoint> memory_;  // ring of the last keep_last_ snapshots
+};
+
+}  // namespace photon

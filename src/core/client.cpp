@@ -1,0 +1,134 @@
+#include "core/client.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace photon {
+
+LLMClient::LLMClient(int id, ClientTrainConfig config,
+                     std::unique_ptr<DataSource> data, std::uint64_t seed)
+    : id_(id),
+      config_(std::move(config)),
+      data_(std::move(data)),
+      model_(config_.model, hash_combine(seed, static_cast<std::uint64_t>(id))),
+      opt_(model_.num_params(), config_.adamw),
+      schedule_(config_.schedule) {
+  if (data_ == nullptr) {
+    throw std::invalid_argument("LLMClient: null data source");
+  }
+  if (config_.local_batch <= 0) {
+    throw std::invalid_argument("LLMClient: local_batch must be > 0");
+  }
+  if (config_.sub_nodes < 1) {
+    throw std::invalid_argument("LLMClient: sub_nodes must be >= 1");
+  }
+  if (config_.clip_update_norm > 0.0) {
+    post_.add(std::make_unique<ClipStage>(config_.clip_update_norm));
+  }
+  if (config_.dp_noise_multiplier > 0.0) {
+    const double clip = config_.clip_update_norm > 0.0
+                            ? config_.clip_update_norm
+                            : 1.0;
+    post_.add(std::make_unique<DpNoiseStage>(
+        config_.dp_noise_multiplier, clip,
+        hash_combine(seed, 0xD9ULL + static_cast<std::uint64_t>(id))));
+  }
+  post_.add(std::make_unique<CompressStage>(config_.link_codec));
+}
+
+std::pair<double, std::uint64_t> LLMClient::train_replica(
+    int local_steps, std::int64_t step_base) {
+  const int batch = config_.local_batch;
+  const int seq = config_.model.seq_len;
+  double loss_sum = 0.0;
+  std::uint64_t tokens = 0;
+  double grad_norm_sum = 0.0;
+  for (int step = 0; step < local_steps; ++step) {
+    const Batch b = data_->next_batch(batch, seq);
+    model_.zero_grad();
+    const float loss = model_.train_step_fb(b.tokens, b.targets, batch, seq);
+    const double norm =
+        clip_grad_norm(model_.grads(), config_.max_grad_norm);
+    const float lr = schedule_.lr_at(step_base + step);
+    opt_.step(model_.params(), model_.grads(), lr);
+    loss_sum += loss;
+    grad_norm_sum += norm;
+    tokens += static_cast<std::uint64_t>(batch) * seq;
+  }
+  last_grad_norm_ = local_steps > 0 ? grad_norm_sum / local_steps : 0.0;
+  return {local_steps > 0 ? loss_sum / local_steps : 0.0, tokens};
+}
+
+ClientUpdate LLMClient::run_round(std::span<const float> global_params,
+                                  std::uint32_t round, int local_steps,
+                                  std::int64_t schedule_step_base) {
+  if (global_params.size() != model_.num_params()) {
+    throw std::invalid_argument("LLMClient::run_round: param size mismatch");
+  }
+  if (local_steps <= 0) {
+    throw std::invalid_argument("LLMClient::run_round: local_steps <= 0");
+  }
+
+  ClientUpdate update;
+  update.client_id = id_;
+
+  double mean_loss = 0.0;
+  std::uint64_t tokens = 0;
+
+  if (config_.sub_nodes == 1) {
+    // Fast interconnect path (Alg. 1 L16-18): one logical replica at the
+    // autotuned device batch.
+    model_.load_params(global_params);
+    if (config_.stateless_optimizer) opt_.reset();
+    auto [loss, toks] = train_replica(local_steps, schedule_step_base);
+    mean_loss = loss;
+    tokens = toks;
+  } else {
+    // Nested sub-federation (Alg. 1 L19-25): train `sub_nodes` replicas on
+    // sub-partitioned data (IID default) and average their parameters.
+    std::vector<double> param_sum(model_.num_params(), 0.0);
+    for (int node = 0; node < config_.sub_nodes; ++node) {
+      model_.load_params(global_params);
+      opt_.reset();  // each node replica starts fresh
+      auto [loss, toks] = train_replica(local_steps, schedule_step_base);
+      mean_loss += loss / config_.sub_nodes;
+      tokens += toks;
+      const auto params = model_.params();
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        param_sum[i] += params[i];
+      }
+    }
+    auto params = model_.params();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] = static_cast<float>(param_sum[i] / config_.sub_nodes);
+    }
+  }
+
+  // Local checkpoint for fast recovery (Alg. 1 L27).
+  checkpoint_.assign(model_.params().begin(), model_.params().end());
+
+  // delta_k = theta_global - theta_k (Alg. 1 L7).
+  update.delta.resize(model_.num_params());
+  const auto params = model_.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    update.delta[i] = global_params[i] - params[i];
+  }
+
+  // Post-processing (Alg. 1 L28): clip / DP noise / codec selection.
+  update.post = post_.run(update.delta);
+
+  update.tokens = tokens;
+  update.mean_train_loss = mean_loss;
+  update.metrics["train_loss"] = mean_loss;
+  update.metrics["grad_norm"] = last_grad_norm_;
+  update.metrics["tokens"] = static_cast<double>(tokens);
+  update.metrics["local_steps"] = static_cast<double>(local_steps);
+  PHOTON_LOG_DEBUG("llm-client", "client %d round %u loss %.4f", id_, round,
+                   mean_loss);
+  return update;
+}
+
+}  // namespace photon

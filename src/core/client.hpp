@@ -1,0 +1,93 @@
+#pragma once
+// LLM Client (LLM-C): the local training pipeline of paper Alg. 1, L13-28.
+//
+// Each client owns a model replica, an AdamW ClientOpt, a bound DataSource
+// stream, and a post-processing pipeline.  Per round it: receives global
+// parameters, trains `local_steps` with its hardware batch size under the
+// stretched cosine schedule, optionally runs a nested sub-federation across
+// its nodes (L19-25), checkpoints locally (L27), post-processes the update
+// (L28), and returns the pseudo-gradient contribution
+//   delta_k = theta_global - theta_k.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/postprocess.hpp"
+#include "data/stream.hpp"
+#include "nn/config.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scheduler.hpp"
+
+namespace photon {
+
+struct ClientTrainConfig {
+  ModelConfig model;
+  int local_batch = 4;  // B_l: hardware-determined per-client batch size
+  CosineScheduleConfig schedule;
+  AdamWConfig adamw;
+  float max_grad_norm = 1.0f;
+  /// Photon default: reset optimizer state each round (Appendix A,
+  /// "stateless local optimization procedure").  DiLoCo keeps state.
+  bool stateless_optimizer = true;
+  /// > 1 enables the nested sub-federation path (Alg. 1 L19-25): the round
+  /// is trained as `sub_nodes` independent replicas over sub-partitioned
+  /// data, locally averaged before returning.
+  int sub_nodes = 1;
+  /// Post-processing (Alg. 1 L28).
+  double clip_update_norm = 0.0;     // 0 = no update clipping
+  double dp_noise_multiplier = 0.0;  // 0 = no DP noise
+  std::string link_codec;            // "" / "rle0" / "lzss"
+};
+
+struct ClientUpdate {
+  int client_id = -1;
+  std::vector<float> delta;  // theta_global - theta_local
+  std::uint64_t tokens = 0;
+  double mean_train_loss = 0.0;
+  MetricDict metrics;
+  PostProcessReport post;
+};
+
+class LLMClient {
+ public:
+  LLMClient(int id, ClientTrainConfig config,
+            std::unique_ptr<DataSource> data, std::uint64_t seed);
+
+  int id() const { return id_; }
+  const ClientTrainConfig& config() const { return config_; }
+  DataSource& data_source() { return *data_; }
+
+  /// Execute one federated round (Alg. 1 L13-28).  `schedule_step_base` is
+  /// the cumulative sequential local-step count, synchronizing the cosine
+  /// schedule across rounds (Table 5: "S_C synchronized across sequential
+  /// steps").
+  ClientUpdate run_round(std::span<const float> global_params,
+                         std::uint32_t round, int local_steps,
+                         std::int64_t schedule_step_base);
+
+  /// Local checkpoint from the last completed round (Alg. 1 L27), for fast
+  /// recovery; empty before the first round.
+  std::span<const float> local_checkpoint() const { return checkpoint_; }
+
+ private:
+  /// Train one replica for `local_steps` from the model's current params.
+  /// Returns (mean loss, tokens).
+  std::pair<double, std::uint64_t> train_replica(int local_steps,
+                                                 std::int64_t step_base);
+
+  int id_;
+  ClientTrainConfig config_;
+  std::unique_ptr<DataSource> data_;
+  GptModel model_;
+  AdamW opt_;
+  CosineSchedule schedule_;
+  PostProcessPipeline post_;
+  std::vector<float> checkpoint_;
+  double last_grad_norm_ = 0.0;
+};
+
+}  // namespace photon

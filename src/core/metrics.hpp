@@ -1,0 +1,61 @@
+#pragma once
+// Training metrics and their federated aggregation (AggMetrics, Alg. 1 L10).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace photon {
+
+/// Free-form metric dictionary exchanged via Link message metadata.
+using MetricDict = std::map<std::string, double>;
+
+/// Weighted aggregation of per-client metric dictionaries: keys are
+/// averaged weighted by `weights` (e.g. tokens processed); missing keys are
+/// averaged over the clients reporting them.
+MetricDict aggregate_metrics(const std::vector<MetricDict>& metrics,
+                             const std::vector<double>& weights);
+
+/// One federated round's record, accumulated by the Aggregator.
+struct RoundRecord {
+  std::uint32_t round = 0;
+  std::vector<int> participants;
+  double mean_train_loss = 0.0;
+  double update_norm = 0.0;       // ||averaged pseudo-gradient||
+  std::uint64_t tokens_this_round = 0;
+  std::uint64_t comm_bytes = 0;   // wire bytes this round (all clients)
+  double sim_comm_seconds = 0.0;  // simulated aggregation communication time
+  double sim_local_seconds = 0.0; // simulated local compute time
+  MetricDict client_metrics;      // aggregated client metric dict
+  double eval_perplexity = -1.0;  // < 0 = not evaluated this round
+};
+
+/// Full training history with convenience queries used by benches.
+class TrainingHistory {
+ public:
+  void add(RoundRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<RoundRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+
+  /// Mutable access to the most recent record (for late eval annotation).
+  RoundRecord& last_mutable() { return records_.back(); }
+
+  /// First round whose eval perplexity is <= target; -1 if never reached.
+  int first_round_reaching(double target_ppl) const;
+
+  /// Cumulative tokens through round `round` (inclusive).
+  std::uint64_t tokens_through(std::uint32_t round) const;
+
+  /// Sum of simulated (local + comm) seconds through the first round
+  /// reaching target; < 0 if never reached.
+  double sim_seconds_to(double target_ppl) const;
+
+  double best_perplexity() const;
+  double final_perplexity() const;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace photon

@@ -1,0 +1,67 @@
+#include "core/postprocess.hpp"
+
+#include <stdexcept>
+
+#include "comm/compression.hpp"
+#include "tensor/kernels.hpp"
+
+namespace photon {
+
+ClipStage::ClipStage(double max_norm) : max_norm_(max_norm) {
+  if (max_norm <= 0.0) throw std::invalid_argument("ClipStage: max_norm <= 0");
+}
+
+void ClipStage::apply(std::span<float> update, PostProcessReport& report) {
+  const double norm = kernels::l2_norm(update.data(), update.size());
+  report.preclip_norm = norm;
+  if (norm > max_norm_ && norm > 0.0) {
+    kernels::scale_inplace(update.data(),
+                           static_cast<float>(max_norm_ / norm),
+                           update.size());
+    report.clipped = true;
+  }
+}
+
+DpNoiseStage::DpNoiseStage(double noise_multiplier, double max_norm,
+                           std::uint64_t seed)
+    : stddev_(noise_multiplier * max_norm), rng_(seed) {
+  if (noise_multiplier < 0.0 || max_norm <= 0.0) {
+    throw std::invalid_argument("DpNoiseStage: bad parameters");
+  }
+}
+
+void DpNoiseStage::apply(std::span<float> update, PostProcessReport& report) {
+  report.dp_noise_stddev = stddev_;
+  if (stddev_ == 0.0) return;
+  for (auto& x : update) {
+    x += rng_.gaussian(0.0f, static_cast<float>(stddev_));
+  }
+}
+
+CompressStage::CompressStage(std::string codec) : codec_(std::move(codec)) {
+  if (codec_by_name(codec_) == nullptr) {
+    throw std::invalid_argument("CompressStage: unknown codec " + codec_);
+  }
+}
+
+void CompressStage::apply(std::span<float> /*update*/,
+                          PostProcessReport& report) {
+  report.codec = codec_;
+}
+
+PostProcessPipeline& PostProcessPipeline::add(
+    std::unique_ptr<UpdateStage> stage) {
+  if (stage == nullptr) {
+    throw std::invalid_argument("PostProcessPipeline::add: null stage");
+  }
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+PostProcessReport PostProcessPipeline::run(std::span<float> update) {
+  PostProcessReport report;
+  for (auto& stage : stages_) stage->apply(update, report);
+  return report;
+}
+
+}  // namespace photon

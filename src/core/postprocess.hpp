@@ -1,0 +1,83 @@
+#pragma once
+// Client-update post-processing pipeline (paper Alg. 1 L28: "gradient
+// clipping, compression, or differential privacy noise injection" before
+// returning updates to Agg; §4: Link's "extensible post-processing
+// pipeline").
+//
+// Stages run in order over the pseudo-gradient; the compression stage only
+// *selects* the Link codec (compression itself is lossless and happens at
+// the Message layer so the server decodes transparently).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace photon {
+
+struct PostProcessReport {
+  double preclip_norm = 0.0;
+  bool clipped = false;
+  double dp_noise_stddev = 0.0;
+  std::string codec;
+};
+
+class UpdateStage {
+ public:
+  virtual ~UpdateStage() = default;
+  virtual std::string name() const = 0;
+  virtual void apply(std::span<float> update, PostProcessReport& report) = 0;
+};
+
+/// L2-norm clipping of the whole update (pseudo-gradient).
+class ClipStage final : public UpdateStage {
+ public:
+  explicit ClipStage(double max_norm);
+  std::string name() const override { return "clip"; }
+  void apply(std::span<float> update, PostProcessReport& report) override;
+
+ private:
+  double max_norm_;
+};
+
+/// Gaussian DP noise: sigma = noise_multiplier * max_norm (to pair with a
+/// preceding ClipStage for (eps, delta)-DP accounting).
+class DpNoiseStage final : public UpdateStage {
+ public:
+  DpNoiseStage(double noise_multiplier, double max_norm, std::uint64_t seed);
+  std::string name() const override { return "dp-noise"; }
+  void apply(std::span<float> update, PostProcessReport& report) override;
+
+ private:
+  double stddev_;
+  Rng rng_;
+};
+
+/// Select the lossless Link codec for the outgoing message.
+class CompressStage final : public UpdateStage {
+ public:
+  explicit CompressStage(std::string codec);
+  std::string name() const override { return "compress"; }
+  void apply(std::span<float> update, PostProcessReport& report) override;
+
+ private:
+  std::string codec_;
+};
+
+class PostProcessPipeline {
+ public:
+  PostProcessPipeline() = default;
+
+  PostProcessPipeline& add(std::unique_ptr<UpdateStage> stage);
+  std::size_t num_stages() const { return stages_.size(); }
+
+  PostProcessReport run(std::span<float> update);
+
+ private:
+  std::vector<std::unique_ptr<UpdateStage>> stages_;
+};
+
+}  // namespace photon

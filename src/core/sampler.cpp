@@ -1,0 +1,53 @@
+#include "core/sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace photon {
+
+ClientSampler::ClientSampler(int population, std::uint64_t seed)
+    : population_(population), seed_(seed),
+      available_(static_cast<std::size_t>(population), true) {
+  if (population <= 0) {
+    throw std::invalid_argument("ClientSampler: population must be > 0");
+  }
+}
+
+void ClientSampler::set_available(int client, bool available) {
+  if (client < 0 || client >= population_) {
+    throw std::out_of_range("ClientSampler::set_available");
+  }
+  available_[static_cast<std::size_t>(client)] = available;
+}
+
+bool ClientSampler::is_available(int client) const {
+  if (client < 0 || client >= population_) {
+    throw std::out_of_range("ClientSampler::is_available");
+  }
+  return available_[static_cast<std::size_t>(client)];
+}
+
+int ClientSampler::num_available() const {
+  return static_cast<int>(
+      std::count(available_.begin(), available_.end(), true));
+}
+
+std::vector<int> ClientSampler::sample(int k, std::uint32_t round) {
+  if (k <= 0) throw std::invalid_argument("ClientSampler::sample: k <= 0");
+  std::vector<int> pool;
+  pool.reserve(static_cast<std::size_t>(population_));
+  for (int c = 0; c < population_; ++c) {
+    if (available_[static_cast<std::size_t>(c)]) pool.push_back(c);
+  }
+  if (pool.empty()) return {};
+  Rng rng(hash_combine(seed_, round));
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(k), pool.size());
+  const auto idx = rng.sample_without_replacement(pool.size(), take);
+  std::vector<int> out;
+  out.reserve(take);
+  for (std::size_t i : idx) out.push_back(pool[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace photon

@@ -1,0 +1,38 @@
+#pragma once
+// Client Sampler (paper Alg. 1, L4): C ~ U(P, K) — sample K clients per
+// round uniformly without replacement from the population P.
+//
+// Partial participation (paper §5.5) is expressed by K < P; the sampler also
+// supports per-client availability to model intermittent clients
+// (Appendix A: "billion-scale experiments assume intermittent client
+// availability").
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace photon {
+
+class ClientSampler {
+ public:
+  ClientSampler(int population, std::uint64_t seed);
+
+  int population() const { return population_; }
+
+  /// Mark a client (un)available; unavailable clients are never sampled.
+  void set_available(int client, bool available);
+  bool is_available(int client) const;
+  int num_available() const;
+
+  /// Sample min(k, available) distinct available clients for `round`.
+  /// Deterministic given (seed, round, availability).
+  std::vector<int> sample(int k, std::uint32_t round);
+
+ private:
+  int population_;
+  std::uint64_t seed_;
+  std::vector<bool> available_;
+};
+
+}  // namespace photon

@@ -1,0 +1,118 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace photon {
+namespace {
+
+double loss_or_max(const std::map<int, ClientStats>& stats, int client,
+                   double fallback) {
+  const auto it = stats.find(client);
+  if (it == stats.end() || it->second.last_loss < 0.0) return fallback;
+  return it->second.last_loss;
+}
+
+std::vector<int> finalize(std::vector<int> picked) {
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace
+
+std::vector<int> UniformSelection::select(
+    const std::vector<int>& available, const std::map<int, ClientStats>&,
+    int k, std::uint32_t round) {
+  if (available.empty() || k <= 0) return {};
+  Rng rng(hash_combine(seed_, round));
+  const auto take =
+      std::min<std::size_t>(static_cast<std::size_t>(k), available.size());
+  const auto idx = rng.sample_without_replacement(available.size(), take);
+  std::vector<int> out;
+  out.reserve(take);
+  for (std::size_t i : idx) out.push_back(available[i]);
+  return finalize(std::move(out));
+}
+
+PowerOfChoiceSelection::PowerOfChoiceSelection(std::uint64_t seed,
+                                               int candidate_factor)
+    : seed_(seed), candidate_factor_(candidate_factor) {
+  if (candidate_factor < 1) {
+    throw std::invalid_argument("PowerOfChoice: candidate_factor < 1");
+  }
+}
+
+std::vector<int> PowerOfChoiceSelection::select(
+    const std::vector<int>& available,
+    const std::map<int, ClientStats>& stats, int k, std::uint32_t round) {
+  if (available.empty() || k <= 0) return {};
+  Rng rng(hash_combine(seed_, round));
+  const auto want = std::min<std::size_t>(
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(candidate_factor_),
+      available.size());
+  const auto idx = rng.sample_without_replacement(available.size(), want);
+  std::vector<int> candidates;
+  candidates.reserve(want);
+  for (std::size_t i : idx) candidates.push_back(available[i]);
+
+  // Highest loss first; unseen clients are treated as highest-loss so they
+  // get explored early.
+  constexpr double kUnseen = 1e30;
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](int a, int b) {
+                     return loss_or_max(stats, a, kUnseen) >
+                            loss_or_max(stats, b, kUnseen);
+                   });
+  candidates.resize(
+      std::min<std::size_t>(static_cast<std::size_t>(k), candidates.size()));
+  return finalize(std::move(candidates));
+}
+
+std::vector<int> LossProportionalSelection::select(
+    const std::vector<int>& available,
+    const std::map<int, ClientStats>& stats, int k, std::uint32_t round) {
+  if (available.empty() || k <= 0) return {};
+  Rng rng(hash_combine(seed_, round));
+
+  double max_loss = 0.0;
+  double min_loss = 1e30;
+  for (int c : available) {
+    const auto it = stats.find(c);
+    if (it != stats.end() && it->second.last_loss >= 0.0) {
+      max_loss = std::max(max_loss, it->second.last_loss);
+      min_loss = std::min(min_loss, it->second.last_loss);
+    }
+  }
+  if (max_loss == 0.0) max_loss = 1.0;  // nobody trained yet
+
+  std::vector<int> pool = available;
+  std::vector<int> picked;
+  const auto take =
+      std::min<std::size_t>(static_cast<std::size_t>(k), pool.size());
+  for (std::size_t round_pick = 0; round_pick < take; ++round_pick) {
+    std::vector<double> weights;
+    weights.reserve(pool.size());
+    for (int c : pool) {
+      const double loss = loss_or_max(stats, c, max_loss);
+      weights.push_back(loss - std::min(min_loss, loss) + 1e-3);
+    }
+    const std::size_t pick = rng.sample_weighted(weights);
+    picked.push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return finalize(std::move(picked));
+}
+
+std::unique_ptr<SelectionStrategy> make_selection_strategy(
+    const std::string& name, std::uint64_t seed) {
+  if (name == "uniform") return std::make_unique<UniformSelection>(seed);
+  if (name == "power-of-choice") {
+    return std::make_unique<PowerOfChoiceSelection>(seed);
+  }
+  if (name == "loss-proportional") {
+    return std::make_unique<LossProportionalSelection>(seed);
+  }
+  throw std::invalid_argument("make_selection_strategy: unknown " + name);
+}
+
+}  // namespace photon

@@ -1,0 +1,87 @@
+#pragma once
+// Value-aware client selection strategies (paper §6, "Addressing Data
+// Heterogeneity": "client selection based on their value to the global
+// model", citing power-of-choice [Cho et al. 2020]).
+//
+// These extend the uniform ClientSampler: the Aggregator can consult a
+// SelectionStrategy that ranks available clients by reported statistics
+// (e.g. last local loss) before each round.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace photon {
+
+/// Per-client statistics the strategies rank on; updated by the caller
+/// after each round from client metrics.
+struct ClientStats {
+  double last_loss = -1.0;     // < 0 = never trained
+  std::uint64_t tokens = 0;    // lifetime tokens contributed
+  std::uint32_t last_round = 0;
+};
+
+class SelectionStrategy {
+ public:
+  virtual ~SelectionStrategy() = default;
+  virtual std::string name() const = 0;
+
+  /// Choose k distinct clients from `available` given their stats.
+  /// Deterministic in (seed, round).
+  virtual std::vector<int> select(const std::vector<int>& available,
+                                  const std::map<int, ClientStats>& stats,
+                                  int k, std::uint32_t round) = 0;
+};
+
+/// Uniform-at-random (FedAvg default; what the paper's main results use).
+class UniformSelection final : public SelectionStrategy {
+ public:
+  explicit UniformSelection(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "uniform"; }
+  std::vector<int> select(const std::vector<int>& available,
+                          const std::map<int, ClientStats>& stats, int k,
+                          std::uint32_t round) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Power-of-choice (Cho et al. 2020): sample a candidate set of size d >= k
+/// uniformly, then keep the k candidates with the HIGHEST last loss —
+/// biasing rounds toward clients the global model currently serves worst.
+class PowerOfChoiceSelection final : public SelectionStrategy {
+ public:
+  PowerOfChoiceSelection(std::uint64_t seed, int candidate_factor = 2);
+  std::string name() const override { return "power-of-choice"; }
+  std::vector<int> select(const std::vector<int>& available,
+                          const std::map<int, ClientStats>& stats, int k,
+                          std::uint32_t round) override;
+
+ private:
+  std::uint64_t seed_;
+  int candidate_factor_;
+};
+
+/// Loss-proportional sampling: draw k clients without replacement with
+/// probability proportional to (last_loss - min_loss + eps); never-trained
+/// clients get the maximum weight so everyone is explored.
+class LossProportionalSelection final : public SelectionStrategy {
+ public:
+  explicit LossProportionalSelection(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "loss-proportional"; }
+  std::vector<int> select(const std::vector<int>& available,
+                          const std::map<int, ClientStats>& stats, int k,
+                          std::uint32_t round) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+std::unique_ptr<SelectionStrategy> make_selection_strategy(
+    const std::string& name, std::uint64_t seed);
+
+}  // namespace photon

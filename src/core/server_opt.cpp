@@ -1,0 +1,83 @@
+#include "core/server_opt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace photon {
+namespace {
+
+void check_sizes(std::span<float> params, std::span<const float> grad) {
+  if (params.size() != grad.size()) {
+    throw std::invalid_argument("ServerOpt: params/pseudo_grad size mismatch");
+  }
+}
+
+}  // namespace
+
+void FedAvgOpt::apply(std::span<float> params,
+                      std::span<const float> pseudo_grad) {
+  check_sizes(params, pseudo_grad);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr_ * pseudo_grad[i];
+  }
+}
+
+void FedMomOpt::apply(std::span<float> params,
+                      std::span<const float> pseudo_grad) {
+  check_sizes(params, pseudo_grad);
+  if (buf_.size() != params.size()) buf_.assign(params.size(), 0.0f);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    buf_[i] = momentum_ * buf_[i] + pseudo_grad[i];
+    params[i] -= lr_ * buf_[i];
+  }
+}
+
+void FedMomOpt::reset() { buf_.clear(); }
+
+void NesterovOpt::apply(std::span<float> params,
+                        std::span<const float> pseudo_grad) {
+  check_sizes(params, pseudo_grad);
+  if (buf_.size() != params.size()) buf_.assign(params.size(), 0.0f);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    buf_[i] = momentum_ * buf_[i] + pseudo_grad[i];
+    params[i] -= lr_ * (pseudo_grad[i] + momentum_ * buf_[i]);
+  }
+}
+
+void NesterovOpt::reset() { buf_.clear(); }
+
+void FedAdamOpt::apply(std::span<float> params,
+                       std::span<const float> pseudo_grad) {
+  check_sizes(params, pseudo_grad);
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0f);
+    v_.assign(params.size(), 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = pseudo_grad[i];
+    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g * g;
+    params[i] -= lr_ * (m_[i] / bc1) / (std::sqrt(v_[i] / bc2) + eps_);
+  }
+}
+
+void FedAdamOpt::reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+std::unique_ptr<ServerOpt> make_server_opt(const std::string& name, float lr,
+                                           float momentum) {
+  if (name == "fedavg") return std::make_unique<FedAvgOpt>(lr);
+  if (name == "fedmom") return std::make_unique<FedMomOpt>(lr, momentum);
+  if (name == "nesterov") return std::make_unique<NesterovOpt>(lr, momentum);
+  if (name == "fedadam") return std::make_unique<FedAdamOpt>(lr);
+  throw std::invalid_argument("make_server_opt: unknown optimizer " + name);
+}
+
+}  // namespace photon

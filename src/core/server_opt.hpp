@@ -1,0 +1,101 @@
+#pragma once
+// Server optimizers (ServerOpt, paper Alg. 1 L9): apply the averaged
+// pseudo-gradient Delta = theta_t - mean_k(theta_k) to the global model.
+//
+//  * FedAvg  — theta <- theta - eta_s * Delta.  Photon's default is
+//    eta_s = 1, mu_s = 0 (Appendix A: "For all of our non-DiLoCo
+//    experiments, we default to FedAvg with server learning rate 1.0 and
+//    server momentum 0.0").
+//  * FedMom  — server momentum (Huo et al. 2020), the FedMom rows of
+//    Table 5.
+//  * Nesterov — SGD with Nesterov momentum; DiLoCo's recommended OuterOpt
+//    (eta_s in {0.1..0.7}, mu = 0.9 per Fig. 8).
+//  * FedAdam — adaptive server optimizer (Reddi et al. 2021), provided as
+//    the extension hook §6 calls for.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace photon {
+
+class ServerOpt {
+ public:
+  virtual ~ServerOpt() = default;
+  virtual std::string name() const = 0;
+
+  /// In-place update of `params` from the averaged pseudo-gradient
+  /// (pseudo_grad = theta_old - theta_avg; a descent direction).
+  virtual void apply(std::span<float> params,
+                     std::span<const float> pseudo_grad) = 0;
+
+  virtual void reset() = 0;
+};
+
+class FedAvgOpt final : public ServerOpt {
+ public:
+  explicit FedAvgOpt(float lr = 1.0f) : lr_(lr) {}
+  std::string name() const override { return "fedavg"; }
+  void apply(std::span<float> params,
+             std::span<const float> pseudo_grad) override;
+  void reset() override {}
+
+ private:
+  float lr_;
+};
+
+class FedMomOpt final : public ServerOpt {
+ public:
+  FedMomOpt(float lr, float momentum) : lr_(lr), momentum_(momentum) {}
+  std::string name() const override { return "fedmom"; }
+  void apply(std::span<float> params,
+             std::span<const float> pseudo_grad) override;
+  void reset() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<float> buf_;
+};
+
+class NesterovOpt final : public ServerOpt {
+ public:
+  NesterovOpt(float lr, float momentum) : lr_(lr), momentum_(momentum) {}
+  std::string name() const override { return "nesterov"; }
+  void apply(std::span<float> params,
+             std::span<const float> pseudo_grad) override;
+  void reset() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<float> buf_;
+};
+
+class FedAdamOpt final : public ServerOpt {
+ public:
+  FedAdamOpt(float lr, float beta1 = 0.9f, float beta2 = 0.99f,
+             float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  std::string name() const override { return "fedadam"; }
+  void apply(std::span<float> params,
+             std::span<const float> pseudo_grad) override;
+  void reset() override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::size_t t_ = 0;
+};
+
+/// Factory used by experiment configs: "fedavg", "fedmom", "nesterov",
+/// "fedadam" with (lr, momentum) where applicable.
+std::unique_ptr<ServerOpt> make_server_opt(const std::string& name, float lr,
+                                           float momentum);
+
+}  // namespace photon

@@ -1,0 +1,88 @@
+#include "data/tokenizer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace photon {
+
+ByteTokenizer::ByteTokenizer(int vocab_size) : vocab_size_(vocab_size) {
+  if (vocab_size <= SpecialTokens::kFirstContent) {
+    throw std::invalid_argument("ByteTokenizer: vocab too small");
+  }
+}
+
+std::vector<int> ByteTokenizer::encode(std::string_view text) const {
+  std::vector<int> out;
+  out.reserve(text.size());
+  const int range = vocab_size_ - SpecialTokens::kFirstContent;
+  for (unsigned char ch : text) {
+    out.push_back(SpecialTokens::kFirstContent + static_cast<int>(ch) % range);
+  }
+  return out;
+}
+
+std::string ByteTokenizer::decode(const std::vector<int>& tokens) const {
+  std::string out;
+  out.reserve(tokens.size());
+  for (int t : tokens) {
+    if (t < SpecialTokens::kFirstContent || t >= vocab_size_) continue;
+    out.push_back(static_cast<char>(t - SpecialTokens::kFirstContent));
+  }
+  return out;
+}
+
+WordTokenizer WordTokenizer::train(const std::vector<std::string>& documents,
+                                   int max_vocab) {
+  if (max_vocab < 8) throw std::invalid_argument("WordTokenizer: vocab too small");
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const auto& doc : documents) {
+    std::istringstream is(doc);
+    std::string word;
+    while (is >> word) ++counts[word];
+  }
+  std::vector<std::pair<std::string, std::size_t>> sorted(counts.begin(),
+                                                          counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+
+  WordTokenizer tok;
+  // Reserved: pad/bos/eos/sep then <unk>.
+  tok.id_to_word_ = {"<pad>", "<bos>", "<eos>", "<sep>", "<unk>"};
+  tok.unk_id_ = 4;
+  for (const auto& [word, count] : sorted) {
+    if (static_cast<int>(tok.id_to_word_.size()) >= max_vocab) break;
+    tok.word_to_id_[word] = static_cast<int>(tok.id_to_word_.size());
+    tok.id_to_word_.push_back(word);
+  }
+  return tok;
+}
+
+int WordTokenizer::vocab_size() const {
+  return static_cast<int>(id_to_word_.size());
+}
+
+std::vector<int> WordTokenizer::encode(std::string_view text) const {
+  std::vector<int> out;
+  std::istringstream is{std::string(text)};
+  std::string word;
+  while (is >> word) {
+    auto it = word_to_id_.find(word);
+    out.push_back(it != word_to_id_.end() ? it->second : unk_id_);
+  }
+  return out;
+}
+
+std::string WordTokenizer::decode(const std::vector<int>& tokens) const {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const int t = tokens[i];
+    if (t < 0 || t >= vocab_size()) continue;
+    if (i > 0) out.push_back(' ');
+    out += id_to_word_[static_cast<std::size_t>(t)];
+  }
+  return out;
+}
+
+}  // namespace photon

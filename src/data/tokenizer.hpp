@@ -1,0 +1,74 @@
+#pragma once
+// Tokenizers for the Data Source (DS) pipeline.
+//
+// Photon assumes clients consume *pre-tokenized* corpora (paper §2.3).  In
+// this reproduction, text corpora are synthetic, so the tokenizers exist to
+// exercise the pre-tokenization code path end-to-end: byte-level (vocab 256,
+// matching the stand-in model vocab) and a word-level tokenizer with a
+// trained vocabulary for the examples.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace photon {
+
+/// Common reserved ids used by corpora and probes.
+struct SpecialTokens {
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kSep = 3;
+  static constexpr int kFirstContent = 4;
+};
+
+class Tokenizer {
+ public:
+  virtual ~Tokenizer() = default;
+  virtual int vocab_size() const = 0;
+  virtual std::vector<int> encode(std::string_view text) const = 0;
+  virtual std::string decode(const std::vector<int>& tokens) const = 0;
+};
+
+/// Byte-level tokenizer: each byte maps to kFirstContent + (byte % range).
+/// Reversible for ASCII; used to feed real strings into stand-in models.
+class ByteTokenizer final : public Tokenizer {
+ public:
+  explicit ByteTokenizer(int vocab_size = 256);
+
+  int vocab_size() const override { return vocab_size_; }
+  std::vector<int> encode(std::string_view text) const override;
+  std::string decode(const std::vector<int>& tokens) const override;
+
+ private:
+  int vocab_size_;
+};
+
+/// Whitespace word-level tokenizer with a frequency-trained vocabulary.
+/// Out-of-vocabulary words map to an <unk> id.
+class WordTokenizer final : public Tokenizer {
+ public:
+  /// Build a vocabulary of at most max_vocab entries from training text.
+  static WordTokenizer train(const std::vector<std::string>& documents,
+                             int max_vocab);
+
+  int vocab_size() const override;
+  std::vector<int> encode(std::string_view text) const override;
+  std::string decode(const std::vector<int>& tokens) const override;
+
+  int unk_id() const { return unk_id_; }
+  bool contains(const std::string& word) const {
+    return word_to_id_.count(word) > 0;
+  }
+
+ private:
+  WordTokenizer() = default;
+
+  std::unordered_map<std::string, int> word_to_id_;
+  std::vector<std::string> id_to_word_;
+  int unk_id_ = 0;
+};
+
+}  // namespace photon

@@ -1,0 +1,29 @@
+#include "eval/perplexity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace photon {
+
+EvalResult evaluate_perplexity(GptModel& model, const TokenDataset& dataset,
+                               int num_batches, int batch_size) {
+  if (num_batches <= 0 || batch_size <= 0) {
+    throw std::invalid_argument("evaluate_perplexity: bad batch config");
+  }
+  const int seq = model.config().seq_len;
+  EvalResult result;
+  double loss_sum = 0.0;
+  for (int i = 0; i < num_batches; ++i) {
+    const auto offset = static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(batch_size) *
+                        static_cast<std::size_t>(seq);
+    const Batch b = dataset.batch_at(offset, batch_size, seq);
+    loss_sum += model.eval_loss(b.tokens, b.targets, batch_size, seq);
+    result.tokens += static_cast<std::uint64_t>(batch_size) * seq;
+  }
+  result.mean_loss = loss_sum / num_batches;
+  result.perplexity = std::exp(result.mean_loss);
+  return result;
+}
+
+}  // namespace photon

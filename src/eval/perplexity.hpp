@@ -1,0 +1,23 @@
+#pragma once
+// Perplexity evaluation (paper §5.1: "Model performance is evaluated using
+// perplexity on the full C4 validation set").
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace photon {
+
+struct EvalResult {
+  double mean_loss = 0.0;   // nats / token
+  double perplexity = 0.0;  // exp(mean_loss)
+  std::uint64_t tokens = 0;
+};
+
+/// Evaluate `model` over `num_batches` deterministic windows of `dataset`
+/// at the given batch size.  Deterministic so curves are comparable.
+EvalResult evaluate_perplexity(GptModel& model, const TokenDataset& dataset,
+                               int num_batches, int batch_size);
+
+}  // namespace photon

@@ -1,0 +1,61 @@
+#pragma once
+// Synthetic downstream probe tasks standing in for the paper's in-context
+// learning benchmarks (Tables 7-8: ARC, HellaSwag, PIQA, ...).
+//
+// Real ICL suites need natural-language corpora, so we substitute probe
+// tasks over the synthetic grammar that are scored exactly the way LLM
+// harnesses score multiple-choice ICL: each option is appended to the
+// context and ranked by length-normalized log-likelihood; accuracy is the
+// fraction of cases where the true option ranks first.  The claim under
+// reproduction is the *scaling shape*: larger Photon models win most
+// head-to-head comparisons.
+//
+// Tasks:
+//  * bigram-cloze    — rank the true next token against corpus-plausible
+//                      distractors (distribution learning).
+//  * induction-copy  — "x y ... x ?" -> y with novel random pairs
+//                      (induction heads / in-context copying).
+//  * continuation    — rank a true 8-token continuation against shuffled
+//                      decoys (multi-token coherence, HellaSwag-style).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace photon {
+
+struct ProbeConfig {
+  int num_cases = 64;
+  int num_options = 4;
+  std::uint64_t seed = 0x9E0BE;
+};
+
+struct ProbeResult {
+  std::string task;
+  double accuracy = 0.0;
+  double random_baseline = 0.0;
+  int cases = 0;
+};
+
+/// Mean log-likelihood per token of `option` following `context` under
+/// `model`.  The sequence is trimmed/padded to the model's seq_len.
+double option_log_likelihood(GptModel& model, const std::vector<int>& context,
+                             const std::vector<int>& option);
+
+ProbeResult run_bigram_cloze(GptModel& model, const MarkovSource& corpus,
+                             const ProbeConfig& config);
+ProbeResult run_induction_copy(GptModel& model, const MarkovSource& corpus,
+                               const ProbeConfig& config);
+ProbeResult run_continuation(GptModel& model, const MarkovSource& corpus,
+                             const ProbeConfig& config);
+
+/// All probes, in Tables-7/8 order.
+std::vector<ProbeResult> run_all_probes(GptModel& model,
+                                        const MarkovSource& corpus,
+                                        const ProbeConfig& config);
+
+}  // namespace photon

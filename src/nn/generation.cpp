@@ -1,0 +1,101 @@
+#include "nn/generation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace photon {
+namespace {
+
+/// Logits of the last position of `tokens` (padded/trimmed to seq_len).
+std::vector<float> last_position_logits(GptModel& model,
+                                        const std::vector<int>& tokens) {
+  const int seq = model.config().seq_len;
+  const int vocab = model.config().vocab_size;
+  // Right-align the context in a full window; left-pad by repeating the
+  // first token (ALiBi has no absolute positions, so padding on the left
+  // only adds benign context).
+  std::vector<int> window(static_cast<std::size_t>(seq));
+  const std::size_t n = std::min<std::size_t>(tokens.size(),
+                                              static_cast<std::size_t>(seq));
+  for (int i = 0; i < seq; ++i) {
+    const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(tokens.size()) -
+                               static_cast<std::ptrdiff_t>(n) +
+                               (i - (seq - static_cast<int>(n)));
+    window[static_cast<std::size_t>(i)] =
+        src >= 0 ? tokens[static_cast<std::size_t>(src)] : tokens.front();
+  }
+  std::vector<float> logits;
+  model.forward_logits(window, 1, seq, logits);
+  return {logits.begin() + static_cast<std::ptrdiff_t>(
+                               (static_cast<std::size_t>(seq) - 1) * vocab),
+          logits.begin() + static_cast<std::ptrdiff_t>(
+                               static_cast<std::size_t>(seq) * vocab)};
+}
+
+int pick_token(std::vector<float> logits, const GenerationConfig& config,
+               Rng& rng) {
+  if (config.temperature <= 0.0f) {
+    return static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+  for (auto& z : logits) z /= config.temperature;
+  // Top-k truncation: drop everything below the k-th largest logit.
+  if (config.top_k > 0 &&
+      config.top_k < static_cast<int>(logits.size())) {
+    std::vector<float> sorted = logits;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + (config.top_k - 1), sorted.end(),
+                     std::greater<>());
+    const float cutoff = sorted[static_cast<std::size_t>(config.top_k - 1)];
+    for (auto& z : logits) {
+      if (z < cutoff) z = -std::numeric_limits<float>::infinity();
+    }
+  }
+  const float maxz = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> probs(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(static_cast<double>(logits[i] - maxz));
+  }
+  return static_cast<int>(rng.sample_weighted(probs));
+}
+
+}  // namespace
+
+std::vector<int> generate(GptModel& model, const std::vector<int>& prompt,
+                          const GenerationConfig& config, Rng& rng) {
+  if (prompt.empty()) {
+    throw std::invalid_argument("generate: empty prompt");
+  }
+  for (int t : prompt) {
+    if (t < 0 || t >= model.config().vocab_size) {
+      throw std::out_of_range("generate: prompt token out of vocab");
+    }
+  }
+  std::vector<int> context = prompt;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(config.max_new_tokens));
+  for (int i = 0; i < config.max_new_tokens; ++i) {
+    const int next =
+        pick_token(last_position_logits(model, context), config, rng);
+    out.push_back(next);
+    context.push_back(next);
+    if (next == config.stop_token) break;
+  }
+  return out;
+}
+
+std::vector<float> next_token_distribution(GptModel& model,
+                                           const std::vector<int>& context) {
+  auto logits = last_position_logits(model, context);
+  const float maxz = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (auto& z : logits) {
+    z = std::exp(z - maxz);
+    sum += z;
+  }
+  for (auto& z : logits) z = static_cast<float>(z / sum);
+  return logits;
+}
+
+}  // namespace photon

@@ -1,0 +1,37 @@
+#pragma once
+// Autoregressive text generation from a trained GptModel.
+//
+// Photon produces pre-trained base models; generation is how examples and
+// probes inspect them.  Supports greedy decoding and temperature sampling
+// with optional top-k truncation.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "util/rng.hpp"
+
+namespace photon {
+
+struct GenerationConfig {
+  int max_new_tokens = 32;
+  /// 0 = greedy argmax; > 0 samples from softmax(logits / temperature).
+  float temperature = 0.0f;
+  /// 0 = no truncation; otherwise keep only the k most likely tokens.
+  int top_k = 0;
+  /// Stop early when this token is produced (< 0 = never).
+  int stop_token = -1;
+};
+
+/// Continue `prompt` for up to max_new_tokens.  The context is the last
+/// (seq_len - 1) tokens at each step.  Returns only the newly generated
+/// tokens.  The prompt must be non-empty and within the model's vocab.
+std::vector<int> generate(GptModel& model, const std::vector<int>& prompt,
+                          const GenerationConfig& config, Rng& rng);
+
+/// Next-token distribution after `context` (softmax of the final position's
+/// logits); useful for tests and probes.
+std::vector<float> next_token_distribution(GptModel& model,
+                                           const std::vector<int>& context);
+
+}  // namespace photon

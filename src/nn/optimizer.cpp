@@ -1,0 +1,72 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+
+namespace photon {
+
+AdamW::AdamW(std::size_t num_params, AdamWConfig config)
+    : config_(config), m_(num_params, 0.0f), v_(num_params, 0.0f) {}
+
+void AdamW::step(std::span<float> params, std::span<const float> grads,
+                 float lr) {
+  if (params.size() != m_.size() || grads.size() != m_.size()) {
+    throw std::invalid_argument("AdamW::step: size mismatch");
+  }
+  ++t_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i];
+    m_[i] = b1 * m_[i] + (1.0f - b1) * g;
+    v_[i] = b2 * v_[i] + (1.0f - b2) * g * g;
+    const float mhat = m_[i] / bc1;
+    const float vhat = v_[i] / bc2;
+    params[i] -= lr * (mhat / (std::sqrt(vhat) + config_.eps) +
+                       config_.weight_decay * params[i]);
+  }
+}
+
+void AdamW::reset() {
+  std::memset(m_.data(), 0, m_.size() * sizeof(float));
+  std::memset(v_.data(), 0, v_.size() * sizeof(float));
+  t_ = 0;
+}
+
+SgdNesterov::SgdNesterov(std::size_t num_params, float momentum)
+    : momentum_(momentum), buf_(num_params, 0.0f) {}
+
+void SgdNesterov::step(std::span<float> params, std::span<const float> grads,
+                       float lr) {
+  if (params.size() != buf_.size() || grads.size() != buf_.size()) {
+    throw std::invalid_argument("SgdNesterov::step: size mismatch");
+  }
+  // Matches torch.optim.SGD(momentum=mu, nesterov=True).
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i];
+    buf_[i] = initialized_ ? momentum_ * buf_[i] + g : g;
+    params[i] -= lr * (g + momentum_ * buf_[i]);
+  }
+  initialized_ = true;
+}
+
+void SgdNesterov::reset() {
+  std::memset(buf_.data(), 0, buf_.size() * sizeof(float));
+  initialized_ = false;
+}
+
+double clip_grad_norm(std::span<float> grads, double max_norm) {
+  const double norm = kernels::l2_norm(grads.data(), grads.size());
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    kernels::scale_inplace(grads.data(), scale, grads.size());
+  }
+  return norm;
+}
+
+}  // namespace photon

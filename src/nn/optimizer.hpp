@@ -1,0 +1,65 @@
+#pragma once
+// Local (client-side) optimizers operating on flat parameter buffers.
+//
+// AdamW is the paper's ClientOpt (Table 4: betas 0.9/0.95, decoupled weight
+// decay).  SGD with Nesterov momentum is DiLoCo's recommended OuterOpt and is
+// reused by the baselines.  Photon keeps optimizer state *local and
+// stateless across rounds* (Appendix A): reset() implements that policy.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace photon {
+
+struct AdamWConfig {
+  float beta1 = 0.9f;
+  float beta2 = 0.95f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class AdamW {
+ public:
+  AdamW(std::size_t num_params, AdamWConfig config = {});
+
+  /// One update: params -= lr * (corrected m / (sqrt(corrected v) + eps)
+  ///                             + weight_decay * params).
+  void step(std::span<float> params, std::span<const float> grads, float lr);
+
+  /// Drop all momenta and the step counter (Photon's stateless-per-round
+  /// local optimization; avoids communicating 2x extra state).
+  void reset();
+
+  std::size_t step_count() const { return t_; }
+  std::span<const float> exp_avg() const { return m_; }
+  std::span<const float> exp_avg_sq() const { return v_; }
+
+ private:
+  AdamWConfig config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::size_t t_ = 0;
+};
+
+class SgdNesterov {
+ public:
+  SgdNesterov(std::size_t num_params, float momentum);
+
+  /// Nesterov update: buf = mu*buf + g; params -= lr * (g + mu*buf).
+  void step(std::span<float> params, std::span<const float> grads, float lr);
+
+  void reset();
+  std::span<const float> momentum_buffer() const { return buf_; }
+
+ private:
+  float momentum_;
+  std::vector<float> buf_;
+  bool initialized_ = false;
+};
+
+/// Scale gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(std::span<float> grads, double max_norm);
+
+}  // namespace photon

@@ -1,0 +1,67 @@
+#include "sim/autotuner.hpp"
+
+#include <algorithm>
+
+namespace photon {
+
+BatchSizeAutotuner::BatchSizeAutotuner(AutotunerConfig config)
+    : config_(config) {}
+
+double BatchSizeAutotuner::footprint_gb(const ModelConfig& model,
+                                        int micro_batch,
+                                        double state_shards) const {
+  const double params = static_cast<double>(model.num_params());
+  // Weights/grads/optimizer state divide across `state_shards` under FSDP.
+  const double state_bytes = params * 16.0 / state_shards;
+  const double act_bytes = 34.0 * micro_batch *
+                           static_cast<double>(model.seq_len) * model.d_model *
+                           model.n_layers * 2.0;
+  return (state_bytes + act_bytes) / (1024.0 * 1024.0 * 1024.0);
+}
+
+AutotuneResult BatchSizeAutotuner::tune_gpu(const ModelConfig& model,
+                                            const GpuSpec& gpu) const {
+  AutotuneResult r;
+  const double budget = gpu.vram_gb * config_.vram_safety_fraction;
+  int best = 0;
+  for (int mb = 1; mb <= config_.max_micro_batch; mb *= 2) {
+    if (footprint_gb(model, mb, 1.0) <= budget) {
+      best = mb;
+    } else {
+      break;
+    }
+  }
+  r.micro_batch_per_gpu = best;
+  r.device_batch = best;
+  r.fits = best > 0;
+  r.memory_gb = best > 0 ? footprint_gb(model, best, 1.0) : footprint_gb(model, 1, 1.0);
+  return r;
+}
+
+AutotuneResult BatchSizeAutotuner::tune_client(const ModelConfig& model,
+                                               const ClientSpec& client,
+                                               bool fsdp_sharding) const {
+  AutotuneResult r;
+  const int gpus = client.total_gpus();
+  if (gpus == 0) return r;
+  const double shards = fsdp_sharding ? static_cast<double>(gpus) : 1.0;
+  // All GPUs in a client are identical (Table 1); budget per GPU.
+  const GpuSpec& gpu = client.nodes.front().gpu;
+  const double budget = gpu.vram_gb * config_.vram_safety_fraction;
+  int best = 0;
+  for (int mb = 1; mb <= config_.max_micro_batch; mb *= 2) {
+    if (footprint_gb(model, mb, shards) <= budget) {
+      best = mb;
+    } else {
+      break;
+    }
+  }
+  r.micro_batch_per_gpu = best;
+  r.device_batch = best * gpus;
+  r.fits = best > 0;
+  r.memory_gb =
+      best > 0 ? footprint_gb(model, best, shards) : footprint_gb(model, 1, shards);
+  return r;
+}
+
+}  // namespace photon

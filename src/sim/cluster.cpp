@@ -1,0 +1,110 @@
+#include "sim/cluster.hpp"
+
+#include <stdexcept>
+
+namespace photon {
+
+const char* paper_scale_name(PaperScale scale) {
+  switch (scale) {
+    case PaperScale::k125M: return "125M";
+    case PaperScale::k1_3B: return "1.3B";
+    case PaperScale::k3B: return "3B";
+    case PaperScale::k7B: return "7B";
+  }
+  return "?";
+}
+
+std::vector<std::string> paper_regions() {
+  return {"England", "Utah", "Texas", "Quebec", "Maharashtra"};
+}
+
+namespace {
+
+NetworkFabric paper_fabric() {
+  NetworkFabric fabric(paper_regions());
+  const auto idx = [&](const char* name) { return fabric.site_index(name); };
+  const auto england = idx("England");
+  const auto utah = idx("Utah");
+  const auto texas = idx("Texas");
+  const auto quebec = idx("Quebec");
+  const auto maharashtra = idx("Maharashtra");
+
+  // Representative cross-region bandwidths (Gbps) in the paper's 0.8-40
+  // range.  Geography drives the ordering; Maharashtra<->Quebec is the
+  // slowest (Fig. 2: RAR bottleneck).
+  fabric.set_symmetric_bandwidth(england, utah, 8.0);
+  fabric.set_symmetric_bandwidth(england, texas, 10.0);
+  fabric.set_symmetric_bandwidth(england, quebec, 12.0);
+  fabric.set_symmetric_bandwidth(england, maharashtra, 2.5);
+  fabric.set_symmetric_bandwidth(utah, texas, 40.0);
+  fabric.set_symmetric_bandwidth(utah, quebec, 15.0);
+  fabric.set_symmetric_bandwidth(utah, maharashtra, 1.5);
+  fabric.set_symmetric_bandwidth(texas, quebec, 20.0);
+  fabric.set_symmetric_bandwidth(texas, maharashtra, 1.8);
+  fabric.set_symmetric_bandwidth(quebec, maharashtra, 0.8);
+  return fabric;
+}
+
+ClientSpec h100_client(const std::string& region, int gpus_per_node,
+                       double wan_gbps) {
+  ClientSpec c;
+  c.region = region;
+  NodeSpec node;
+  node.gpu = GpuSpec::h100();
+  node.num_gpus = gpus_per_node;
+  node.internode_gbps = 400.0;  // intra-client RDMA-class fabric (§2.4)
+  c.nodes.push_back(node);
+  c.wan_gbps = wan_gbps;
+  return c;
+}
+
+}  // namespace
+
+Federation paper_federation(PaperScale scale) {
+  Federation fed{.aggregator_region = "England",
+                 .clients = {},
+                 .fabric = paper_fabric()};
+
+  auto add = [&](const std::string& region, int num_clients,
+                 int gpus_per_client) {
+    for (int i = 0; i < num_clients; ++i) {
+      fed.clients.push_back(h100_client(region, gpus_per_client, 2.5));
+    }
+  };
+
+  // Table 1, row by row.
+  switch (scale) {
+    case PaperScale::k7B:
+      add("Utah", 1, 8);
+      add("Texas", 1, 8);
+      add("Quebec", 1, 8);
+      add("Maharashtra", 1, 8);
+      break;
+    case PaperScale::k3B:
+      add("Utah", 1, 4);
+      add("Texas", 1, 4);
+      add("Quebec", 1, 4);
+      add("Maharashtra", 1, 4);
+      break;
+    case PaperScale::k1_3B:
+      add("England", 1, 2);
+      add("Utah", 2, 2);
+      add("Texas", 2, 2);
+      add("Quebec", 2, 4);
+      add("Maharashtra", 1, 4);
+      break;
+    case PaperScale::k125M:
+      add("England", 2, 1);
+      add("Utah", 2, 1);
+      add("Texas", 2, 1);
+      add("Quebec", 2, 1);
+      add("Maharashtra", 2, 1);
+      break;
+  }
+  if (fed.clients.empty()) {
+    throw std::runtime_error("paper_federation: empty federation");
+  }
+  return fed;
+}
+
+}  // namespace photon

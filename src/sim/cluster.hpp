@@ -1,0 +1,36 @@
+#pragma once
+// The paper's federation (Table 1 + Fig. 2): five regions with H100 clients
+// and a WAN whose per-pair bandwidths range from sub-1 Gbps to tens of Gbps.
+//
+// Table 1 gives exact client/GPU counts per model size; Fig. 2 gives the
+// topology qualitatively (slowest RAR link: Maharashtra<->Quebec; PS hub:
+// England).  The pairwise bandwidths below are representative values inside
+// the paper's stated 0.8-40 Gbps cross-region range, chosen to reproduce
+// those two bottleneck facts.
+
+#include <string>
+#include <vector>
+
+#include "comm/link.hpp"
+#include "sim/hardware.hpp"
+
+namespace photon {
+
+enum class PaperScale { k125M, k1_3B, k3B, k7B };
+
+const char* paper_scale_name(PaperScale scale);
+
+struct Federation {
+  std::string aggregator_region;
+  std::vector<ClientSpec> clients;
+  NetworkFabric fabric;
+};
+
+/// Regions in ring order used by Fig. 2: England, Utah, Texas, Quebec,
+/// Maharashtra.
+std::vector<std::string> paper_regions();
+
+/// Build the Table-1 federation for the given model scale.
+Federation paper_federation(PaperScale scale);
+
+}  // namespace photon

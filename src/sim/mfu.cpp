@@ -1,0 +1,29 @@
+#include "sim/mfu.hpp"
+
+#include <stdexcept>
+
+namespace photon {
+
+double model_flops_utilization(const ModelConfig& model,
+                               double batches_per_second, int batch_size,
+                               double peak_tflops_total) {
+  if (peak_tflops_total <= 0.0) {
+    throw std::invalid_argument("MFU: peak_tflops must be > 0");
+  }
+  const double tokens_per_second =
+      batches_per_second * batch_size * model.seq_len;
+  const double achieved = model.flops_per_token() * tokens_per_second;
+  return achieved / (peak_tflops_total * 1e12);
+}
+
+PaperThroughput paper_throughput_125m() { return {2.0, 2.0}; }
+PaperThroughput paper_throughput_1_3b() { return {0.147, 0.839}; }
+PaperThroughput paper_throughput_3b() { return {0.144, 0.395}; }
+PaperThroughput paper_throughput_7b() { return {0.032, 0.120}; }
+
+PaperBatch paper_batch_125m() { return {32, 256}; }
+PaperBatch paper_batch_1_3b() { return {512, 512}; }
+PaperBatch paper_batch_3b() { return {512, 512}; }
+PaperBatch paper_batch_7b() { return {1024, 1024}; }
+
+}  // namespace photon

@@ -1,0 +1,41 @@
+#pragma once
+// Model-FLOPs-Utilization and GPU-utilization estimators, plus the paper's
+// empirically measured local throughputs nu (Appendix B.1) that drive the
+// wall-time model for Table 2 and Figs. 5/6/9/10.
+
+#include <cstdint>
+
+#include "nn/config.hpp"
+
+namespace photon {
+
+/// MFU = achieved FLOPs/s / peak FLOPs/s, with achieved = 6*N*tokens/s plus
+/// the attention term (PaLM appendix convention).
+double model_flops_utilization(const ModelConfig& model,
+                               double batches_per_second, int batch_size,
+                               double peak_tflops_total);
+
+/// Empirical throughputs from Appendix B.1 (batches/second) for federated
+/// and centralized runs of each paper model size.
+struct PaperThroughput {
+  double federated_bps = 0.0;
+  double centralized_bps = 0.0;
+};
+
+PaperThroughput paper_throughput_125m();  // nu = 2 for both
+PaperThroughput paper_throughput_1_3b();  // 0.147 fed / 0.839 cent
+PaperThroughput paper_throughput_3b();    // 0.144 fed / 0.395 cent
+PaperThroughput paper_throughput_7b();    // 0.032 fed / 0.120 cent
+
+/// Paper Table 5: batch sizes used at each scale.
+struct PaperBatch {
+  int federated = 0;
+  int centralized = 0;
+};
+
+PaperBatch paper_batch_125m();  // 32 / 256
+PaperBatch paper_batch_1_3b();  // 512 / 512
+PaperBatch paper_batch_3b();    // 512 / 512
+PaperBatch paper_batch_7b();    // 1024 / 1024
+
+}  // namespace photon

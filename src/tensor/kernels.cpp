@@ -1,0 +1,361 @@
+#include "tensor/kernels.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace photon::kernels {
+
+void matmul(float* out, const float* a, const float* b, int m, int k, int n) {
+  // ikj loop order: streams through b and out rows, vectorizes well.
+  std::memset(out, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* orow = out + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void linear_forward(float* out, const float* inp, const float* weight,
+                    const float* bias, int bt, int c, int oc) {
+  for (int i = 0; i < bt; ++i) {
+    const float* x = inp + static_cast<std::size_t>(i) * c;
+    float* y = out + static_cast<std::size_t>(i) * oc;
+    for (int o = 0; o < oc; ++o) {
+      const float* w = weight + static_cast<std::size_t>(o) * c;
+      float acc = bias != nullptr ? bias[o] : 0.0f;
+      for (int p = 0; p < c; ++p) acc += x[p] * w[p];
+      y[o] = acc;
+    }
+  }
+}
+
+void linear_backward(float* dinp, float* dweight, float* dbias,
+                     const float* dout, const float* inp, const float* weight,
+                     int bt, int c, int oc) {
+  if (dinp != nullptr) {
+    // dinp = dout @ W  (dout: (BT,OC), W: (OC,C))
+    for (int i = 0; i < bt; ++i) {
+      const float* dy = dout + static_cast<std::size_t>(i) * oc;
+      float* dx = dinp + static_cast<std::size_t>(i) * c;
+      for (int o = 0; o < oc; ++o) {
+        const float g = dy[o];
+        if (g == 0.0f) continue;
+        const float* w = weight + static_cast<std::size_t>(o) * c;
+        for (int p = 0; p < c; ++p) dx[p] += g * w[p];
+      }
+    }
+  }
+  if (dweight != nullptr) {
+    // dW = dout^T @ inp
+    for (int i = 0; i < bt; ++i) {
+      const float* dy = dout + static_cast<std::size_t>(i) * oc;
+      const float* x = inp + static_cast<std::size_t>(i) * c;
+      for (int o = 0; o < oc; ++o) {
+        const float g = dy[o];
+        if (g == 0.0f) continue;
+        float* dw = dweight + static_cast<std::size_t>(o) * c;
+        for (int p = 0; p < c; ++p) dw[p] += g * x[p];
+      }
+    }
+  }
+  if (dbias != nullptr) {
+    for (int i = 0; i < bt; ++i) {
+      const float* dy = dout + static_cast<std::size_t>(i) * oc;
+      for (int o = 0; o < oc; ++o) dbias[o] += dy[o];
+    }
+  }
+}
+
+void layernorm_forward(float* out, float* mean, float* rstd, const float* inp,
+                       const float* gamma, const float* beta, int bt, int c) {
+  constexpr float kEps = 1e-5f;
+  for (int i = 0; i < bt; ++i) {
+    const float* x = inp + static_cast<std::size_t>(i) * c;
+    float* y = out + static_cast<std::size_t>(i) * c;
+    double m = 0.0;
+    for (int p = 0; p < c; ++p) m += x[p];
+    m /= c;
+    double v = 0.0;
+    for (int p = 0; p < c; ++p) {
+      const double d = x[p] - m;
+      v += d * d;
+    }
+    v /= c;
+    const float mf = static_cast<float>(m);
+    const float rs = static_cast<float>(1.0 / std::sqrt(v + kEps));
+    for (int p = 0; p < c; ++p) {
+      y[p] = (x[p] - mf) * rs * gamma[p] + beta[p];
+    }
+    mean[i] = mf;
+    rstd[i] = rs;
+  }
+}
+
+void layernorm_backward(float* dinp, float* dgamma, float* dbeta,
+                        const float* dout, const float* inp, const float* gamma,
+                        const float* mean, const float* rstd, int bt, int c) {
+  for (int i = 0; i < bt; ++i) {
+    const float* x = inp + static_cast<std::size_t>(i) * c;
+    const float* dy = dout + static_cast<std::size_t>(i) * c;
+    float* dx = dinp + static_cast<std::size_t>(i) * c;
+    const float m = mean[i];
+    const float rs = rstd[i];
+
+    // Two reductions shared by every element of the row.
+    double dnorm_mean = 0.0;
+    double dnorm_norm_mean = 0.0;
+    for (int p = 0; p < c; ++p) {
+      const float norm = (x[p] - m) * rs;
+      const float dnorm = gamma[p] * dy[p];
+      dnorm_mean += dnorm;
+      dnorm_norm_mean += dnorm * norm;
+    }
+    dnorm_mean /= c;
+    dnorm_norm_mean /= c;
+
+    for (int p = 0; p < c; ++p) {
+      const float norm = (x[p] - m) * rs;
+      const float dnorm = gamma[p] * dy[p];
+      dgamma[p] += dy[p] * norm;
+      dbeta[p] += dy[p];
+      dx[p] += (dnorm - static_cast<float>(dnorm_mean) -
+                norm * static_cast<float>(dnorm_norm_mean)) *
+               rs;
+    }
+  }
+}
+
+void gelu_forward(float* out, const float* inp, std::size_t n) {
+  constexpr float kInvSqrt2 = 0.70710678118654752440f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = inp[i];
+    out[i] = 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
+  }
+}
+
+void gelu_backward(float* dinp, const float* inp, const float* dout,
+                   std::size_t n) {
+  constexpr float kInvSqrt2 = 0.70710678118654752440f;
+  constexpr float kInvSqrt2Pi = 0.39894228040143267794f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = inp[i];
+    const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+    const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
+    dinp[i] += dout[i] * (cdf + x * pdf);
+  }
+}
+
+void residual_forward(float* out, const float* a, const float* b,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void residual_backward(float* da, float* db, const float* dout,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    da[i] += dout[i];
+    db[i] += dout[i];
+  }
+}
+
+void alibi_slopes(float* slopes, int nh) {
+  for (int h = 0; h < nh; ++h) {
+    slopes[h] = std::exp2(-8.0f * static_cast<float>(h + 1) / static_cast<float>(nh));
+  }
+}
+
+void attention_forward(float* out, float* preatt, float* att, const float* qkv,
+                       const float* slopes, int b, int t, int c, int nh) {
+  const int hs = c / nh;  // head size
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
+  const std::size_t tt = static_cast<std::size_t>(t) * t;
+
+  for (int bi = 0; bi < b; ++bi) {
+    for (int h = 0; h < nh; ++h) {
+      const float slope = slopes[h];
+      float* pre_h = preatt + (static_cast<std::size_t>(bi) * nh + h) * tt;
+      float* att_h = att + (static_cast<std::size_t>(bi) * nh + h) * tt;
+      for (int ti = 0; ti < t; ++ti) {
+        const float* q = qkv + (static_cast<std::size_t>(bi) * t + ti) * 3 * c +
+                         static_cast<std::size_t>(h) * hs;
+        float* pre_row = pre_h + static_cast<std::size_t>(ti) * t;
+        float* att_row = att_h + static_cast<std::size_t>(ti) * t;
+
+        // Logits with ALiBi bias -slope*(ti - t2), causal mask beyond ti.
+        float maxv = -std::numeric_limits<float>::infinity();
+        for (int t2 = 0; t2 <= ti; ++t2) {
+          const float* k = qkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
+                           c + static_cast<std::size_t>(h) * hs;
+          float dotv = 0.0f;
+          for (int p = 0; p < hs; ++p) dotv += q[p] * k[p];
+          dotv = dotv * scale - slope * static_cast<float>(ti - t2);
+          pre_row[t2] = dotv;
+          maxv = std::max(maxv, dotv);
+        }
+        // Softmax over the causal prefix.
+        float sum = 0.0f;
+        for (int t2 = 0; t2 <= ti; ++t2) {
+          const float e = std::exp(pre_row[t2] - maxv);
+          att_row[t2] = e;
+          sum += e;
+        }
+        const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+        for (int t2 = 0; t2 <= ti; ++t2) att_row[t2] *= inv;
+        for (int t2 = ti + 1; t2 < t; ++t2) {
+          pre_row[t2] = 0.0f;
+          att_row[t2] = 0.0f;
+        }
+
+        // Weighted sum of values.
+        float* o = out + (static_cast<std::size_t>(bi) * t + ti) * c +
+                   static_cast<std::size_t>(h) * hs;
+        for (int p = 0; p < hs; ++p) o[p] = 0.0f;
+        for (int t2 = 0; t2 <= ti; ++t2) {
+          const float* v = qkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
+                           2 * c + static_cast<std::size_t>(h) * hs;
+          const float a = att_row[t2];
+          for (int p = 0; p < hs; ++p) o[p] += a * v[p];
+        }
+      }
+    }
+  }
+}
+
+void attention_backward(float* dqkv, float* dpreatt, float* datt,
+                        const float* dout, const float* qkv, const float* att,
+                        int b, int t, int c, int nh) {
+  const int hs = c / nh;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
+  const std::size_t tt = static_cast<std::size_t>(t) * t;
+
+  for (int bi = 0; bi < b; ++bi) {
+    for (int h = 0; h < nh; ++h) {
+      const float* att_h = att + (static_cast<std::size_t>(bi) * nh + h) * tt;
+      float* datt_h = datt + (static_cast<std::size_t>(bi) * nh + h) * tt;
+      float* dpre_h = dpreatt + (static_cast<std::size_t>(bi) * nh + h) * tt;
+      for (int ti = 0; ti < t; ++ti) {
+        const float* att_row = att_h + static_cast<std::size_t>(ti) * t;
+        float* datt_row = datt_h + static_cast<std::size_t>(ti) * t;
+        float* dpre_row = dpre_h + static_cast<std::size_t>(ti) * t;
+        const float* q = qkv + (static_cast<std::size_t>(bi) * t + ti) * 3 * c +
+                         static_cast<std::size_t>(h) * hs;
+        float* dq = dqkv + (static_cast<std::size_t>(bi) * t + ti) * 3 * c +
+                    static_cast<std::size_t>(h) * hs;
+        const float* doh = dout + (static_cast<std::size_t>(bi) * t + ti) * c +
+                           static_cast<std::size_t>(h) * hs;
+
+        // Backward through out = att @ V.
+        for (int t2 = 0; t2 <= ti; ++t2) {
+          const float* v = qkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
+                           2 * c + static_cast<std::size_t>(h) * hs;
+          float* dv = dqkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
+                      2 * c + static_cast<std::size_t>(h) * hs;
+          float acc = 0.0f;
+          const float a = att_row[t2];
+          for (int p = 0; p < hs; ++p) {
+            acc += v[p] * doh[p];
+            dv[p] += a * doh[p];
+          }
+          datt_row[t2] += acc;
+        }
+
+        // Backward through softmax: dpre = att * (datt - sum(att*datt)).
+        float dot = 0.0f;
+        for (int t2 = 0; t2 <= ti; ++t2) dot += att_row[t2] * datt_row[t2];
+        for (int t2 = 0; t2 <= ti; ++t2) {
+          dpre_row[t2] += att_row[t2] * (datt_row[t2] - dot);
+        }
+
+        // Backward through q.k^T * scale (ALiBi bias is constant: no grad).
+        for (int t2 = 0; t2 <= ti; ++t2) {
+          const float* k = qkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
+                           c + static_cast<std::size_t>(h) * hs;
+          float* dk = dqkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
+                      c + static_cast<std::size_t>(h) * hs;
+          const float g = dpre_row[t2] * scale;
+          for (int p = 0; p < hs; ++p) {
+            dq[p] += g * k[p];
+            dk[p] += g * q[p];
+          }
+        }
+      }
+    }
+  }
+}
+
+void embedding_forward(float* out, const int* tokens, const float* table,
+                       int bt, int c) {
+  for (int i = 0; i < bt; ++i) {
+    const float* row = table + static_cast<std::size_t>(tokens[i]) * c;
+    std::memcpy(out + static_cast<std::size_t>(i) * c, row,
+                sizeof(float) * static_cast<std::size_t>(c));
+  }
+}
+
+void embedding_backward(float* dtable, const int* tokens, const float* dout,
+                        int bt, int c) {
+  for (int i = 0; i < bt; ++i) {
+    float* drow = dtable + static_cast<std::size_t>(tokens[i]) * c;
+    const float* dy = dout + static_cast<std::size_t>(i) * c;
+    for (int p = 0; p < c; ++p) drow[p] += dy[p];
+  }
+}
+
+void softmax_xent_forward(float* losses, float* probs, const float* logits,
+                          const int* targets, int bt, int v) {
+  for (int i = 0; i < bt; ++i) {
+    const float* z = logits + static_cast<std::size_t>(i) * v;
+    float* p = probs + static_cast<std::size_t>(i) * v;
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (int j = 0; j < v; ++j) maxv = std::max(maxv, z[j]);
+    double sum = 0.0;
+    for (int j = 0; j < v; ++j) {
+      const float e = std::exp(z[j] - maxv);
+      p[j] = e;
+      sum += e;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int j = 0; j < v; ++j) p[j] *= inv;
+    const int target = targets[i];
+    if (target < 0) {
+      losses[i] = 0.0f;
+    } else {
+      losses[i] = -std::log(std::max(p[target], 1e-12f));
+    }
+  }
+}
+
+void softmax_xent_backward(float* dlogits, const float* probs,
+                           const int* targets, int bt, int v, float scale) {
+  for (int i = 0; i < bt; ++i) {
+    const int target = targets[i];
+    if (target < 0) continue;
+    const float* p = probs + static_cast<std::size_t>(i) * v;
+    float* dz = dlogits + static_cast<std::size_t>(i) * v;
+    for (int j = 0; j < v; ++j) {
+      dz[j] += (p[j] - (j == target ? 1.0f : 0.0f)) * scale;
+    }
+  }
+}
+
+void scale_inplace(float* x, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void axpy(float* y, float a, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+double l2_norm(const float* x, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
+  return std::sqrt(s);
+}
+
+}  // namespace photon::kernels

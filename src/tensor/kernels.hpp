@@ -1,0 +1,93 @@
+#pragma once
+// Raw compute kernels for the training engine.
+//
+// All kernels operate on contiguous row-major float buffers with explicit
+// dimensions (llm.c style).  Conventions:
+//   * Linear weights are stored (OC, C) and applied as out = inp @ W^T + b,
+//     matching the PyTorch nn.Linear layout used by the paper's MPT models.
+//   * Backward kernels ACCUMULATE into d* buffers (callers zero grads once
+//     per step), which is what makes gradient accumulation free.
+//   * Attention uses ALiBi relative-position biases (MPT architecture),
+//     so the model has no positional-embedding parameters.
+
+#include <cstddef>
+
+namespace photon::kernels {
+
+// ---------------------------------------------------------------- matmul --
+/// out(m,n) = a(m,k) @ b(k,n)
+void matmul(float* out, const float* a, const float* b, int m, int k, int n);
+
+/// Linear forward: out(BT, OC) = inp(BT, C) @ weight(OC, C)^T + bias(OC).
+/// bias may be nullptr.
+void linear_forward(float* out, const float* inp, const float* weight,
+                    const float* bias, int bt, int c, int oc);
+
+/// Linear backward. dinp(BT,C), dweight(OC,C), dbias(OC) are accumulated.
+/// Any of dinp/dweight/dbias may be nullptr to skip that term.
+void linear_backward(float* dinp, float* dweight, float* dbias,
+                     const float* dout, const float* inp, const float* weight,
+                     int bt, int c, int oc);
+
+// -------------------------------------------------------------- layernorm --
+/// LayerNorm forward over the last dim. mean/rstd are (BT) caches for bwd.
+void layernorm_forward(float* out, float* mean, float* rstd, const float* inp,
+                       const float* gamma, const float* beta, int bt, int c);
+
+void layernorm_backward(float* dinp, float* dgamma, float* dbeta,
+                        const float* dout, const float* inp, const float* gamma,
+                        const float* mean, const float* rstd, int bt, int c);
+
+// ------------------------------------------------------------------- gelu --
+/// Exact GELU via erf (matches PyTorch's default; tanh approx drifts in fp32).
+void gelu_forward(float* out, const float* inp, std::size_t n);
+void gelu_backward(float* dinp, const float* inp, const float* dout,
+                   std::size_t n);
+
+// --------------------------------------------------------------- residual --
+void residual_forward(float* out, const float* a, const float* b,
+                      std::size_t n);
+/// Residual backward: both branches receive dout (accumulated).
+void residual_backward(float* da, float* db, const float* dout, std::size_t n);
+
+// -------------------------------------------------------------- attention --
+/// Causal multi-head self-attention with ALiBi biases.
+///   qkv:    (B, T, 3C) packed as [q | k | v] per token
+///   preatt: (B, NH, T, T) raw logits cache
+///   att:    (B, NH, T, T) post-softmax cache
+///   out:    (B, T, C)
+///   slopes: (NH) ALiBi slopes
+void attention_forward(float* out, float* preatt, float* att, const float* qkv,
+                       const float* slopes, int b, int t, int c, int nh);
+
+void attention_backward(float* dqkv, float* dpreatt, float* datt,
+                        const float* dout, const float* qkv, const float* att,
+                        int b, int t, int c, int nh);
+
+/// Standard ALiBi slope for head h of nh heads: 2^(-8(h+1)/nh).
+void alibi_slopes(float* slopes, int nh);
+
+// -------------------------------------------------------------- embedding --
+/// out(BT, C) = table[tokens[i]] for each position.
+void embedding_forward(float* out, const int* tokens, const float* table,
+                       int bt, int c);
+void embedding_backward(float* dtable, const int* tokens, const float* dout,
+                        int bt, int c);
+
+// --------------------------------------------- fused softmax cross-entropy --
+/// Computes per-position losses(BT) and probs(BT, V) for targets(BT).
+/// Positions with target < 0 are ignored (loss 0).
+void softmax_xent_forward(float* losses, float* probs, const float* logits,
+                          const int* targets, int bt, int v);
+
+/// dlogits(BT, V) accumulated with (probs - onehot(target)) * scale.
+/// Ignored positions contribute zero gradient.
+void softmax_xent_backward(float* dlogits, const float* probs,
+                           const int* targets, int bt, int v, float scale);
+
+// ------------------------------------------------------------------- misc --
+void scale_inplace(float* x, float s, std::size_t n);
+void axpy(float* y, float a, const float* x, std::size_t n);  // y += a*x
+double l2_norm(const float* x, std::size_t n);
+
+}  // namespace photon::kernels

@@ -1,0 +1,85 @@
+#pragma once
+// Dense row-major float tensor.
+//
+// Photon's training engine (nn/) works llm.c-style on flat float buffers for
+// speed and trivially serializable parameters; Tensor is the user-facing
+// value type used at API boundaries, in tests, and for small algebra.
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace photon {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  /// Tensor adopting existing data (size must match shape product).
+  Tensor(std::vector<std::int64_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<std::int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+  static Tensor randn(std::vector<std::int64_t> shape, Rng& rng, float stddev = 1.0f);
+  static Tensor uniform(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi);
+  static Tensor arange(std::int64_t n);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_; }
+  std::span<const float> span() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Element access by multi-index (rank-checked).
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  /// Reshape to a compatible shape (same element count).
+  Tensor reshaped(std::vector<std::int64_t> shape) const;
+
+  // Elementwise arithmetic (shapes must match exactly).
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(float scale);
+  friend Tensor operator+(Tensor lhs, const Tensor& rhs) { return lhs += rhs; }
+  friend Tensor operator-(Tensor lhs, const Tensor& rhs) { return lhs -= rhs; }
+  friend Tensor operator*(Tensor lhs, float scale) { return lhs *= scale; }
+
+  void fill(float value);
+  float l2_norm() const;
+  float dot(const Tensor& rhs) const;
+  float max_abs() const;
+  float sum() const;
+
+  /// 2-D matrix multiply: (m,k) x (k,n) -> (m,n).
+  Tensor matmul(const Tensor& rhs) const;
+
+  bool same_shape(const Tensor& rhs) const { return shape_ == rhs.shape_; }
+  bool allclose(const Tensor& rhs, float atol = 1e-5f, float rtol = 1e-4f) const;
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace photon

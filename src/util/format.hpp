@@ -1,0 +1,29 @@
+#pragma once
+// printf-style std::string formatting (libstdc++ in GCC 12 lacks <format>).
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace photon {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace photon

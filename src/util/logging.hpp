@@ -1,0 +1,63 @@
+#pragma once
+// Minimal leveled logger.  Photon components log round progress, strategy
+// decisions, and communication accounting through this single sink so that
+// examples/benches can silence or redirect output.
+
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace photon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view msg) {
+    if (level < level_) return;
+    std::scoped_lock lock(mu_);
+    std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+    os << "[" << level_name(level) << "][" << component << "] " << msg << "\n";
+  }
+
+ private:
+  static constexpr std::string_view level_name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      default: return "?????";
+    }
+  }
+
+  LogLevel level_ = LogLevel::kWarn;  // quiet by default: benches print tables
+  std::mutex mu_;
+};
+
+inline void log_msg(LogLevel level, std::string_view component,
+                    const std::string& msg) {
+  Logger::instance().log(level, component, msg);
+}
+
+#define PHOTON_LOG_DEBUG(component, ...) \
+  ::photon::log_msg(::photon::LogLevel::kDebug, component, ::photon::strformat(__VA_ARGS__))
+#define PHOTON_LOG_INFO(component, ...) \
+  ::photon::log_msg(::photon::LogLevel::kInfo, component, ::photon::strformat(__VA_ARGS__))
+#define PHOTON_LOG_WARN(component, ...) \
+  ::photon::log_msg(::photon::LogLevel::kWarn, component, ::photon::strformat(__VA_ARGS__))
+#define PHOTON_LOG_ERROR(component, ...) \
+  ::photon::log_msg(::photon::LogLevel::kError, component, ::photon::strformat(__VA_ARGS__))
+
+}  // namespace photon

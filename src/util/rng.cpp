@@ -1,0 +1,37 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace photon {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher-Yates: first k slots become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::size_t Rng::sample_weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("sample_weighted: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("sample_weighted: zero total");
+  double r = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: return last positive index
+}
+
+}  // namespace photon

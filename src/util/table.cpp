@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include "util/format.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace photon {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TablePrinter: no headers");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::print() const { std::cout << render() << std::flush; }
+
+std::string TablePrinter::fmt(double value, int precision) {
+  return strformat("%.*f", precision, value);
+}
+
+std::string TablePrinter::fmt_ratio(double value, int precision) {
+  return strformat("%.*fx", precision, value);
+}
+
+}  // namespace photon

@@ -1,0 +1,31 @@
+#pragma once
+// Console table printer.  Every bench binary regenerates a paper table or
+// figure series as an aligned ASCII table, so the output format is shared.
+
+#include <string>
+#include <vector>
+
+namespace photon {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string render() const;
+
+  /// Render + write to stdout.
+  void print() const;
+
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_ratio(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace photon

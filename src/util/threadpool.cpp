@@ -1,0 +1,58 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+
+namespace photon {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace photon

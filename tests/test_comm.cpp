@@ -1,0 +1,325 @@
+// comm/: codecs, messages, links, fabric, collectives, secure aggregation,
+// and the Appendix-B.1 cost model against hand-computed values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/collective.hpp"
+#include "comm/compression.hpp"
+#include "comm/cost_model.hpp"
+#include "comm/link.hpp"
+#include "comm/message.hpp"
+#include "comm/secure_agg.hpp"
+#include "util/rng.hpp"
+
+namespace photon {
+namespace {
+
+// ---------------------------------------------------------------- codecs --
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed,
+                                       double zero_fraction) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) {
+    b = rng.next_bool(zero_fraction)
+            ? 0
+            : static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return v;
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodecRoundTrip, ArbitraryInputsRoundTripExactly) {
+  const Codec* codec = codec_by_name(GetParam());
+  ASSERT_NE(codec, nullptr);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (double zf : {0.0, 0.3, 0.9, 1.0}) {
+      const auto input = random_bytes(1 + seed * 137, seed, zf);
+      const auto compressed = codec->compress(input);
+      const auto output = codec->decompress(compressed);
+      ASSERT_EQ(output, input) << GetParam() << " seed=" << seed << " zf=" << zf;
+    }
+  }
+  // Empty input.
+  EXPECT_TRUE(codec->decompress(codec->compress({})).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTrip,
+                         ::testing::Values("", "rle0", "lzss"));
+
+TEST(Rle0Codec, CompressesZeroRuns) {
+  Rle0Codec codec;
+  const std::vector<std::uint8_t> zeros(1000, 0);
+  EXPECT_LT(codec.compress(zeros).size(), 20u);
+}
+
+TEST(LzssCodec, CompressesRepetitiveData) {
+  LzssCodec codec;
+  std::vector<std::uint8_t> rep;
+  for (int i = 0; i < 200; ++i) {
+    rep.insert(rep.end(), {'p', 'h', 'o', 't', 'o', 'n', '-'});
+  }
+  EXPECT_LT(codec.compress(rep).size(), rep.size() / 3);
+}
+
+TEST(CodecRegistry, UnknownNameIsNull) {
+  EXPECT_EQ(codec_by_name("zstd"), nullptr);
+}
+
+// -------------------------------------------------------------- messages --
+TEST(Message, RoundTripWithMetadataAndCompression) {
+  Message m;
+  m.type = MessageType::kClientUpdate;
+  m.round = 42;
+  m.sender = 7;
+  m.codec = "lzss";
+  m.payload = {1.0f, -2.0f, 0.0f, 0.0f, 0.0f, 3.5f};
+  m.metadata["train_loss"] = 2.5;
+  m.metadata["tokens"] = 4096.0;
+
+  const auto wire = m.encode();
+  const Message back = Message::decode(wire);
+  EXPECT_EQ(back.type, MessageType::kClientUpdate);
+  EXPECT_EQ(back.round, 42u);
+  EXPECT_EQ(back.sender, 7u);
+  EXPECT_EQ(back.payload, m.payload);
+  EXPECT_DOUBLE_EQ(back.metadata.at("train_loss"), 2.5);
+  EXPECT_DOUBLE_EQ(back.metadata.at("tokens"), 4096.0);
+}
+
+TEST(Message, CrcDetectsCorruption) {
+  Message m;
+  m.payload = {1.0f, 2.0f, 3.0f};
+  auto wire = m.encode();
+  wire[wire.size() / 2] ^= 0xFF;  // flip payload bits
+  EXPECT_THROW(Message::decode(wire), std::runtime_error);
+}
+
+TEST(Message, BadMagicRejected) {
+  std::vector<std::uint8_t> junk(64, 0xAB);
+  EXPECT_THROW(Message::decode(junk), std::runtime_error);
+}
+
+TEST(Message, SparsePayloadCompressesOnWire) {
+  Message dense, sparse;
+  dense.payload.assign(4096, 1.234f);
+  sparse.codec = "rle0";
+  sparse.payload.assign(4096, 0.0f);
+  EXPECT_LT(sparse.encoded_size(), dense.encoded_size() / 10);
+}
+
+// ----------------------------------------------------------------- links --
+TEST(SimLink, TransferTimeFollowsBandwidthAndLatency) {
+  SimLink link("test", /*gbps=*/8.0, /*latency_ms=*/10.0);
+  // 8 Gbps = 1e9 bytes/s; 1e9 bytes take 1 s + 10 ms latency.
+  EXPECT_NEAR(link.transfer_time(1000000000ull), 1.01, 1e-9);
+}
+
+TEST(SimLink, TransmitAccountsAndPreservesMessage) {
+  SimLink link("test", 1.0);
+  Message m;
+  m.payload = {1.0f, 2.0f};
+  const Message back = link.transmit(m);
+  EXPECT_EQ(back.payload, m.payload);
+  EXPECT_EQ(link.stats().messages, 1u);
+  EXPECT_EQ(link.stats().payload_bytes, 8u);
+  EXPECT_GT(link.stats().wire_bytes, 8u);  // header overhead
+  EXPECT_GT(link.stats().transfer_seconds, 0.0);
+}
+
+TEST(SimLink, RejectsBadConfig) {
+  EXPECT_THROW(SimLink("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(SimLink("x", 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(NetworkFabric, BottleneckQueries) {
+  NetworkFabric fabric({"a", "b", "c"});
+  fabric.set_symmetric_bandwidth(0, 1, 10.0);
+  fabric.set_symmetric_bandwidth(1, 2, 0.8);
+  fabric.set_symmetric_bandwidth(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(fabric.slowest_ring_link_gbps(), 0.8);  // b->c link
+  EXPECT_DOUBLE_EQ(fabric.slowest_star_link_gbps(0), 5.0);
+  EXPECT_EQ(fabric.site_index("c"), 2u);
+  EXPECT_THROW(fabric.site_index("z"), std::out_of_range);
+}
+
+// ------------------------------------------------------------ collectives --
+class CollectiveMean : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveMean, AllTopologiesComputeTheSameMean) {
+  const int k = GetParam();
+  const std::size_t n = 101;  // deliberately not divisible by k
+  Rng rng(static_cast<std::uint64_t>(k));
+  std::vector<std::vector<float>> reference(static_cast<std::size_t>(k),
+                                            std::vector<float>(n));
+  std::vector<float> expected(n, 0.0f);
+  for (auto& buf : reference) {
+    for (auto& x : buf) x = rng.gaussian(0, 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (const auto& buf : reference) acc += buf[i];
+    expected[i] = static_cast<float>(acc / k);
+  }
+
+  for (const Topology topo : {Topology::kParameterServer, Topology::kAllReduce,
+                              Topology::kRingAllReduce}) {
+    auto copies = reference;
+    std::vector<std::span<float>> spans;
+    for (auto& c : copies) spans.emplace_back(c);
+    const CollectiveReport report = collective_mean(topo, spans, 100.0);
+    EXPECT_EQ(report.workers, k);
+    for (const auto& c : copies) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(c[i], expected[i], 1e-4f)
+            << topology_name(topo) << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CollectiveMean,
+                         ::testing::Values(2, 3, 4, 7, 8, 16));
+
+TEST(Collective, ByteAccountingMatchesFormulas) {
+  const int k = 4;
+  const std::size_t n = 1000;
+  std::vector<std::vector<float>> bufs(k, std::vector<float>(n, 1.0f));
+  auto spans_of = [&](std::vector<std::vector<float>>& b) {
+    std::vector<std::span<float>> s;
+    for (auto& x : b) s.emplace_back(x);
+    return s;
+  };
+  const std::uint64_t size_bytes = n * sizeof(float);
+
+  auto b1 = bufs;
+  const auto ps = ps_all_reduce_mean(spans_of(b1), 100.0);
+  EXPECT_EQ(ps.bottleneck_bytes, k * size_bytes);
+
+  auto b2 = bufs;
+  const auto ar = all_reduce_mean(spans_of(b2), 100.0);
+  EXPECT_EQ(ar.bottleneck_bytes, (k - 1) * size_bytes);
+  EXPECT_EQ(ar.total_bytes, static_cast<std::uint64_t>(k) * (k - 1) * size_bytes);
+
+  auto b3 = bufs;
+  const auto rar = ring_all_reduce_mean(spans_of(b3), 100.0);
+  EXPECT_EQ(rar.bottleneck_bytes, 2 * size_bytes * (k - 1) / k);
+  // RAR is bandwidth-optimal: strictly less per-worker traffic than AR.
+  EXPECT_LT(rar.bottleneck_bytes, ar.bottleneck_bytes);
+}
+
+TEST(Collective, SingleWorkerIsIdentity) {
+  std::vector<float> buf{1.0f, 2.0f};
+  std::vector<std::span<float>> spans{std::span<float>(buf)};
+  const auto r = ring_all_reduce_mean(spans, 100.0);
+  EXPECT_DOUBLE_EQ(r.seconds, 0.0);
+  EXPECT_FLOAT_EQ(buf[0], 1.0f);
+}
+
+TEST(Collective, ValidatesBuffers) {
+  std::vector<float> a{1.0f}, b{1.0f, 2.0f};
+  std::vector<std::span<float>> mismatched{std::span<float>(a),
+                                           std::span<float>(b)};
+  EXPECT_THROW(all_reduce_mean(mismatched, 1.0), std::invalid_argument);
+  std::vector<std::span<float>> none;
+  EXPECT_THROW(ps_all_reduce_mean(none, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ secure agg --
+TEST(SecureAgg, MasksCancelInTheSum) {
+  const int k = 5;
+  const std::size_t n = 64;
+  Rng rng(3);
+  std::vector<std::vector<float>> updates(k, std::vector<float>(n));
+  std::vector<float> plain_sum(n, 0.0f);
+  for (auto& u : updates) {
+    for (auto& x : u) x = rng.gaussian(0, 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& u : updates) plain_sum[i] += u[i];
+  }
+
+  SecureAggregator sec(k, 0xFEED);
+  auto masked = updates;
+  for (int c = 0; c < k; ++c) sec.mask_in_place(c, masked[static_cast<std::size_t>(c)]);
+
+  // Individual updates are hidden...
+  double distortion = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    distortion += std::abs(masked[0][i] - updates[0][i]);
+  }
+  EXPECT_GT(distortion / n, 0.5);
+
+  // ...but the sum is exact (up to float error of the mask cancellation).
+  std::vector<float> masked_sum(n, 0.0f);
+  SecureAggregator::sum_into(masked, masked_sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(masked_sum[i], plain_sum[i], 2e-4f);
+  }
+}
+
+TEST(SecureAgg, Validation) {
+  EXPECT_THROW(SecureAggregator(1, 1), std::invalid_argument);
+  SecureAggregator sec(3, 1);
+  std::vector<float> buf(4, 0.0f);
+  EXPECT_THROW(sec.mask_in_place(3, buf), std::out_of_range);
+}
+
+// ------------------------------------------------------------- cost model --
+TEST(WallTimeModel, MatchesAppendixB1Equations) {
+  CostModelConfig cc;
+  cc.bandwidth_mbps = 1250.0;  // 10 Gbps
+  WallTimeModel model(cc);
+  const double s_mb = 500.0;  // model size
+
+  // Eq. 1.
+  EXPECT_DOUBLE_EQ(model.local_time(512, 2.0), 256.0);
+  // Eq. 2: K*S/B.
+  EXPECT_DOUBLE_EQ(model.comm_time_ps(8, s_mb), 8.0 * 500.0 / 1250.0);
+  // Eq. 3: (K-1)*S/B.
+  EXPECT_DOUBLE_EQ(model.comm_time_ar(8, s_mb), 7.0 * 500.0 / 1250.0);
+  // Eq. 4: 2S(K-1)/(KB).
+  EXPECT_DOUBLE_EQ(model.comm_time_rar(8, s_mb),
+                   2.0 * 500.0 * 7.0 / (8.0 * 1250.0));
+  // Single client: no communication.
+  EXPECT_DOUBLE_EQ(model.comm_time_ps(1, s_mb), 0.0);
+  // Eq. 5/6.
+  EXPECT_DOUBLE_EQ(
+      model.total_time(Topology::kRingAllReduce, 8, s_mb, 512, 2.0, 10),
+      10.0 * (256.0 + 2.0 * 500.0 * 7.0 / (8.0 * 1250.0)));
+  // Eq. 7 present and small.
+  EXPECT_GT(model.aggregation_time(8, s_mb), 0.0);
+  EXPECT_LT(model.aggregation_time(8, s_mb),
+            model.comm_time_rar(8, s_mb));
+}
+
+TEST(WallTimeModel, TopologyOrderingAtScale) {
+  WallTimeModel model({1250.0, 5.0, 100});
+  const double s = 500.0;
+  for (int k : {2, 4, 8, 16}) {
+    EXPECT_LE(model.comm_time_rar(k, s), model.comm_time_ar(k, s) + 1e-12);
+    EXPECT_LE(model.comm_time_ar(k, s), model.comm_time_ps(k, s) + 1e-12);
+  }
+}
+
+TEST(WallTimeModel, CongestionKicksInBeyondTheta) {
+  CostModelConfig cc;
+  cc.bandwidth_mbps = 1000.0;
+  cc.congestion_threshold = 100;
+  WallTimeModel model(cc);
+  const double below = model.comm_time_ps(100, 10.0);
+  const double above = model.comm_time_ps(200, 10.0);
+  // Above theta, effective bandwidth halves -> time quadruples vs 2x clients.
+  EXPECT_NEAR(above / below, 4.0, 1e-9);
+}
+
+TEST(CostModelHelpers, ModelSizeAndDdpTraffic) {
+  EXPECT_NEAR(model_size_mb(1000000), 3.8147, 1e-3);  // 4 MB / 1.048576
+  EXPECT_DOUBLE_EQ(ddp_bytes_per_step_mb(1, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(ddp_bytes_per_step_mb(4, 100.0), 150.0);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,243 @@
+// core/: sampler, server optimizers, post-processing, metrics, checkpoints.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include "core/checkpoint.hpp"
+#include "core/metrics.hpp"
+#include "core/postprocess.hpp"
+#include "core/sampler.hpp"
+#include "core/server_opt.hpp"
+#include "util/rng.hpp"
+
+namespace photon {
+namespace {
+
+// --------------------------------------------------------------- sampler --
+TEST(ClientSampler, SamplesDistinctClientsDeterministically) {
+  ClientSampler a(16, 7), b(16, 7);
+  const auto s1 = a.sample(4, 3);
+  const auto s2 = b.sample(4, 3);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 4u);
+  std::set<int> uniq(s1.begin(), s1.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  // Different rounds differ (with overwhelming probability for this seed).
+  EXPECT_NE(a.sample(4, 4), s1);
+}
+
+TEST(ClientSampler, UniformCoverageAcrossRounds) {
+  ClientSampler sampler(8, 3);
+  std::vector<int> hits(8, 0);
+  for (std::uint32_t r = 0; r < 2000; ++r) {
+    for (int c : sampler.sample(2, r)) hits[static_cast<std::size_t>(c)]++;
+  }
+  for (int h : hits) EXPECT_NEAR(h, 500, 90);  // 2000*2/8
+}
+
+TEST(ClientSampler, RespectsAvailability) {
+  ClientSampler sampler(4, 1);
+  sampler.set_available(0, false);
+  sampler.set_available(1, false);
+  EXPECT_EQ(sampler.num_available(), 2);
+  for (std::uint32_t r = 0; r < 20; ++r) {
+    for (int c : sampler.sample(4, r)) EXPECT_GE(c, 2);
+  }
+  // Fewer available than requested: returns all available.
+  EXPECT_EQ(sampler.sample(4, 0).size(), 2u);
+}
+
+TEST(ClientSampler, FullParticipationIsEveryone) {
+  ClientSampler sampler(5, 9);
+  const auto s = sampler.sample(5, 0);
+  EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ClientSampler, Validation) {
+  EXPECT_THROW(ClientSampler(0, 1), std::invalid_argument);
+  ClientSampler s(3, 1);
+  EXPECT_THROW(s.sample(0, 0), std::invalid_argument);
+  EXPECT_THROW(s.set_available(5, true), std::out_of_range);
+}
+
+// ------------------------------------------------------------ server opts --
+TEST(FedAvgOpt, UnitLrIsPlainAveraging) {
+  // theta' = theta - Delta, with Delta = theta - mean(theta_k):
+  // theta' == mean of client models.  Photon's default.
+  FedAvgOpt opt(1.0f);
+  std::vector<float> params{1.0f, 2.0f};
+  opt.apply(params, std::vector<float>{0.25f, -0.5f});
+  EXPECT_FLOAT_EQ(params[0], 0.75f);
+  EXPECT_FLOAT_EQ(params[1], 2.5f);
+}
+
+TEST(FedMomOpt, AccumulatesMomentum) {
+  FedMomOpt opt(1.0f, 0.5f);
+  std::vector<float> params{0.0f};
+  opt.apply(params, std::vector<float>{1.0f});  // buf=1, p=-1
+  EXPECT_FLOAT_EQ(params[0], -1.0f);
+  opt.apply(params, std::vector<float>{1.0f});  // buf=1.5, p=-2.5
+  EXPECT_FLOAT_EQ(params[0], -2.5f);
+  opt.reset();
+  opt.apply(params, std::vector<float>{1.0f});  // buf=1 again
+  EXPECT_FLOAT_EQ(params[0], -3.5f);
+}
+
+TEST(NesterovOpt, MatchesHandComputation) {
+  NesterovOpt opt(0.1f, 0.9f);
+  std::vector<float> params{0.0f};
+  opt.apply(params, std::vector<float>{1.0f});
+  // buf=1; update=0.1*(1+0.9*1)=0.19.
+  EXPECT_NEAR(params[0], -0.19f, 1e-6);
+}
+
+TEST(FedAdamOpt, FirstStepIsSignedLr) {
+  FedAdamOpt opt(0.01f);
+  std::vector<float> params{0.0f, 0.0f};
+  opt.apply(params, std::vector<float>{0.5f, -2.0f});
+  // Bias-corrected first Adam step ~ lr * sign(g).
+  EXPECT_NEAR(params[0], -0.01f, 1e-4);
+  EXPECT_NEAR(params[1], 0.01f, 1e-4);
+}
+
+TEST(ServerOptFactory, BuildsAllAndRejectsUnknown) {
+  EXPECT_EQ(make_server_opt("fedavg", 1.0f, 0.0f)->name(), "fedavg");
+  EXPECT_EQ(make_server_opt("fedmom", 1.0f, 0.9f)->name(), "fedmom");
+  EXPECT_EQ(make_server_opt("nesterov", 0.1f, 0.9f)->name(), "nesterov");
+  EXPECT_EQ(make_server_opt("fedadam", 0.01f, 0.0f)->name(), "fedadam");
+  EXPECT_THROW(make_server_opt("sgd", 1.0f, 0.0f), std::invalid_argument);
+}
+
+TEST(ServerOpt, SizeMismatchThrows) {
+  FedAvgOpt opt(1.0f);
+  std::vector<float> params{1.0f};
+  EXPECT_THROW(opt.apply(params, std::vector<float>{1.0f, 2.0f}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- postprocess --
+TEST(PostProcess, ClipStageScalesToMaxNorm) {
+  PostProcessPipeline pipe;
+  pipe.add(std::make_unique<ClipStage>(1.0));
+  std::vector<float> update{3.0f, 4.0f};
+  const auto report = pipe.run(update);
+  EXPECT_TRUE(report.clipped);
+  EXPECT_NEAR(report.preclip_norm, 5.0, 1e-6);
+  EXPECT_NEAR(std::hypot(update[0], update[1]), 1.0, 1e-5);
+
+  std::vector<float> small{0.1f, 0.1f};
+  const auto report2 = pipe.run(small);
+  EXPECT_FALSE(report2.clipped);
+  EXPECT_FLOAT_EQ(small[0], 0.1f);
+}
+
+TEST(PostProcess, DpNoisePerturbsWithExpectedScale) {
+  PostProcessPipeline pipe;
+  pipe.add(std::make_unique<DpNoiseStage>(/*multiplier=*/0.5, /*max_norm=*/2.0,
+                                          /*seed=*/9));
+  std::vector<float> update(5000, 0.0f);
+  const auto report = pipe.run(update);
+  EXPECT_DOUBLE_EQ(report.dp_noise_stddev, 1.0);
+  double var = 0.0;
+  for (float x : update) var += static_cast<double>(x) * x;
+  var /= static_cast<double>(update.size());
+  EXPECT_NEAR(std::sqrt(var), 1.0, 0.05);
+}
+
+TEST(PostProcess, CompressStageSelectsCodec) {
+  PostProcessPipeline pipe;
+  pipe.add(std::make_unique<CompressStage>("rle0"));
+  std::vector<float> update{1.0f};
+  EXPECT_EQ(pipe.run(update).codec, "rle0");
+  EXPECT_THROW(CompressStage("gzip"), std::invalid_argument);
+}
+
+TEST(PostProcess, StagesRunInOrder) {
+  PostProcessPipeline pipe;
+  pipe.add(std::make_unique<ClipStage>(1.0));
+  pipe.add(std::make_unique<DpNoiseStage>(0.1, 1.0, 3));
+  pipe.add(std::make_unique<CompressStage>("lzss"));
+  EXPECT_EQ(pipe.num_stages(), 3u);
+  std::vector<float> update{10.0f, 0.0f};
+  const auto report = pipe.run(update);
+  EXPECT_TRUE(report.clipped);
+  EXPECT_EQ(report.codec, "lzss");
+  // Clip happened before noise: ||update|| ~ 1 + small noise, << 10.
+  EXPECT_LT(std::hypot(update[0], update[1]), 2.0);
+}
+
+// ---------------------------------------------------------------- metrics --
+TEST(Metrics, WeightedAggregation) {
+  const std::vector<MetricDict> dicts{
+      {{"loss", 2.0}, {"acc", 0.5}},
+      {{"loss", 4.0}},
+  };
+  const auto agg = aggregate_metrics(dicts, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(agg.at("loss"), (2.0 + 12.0) / 4.0);
+  EXPECT_DOUBLE_EQ(agg.at("acc"), 0.5);  // only one reporter
+}
+
+TEST(Metrics, HistoryQueries) {
+  TrainingHistory h;
+  RoundRecord r0;
+  r0.round = 0;
+  r0.eval_perplexity = 50.0;
+  r0.tokens_this_round = 100;
+  r0.sim_local_seconds = 10.0;
+  r0.sim_comm_seconds = 1.0;
+  h.add(r0);
+  RoundRecord r1;
+  r1.round = 1;
+  r1.eval_perplexity = 30.0;
+  r1.tokens_this_round = 100;
+  r1.sim_local_seconds = 10.0;
+  r1.sim_comm_seconds = 1.0;
+  h.add(r1);
+
+  EXPECT_EQ(h.first_round_reaching(35.0), 1);
+  EXPECT_EQ(h.first_round_reaching(10.0), -1);
+  EXPECT_EQ(h.tokens_through(0), 100u);
+  EXPECT_EQ(h.tokens_through(1), 200u);
+  EXPECT_DOUBLE_EQ(h.sim_seconds_to(35.0), 22.0);
+  EXPECT_DOUBLE_EQ(h.sim_seconds_to(5.0), -1.0);
+  EXPECT_DOUBLE_EQ(h.best_perplexity(), 30.0);
+  EXPECT_DOUBLE_EQ(h.final_perplexity(), 30.0);
+}
+
+// -------------------------------------------------------------- checkpoint --
+TEST(CheckpointStore, MemoryRingKeepsLastN) {
+  CheckpointStore store({}, /*keep_last=*/2);
+  const std::vector<float> p{1.0f, 2.0f};
+  store.save(0, p);
+  store.save(1, p);
+  store.save(2, p);
+  EXPECT_EQ(store.num_in_memory(), 2u);
+  EXPECT_EQ(store.latest()->round, 2u);
+  EXPECT_FALSE(store.at_round(0).has_value());
+  EXPECT_TRUE(store.at_round(1).has_value());
+}
+
+TEST(CheckpointStore, DiskRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "photon_ckpt_test";
+  std::filesystem::remove_all(dir);
+  {
+    CheckpointStore store(dir, 1);
+    store.save(0, std::vector<float>{1.5f, -2.5f}, 33.0);
+    store.save(7, std::vector<float>{9.0f}, 21.0);
+  }
+  CheckpointStore reader(dir, 1);
+  // Memory is empty in the new store; round 0 must come from disk.
+  const auto ckpt = reader.at_round(0);
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->params, (std::vector<float>{1.5f, -2.5f}));
+  EXPECT_DOUBLE_EQ(ckpt->eval_perplexity, 33.0);
+  EXPECT_FALSE(reader.at_round(3).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace photon

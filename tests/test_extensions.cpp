@@ -1,0 +1,168 @@
+// Extension features from paper §6: client selection strategies and update
+// quantization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "comm/quantization.hpp"
+#include "core/selection.hpp"
+#include "util/rng.hpp"
+
+namespace photon {
+namespace {
+
+std::map<int, ClientStats> stats_with_losses(
+    const std::vector<std::pair<int, double>>& losses) {
+  std::map<int, ClientStats> stats;
+  for (const auto& [client, loss] : losses) {
+    stats[client].last_loss = loss;
+  }
+  return stats;
+}
+
+TEST(UniformSelection, DistinctAndDeterministic) {
+  UniformSelection a(5), b(5);
+  const std::vector<int> avail{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto s1 = a.select(avail, {}, 3, 9);
+  const auto s2 = b.select(avail, {}, 3, 9);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(std::set<int>(s1.begin(), s1.end()).size(), 3u);
+}
+
+TEST(PowerOfChoice, PrefersHighLossClients) {
+  PowerOfChoiceSelection sel(7, /*candidate_factor=*/4);
+  const std::vector<int> avail{0, 1, 2, 3, 4, 5, 6, 7};
+  // Client 3 and 6 have by far the worst loss; with candidate factor 4 and
+  // k=2 the candidate set is everyone, so they must be chosen.
+  const auto stats = stats_with_losses(
+      {{0, 1.0}, {1, 1.1}, {2, 1.2}, {3, 9.0}, {4, 1.0}, {5, 1.3}, {6, 8.0},
+       {7, 1.1}});
+  const auto s = sel.select(avail, stats, 2, 0);
+  EXPECT_EQ(s, (std::vector<int>{3, 6}));
+}
+
+TEST(PowerOfChoice, UnseenClientsExploredFirst) {
+  PowerOfChoiceSelection sel(7, 4);
+  const std::vector<int> avail{0, 1, 2, 3};
+  const auto stats = stats_with_losses({{0, 2.0}, {1, 2.0}});  // 2,3 unseen
+  const auto s = sel.select(avail, stats, 2, 1);
+  EXPECT_EQ(s, (std::vector<int>{2, 3}));
+}
+
+TEST(LossProportional, BiasTowardHighLoss) {
+  LossProportionalSelection sel(11);
+  const std::vector<int> avail{0, 1};
+  const auto stats = stats_with_losses({{0, 0.1}, {1, 10.0}});
+  int high_picked = 0;
+  for (std::uint32_t r = 0; r < 500; ++r) {
+    const auto s = sel.select(avail, stats, 1, r);
+    if (s[0] == 1) ++high_picked;
+  }
+  EXPECT_GT(high_picked, 400);  // ~99% expected; allow slack
+}
+
+TEST(SelectionFactory, BuildsAllAndRejectsUnknown) {
+  EXPECT_EQ(make_selection_strategy("uniform", 1)->name(), "uniform");
+  EXPECT_EQ(make_selection_strategy("power-of-choice", 1)->name(),
+            "power-of-choice");
+  EXPECT_EQ(make_selection_strategy("loss-proportional", 1)->name(),
+            "loss-proportional");
+  EXPECT_THROW(make_selection_strategy("oracle", 1), std::invalid_argument);
+}
+
+TEST(SelectionStrategies, KLargerThanPoolReturnsEveryone) {
+  for (const char* name : {"uniform", "power-of-choice", "loss-proportional"}) {
+    auto sel = make_selection_strategy(name, 3);
+    const auto s = sel->select({4, 2, 9}, {}, 10, 0);
+    EXPECT_EQ(s, (std::vector<int>{2, 4, 9})) << name;
+  }
+}
+
+// ----------------------------------------------------------- quantizer --
+TEST(Int8Quantizer, ErrorBoundedByScale) {
+  Rng rng(5);
+  std::vector<float> update(5000);
+  for (auto& x : update) x = rng.gaussian(0.0f, 0.01f);
+  Int8Quantizer quant(256);
+  const QuantizedUpdate q = quant.quantize(update);
+  const auto back = quant.dequantize(q);
+  ASSERT_EQ(back.size(), update.size());
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    const float scale = q.scales[i / q.chunk_size];
+    EXPECT_LE(std::abs(back[i] - update[i]),
+              Int8Quantizer::max_error(scale) + 1e-7f);
+  }
+}
+
+TEST(Int8Quantizer, WireBytesRoughlyQuartered) {
+  std::vector<float> update(4096, 0.5f);
+  Int8Quantizer quant(1024);
+  const QuantizedUpdate q = quant.quantize(update);
+  EXPECT_LT(q.wire_bytes(), update.size() * sizeof(float) / 3.5);
+}
+
+TEST(Int8Quantizer, StochasticRoundingIsUnbiased) {
+  // Quantize the same constant many times; the mean reconstruction must
+  // approach the true value even though single samples round up/down.
+  std::vector<float> update(1, 0.003f);
+  // Scale is set by the chunk max = 0.003 -> code is +/-127 exactly; use a
+  // second element to force a non-trivial grid.
+  update.push_back(1.0f);
+  Int8Quantizer quant(2, /*stochastic=*/true, 9);
+  double sum = 0.0;
+  constexpr int kTrials = 3000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += quant.dequantize(quant.quantize(update))[0];
+  }
+  EXPECT_NEAR(sum / kTrials, 0.003, 5e-4);
+}
+
+TEST(Int8Quantizer, ZeroAndHugeValuesSurvive) {
+  std::vector<float> update{0.0f, 0.0f, 1e6f, -1e6f};
+  Int8Quantizer quant(4);
+  const auto back = quant.dequantize(quant.quantize(update));
+  EXPECT_FLOAT_EQ(back[0], 0.0f);
+  EXPECT_NEAR(back[2], 1e6f, 1e6f / 127.0f);
+  EXPECT_NEAR(back[3], -1e6f, 1e6f / 127.0f);
+}
+
+TEST(Int8Quantizer, ValidatesInput) {
+  EXPECT_THROW(Int8Quantizer(0), std::invalid_argument);
+  Int8Quantizer quant(8);
+  QuantizedUpdate corrupt;
+  corrupt.count = 10;
+  corrupt.chunk_size = 8;
+  corrupt.codes.resize(4);  // wrong size
+  EXPECT_THROW(quant.dequantize(corrupt), std::invalid_argument);
+}
+
+TEST(Int8Quantizer, AggregationErrorSmallerThanIndividual) {
+  // Mean of K quantized updates has ~sqrt(K) lower error than one — the
+  // property that makes lossy updates viable in federated averaging.
+  Rng rng(7);
+  std::vector<float> truth(2048);
+  for (auto& x : truth) x = rng.gaussian(0.0f, 0.01f);
+  Int8Quantizer quant(256, /*stochastic=*/true, 11);
+  constexpr int kClients = 16;
+  std::vector<double> mean(truth.size(), 0.0);
+  double single_err = 0.0;
+  for (int c = 0; c < kClients; ++c) {
+    const auto back = quant.dequantize(quant.quantize(truth));
+    if (c == 0) {
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        single_err += std::abs(back[i] - truth[i]);
+      }
+    }
+    for (std::size_t i = 0; i < truth.size(); ++i) mean[i] += back[i];
+  }
+  double mean_err = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    mean_err += std::abs(mean[i] / kClients - truth[i]);
+  }
+  EXPECT_LT(mean_err, single_err * 0.6);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,291 @@
+// Integration tests across core/: LLM clients, the Aggregator round loop,
+// and the algebraic identities that pin federated optimization to its
+// centralized counterparts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/aggregator.hpp"
+#include "core/client.hpp"
+#include "core/runner.hpp"
+#include "data/corpus.hpp"
+#include "data/stream.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace photon {
+namespace {
+
+ModelConfig tiny_model() {
+  ModelConfig c;
+  c.n_layers = 2;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.vocab_size = 64;
+  c.seq_len = 16;
+  c.expansion_ratio = 2;
+  return c;
+}
+
+ClientTrainConfig tiny_client_config() {
+  ClientTrainConfig ctc;
+  ctc.model = tiny_model();
+  ctc.local_batch = 2;
+  ctc.schedule.max_lr = 5e-3f;
+  ctc.schedule.warmup_steps = 2;
+  ctc.schedule.total_steps = 1000;
+  return ctc;
+}
+
+std::unique_ptr<DataSource> tiny_stream(std::uint64_t seed) {
+  CorpusConfig cc;
+  cc.vocab_size = 64;
+  auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
+  return std::make_unique<CorpusStreamSource>(corpus, seed);
+}
+
+// ------------------------------------------------------------- LLM client --
+TEST(LLMClient, DeltaIsGlobalMinusLocal) {
+  LLMClient client(0, tiny_client_config(), tiny_stream(1), 11);
+  GptModel global(tiny_model(), 99);
+  const std::vector<float> before(global.params().begin(),
+                                  global.params().end());
+  const ClientUpdate up = client.run_round(before, 0, 4, 0);
+  EXPECT_EQ(up.delta.size(), before.size());
+  // theta_local = theta_global - delta; the client checkpoint holds it.
+  const auto local = client.local_checkpoint();
+  for (std::size_t i = 0; i < before.size(); i += 131) {
+    EXPECT_NEAR(before[i] - up.delta[i], local[i], 1e-6f);
+  }
+  EXPECT_GT(up.tokens, 0u);
+  EXPECT_GT(up.mean_train_loss, 0.0);
+  EXPECT_EQ(up.metrics.count("train_loss"), 1u);
+}
+
+TEST(LLMClient, TrainingActuallyMovesParameters) {
+  LLMClient client(0, tiny_client_config(), tiny_stream(2), 5);
+  GptModel global(tiny_model(), 7);
+  const ClientUpdate up = client.run_round(
+      std::vector<float>(global.params().begin(), global.params().end()), 0,
+      8, 0);
+  double norm = 0.0;
+  for (float d : up.delta) norm += static_cast<double>(d) * d;
+  EXPECT_GT(std::sqrt(norm), 1e-4);
+}
+
+TEST(LLMClient, StatelessRoundsAreReproducibleFromSameParams) {
+  // With stateless optimizers and a fresh data stream, running the same
+  // round twice from identical global params must give identical deltas.
+  auto cfg = tiny_client_config();
+  cfg.stateless_optimizer = true;
+  GptModel global(tiny_model(), 3);
+  const std::vector<float> params(global.params().begin(),
+                                  global.params().end());
+  LLMClient a(0, cfg, tiny_stream(42), 13);
+  LLMClient b(0, cfg, tiny_stream(42), 13);
+  const ClientUpdate ua = a.run_round(params, 0, 4, 0);
+  const ClientUpdate ub = b.run_round(params, 0, 4, 0);
+  EXPECT_EQ(ua.delta, ub.delta);
+}
+
+TEST(LLMClient, StatefulOptimizerChangesSecondRound) {
+  // DiLoCo-style stateful inner optimizer: the second round differs from a
+  // stateless client's second round given identical data and params.
+  GptModel global(tiny_model(), 3);
+  const std::vector<float> params(global.params().begin(),
+                                  global.params().end());
+
+  auto stateless_cfg = tiny_client_config();
+  stateless_cfg.stateless_optimizer = true;
+  auto stateful_cfg = tiny_client_config();
+  stateful_cfg.stateless_optimizer = false;
+
+  LLMClient stateless(0, stateless_cfg, tiny_stream(4), 17);
+  LLMClient stateful(0, stateful_cfg, tiny_stream(4), 17);
+
+  (void)stateless.run_round(params, 0, 4, 0);
+  (void)stateful.run_round(params, 0, 4, 0);
+  const ClientUpdate u1 = stateless.run_round(params, 1, 4, 4);
+  const ClientUpdate u2 = stateful.run_round(params, 1, 4, 4);
+  EXPECT_NE(u1.delta, u2.delta);
+}
+
+TEST(LLMClient, SubFederationAveragesNodeReplicas) {
+  auto cfg = tiny_client_config();
+  cfg.sub_nodes = 2;
+  LLMClient client(0, cfg, tiny_stream(6), 19);
+  GptModel global(tiny_model(), 23);
+  const ClientUpdate up = client.run_round(
+      std::vector<float>(global.params().begin(), global.params().end()), 0,
+      3, 0);
+  // Two nodes, 3 steps, batch 2, seq 16 -> 2 * 3 * 2 * 16 tokens.
+  EXPECT_EQ(up.tokens, 2u * 3u * 2u * 16u);
+}
+
+TEST(LLMClient, PostProcessingCodecPropagates) {
+  auto cfg = tiny_client_config();
+  cfg.link_codec = "lzss";
+  cfg.clip_update_norm = 1e-3;  // aggressive clip -> report.clipped
+  LLMClient client(0, cfg, tiny_stream(7), 23);
+  GptModel global(tiny_model(), 29);
+  const ClientUpdate up = client.run_round(
+      std::vector<float>(global.params().begin(), global.params().end()), 0,
+      4, 0);
+  EXPECT_EQ(up.post.codec, "lzss");
+  EXPECT_TRUE(up.post.clipped);
+  double norm = 0.0;
+  for (float d : up.delta) norm += static_cast<double>(d) * d;
+  EXPECT_NEAR(std::sqrt(norm), 1e-3, 1e-4);
+}
+
+// ------------------------------------------------------------- aggregator --
+std::unique_ptr<Aggregator> build_aggregator(int population, int k, int tau,
+                                             const std::string& opt = "fedavg",
+                                             bool secure = false,
+                                             std::uint64_t seed = 33) {
+  std::vector<std::unique_ptr<LLMClient>> clients;
+  for (int i = 0; i < population; ++i) {
+    clients.push_back(std::make_unique<LLMClient>(
+        i, tiny_client_config(), tiny_stream(100 + static_cast<std::uint64_t>(i)),
+        7));
+  }
+  AggregatorConfig ac;
+  ac.clients_per_round = k;
+  ac.local_steps = tau;
+  ac.secure_aggregation = secure;
+  ac.seed = seed;
+  ac.parallel_clients = false;  // determinism under test
+  return std::make_unique<Aggregator>(tiny_model(), ac,
+                                      make_server_opt(opt, 1.0f, 0.0f),
+                                      std::move(clients), 55);
+}
+
+TEST(Aggregator, RoundRecordIsCoherent) {
+  auto agg = build_aggregator(4, 0, 4);
+  const RoundRecord rec = agg->run_round();
+  EXPECT_EQ(rec.round, 0u);
+  EXPECT_EQ(rec.participants.size(), 4u);
+  EXPECT_GT(rec.mean_train_loss, 0.0);
+  EXPECT_GT(rec.update_norm, 0.0);
+  EXPECT_EQ(rec.tokens_this_round, 4u * 4u * 2u * 16u);
+  EXPECT_GT(rec.comm_bytes, 0u);
+  EXPECT_GT(rec.sim_comm_seconds, 0.0);
+  EXPECT_EQ(agg->round(), 1u);
+  EXPECT_EQ(rec.client_metrics.count("train_loss"), 1u);
+}
+
+TEST(Aggregator, FedAvgUnitLrEqualsMeanOfClientModels) {
+  auto agg = build_aggregator(3, 0, 2);
+  const std::vector<float> before(agg->global_params().begin(),
+                                  agg->global_params().end());
+  agg->run_round();
+  // global' = mean(theta_k) = global - mean(delta_k); verify via client
+  // checkpoints.
+  std::vector<double> mean(before.size(), 0.0);
+  for (int c = 0; c < 3; ++c) {
+    const auto local = agg->client(c).local_checkpoint();
+    for (std::size_t i = 0; i < before.size(); ++i) mean[i] += local[i] / 3.0;
+  }
+  for (std::size_t i = 0; i < before.size(); i += 257) {
+    EXPECT_NEAR(agg->global_params()[i], mean[i], 1e-5f);
+  }
+}
+
+TEST(Aggregator, SingleClientSingleStepMatchesPlainSgdStepShape) {
+  // K=1, tau=1: the federated update IS the single client's AdamW step
+  // (FedAvg with lr 1 applies the whole delta).
+  auto agg = build_aggregator(1, 0, 1);
+  const std::vector<float> before(agg->global_params().begin(),
+                                  agg->global_params().end());
+  agg->run_round();
+  const auto local = agg->client(0).local_checkpoint();
+  for (std::size_t i = 0; i < before.size(); i += 101) {
+    EXPECT_NEAR(agg->global_params()[i], local[i], 1e-6f);
+  }
+}
+
+TEST(Aggregator, TopologyDoesNotChangeNumerics) {
+  // PS/AR/RAR must all produce the same global model (bit-near), differing
+  // only in accounting.
+  std::vector<std::vector<float>> results;
+  for (const Topology topo : {Topology::kParameterServer, Topology::kAllReduce,
+                              Topology::kRingAllReduce}) {
+    std::vector<std::unique_ptr<LLMClient>> clients;
+    for (int i = 0; i < 4; ++i) {
+      clients.push_back(std::make_unique<LLMClient>(
+          i, tiny_client_config(),
+          tiny_stream(100 + static_cast<std::uint64_t>(i)), 7));
+    }
+    AggregatorConfig ac;
+    ac.local_steps = 2;
+    ac.topology = topo;
+    ac.parallel_clients = false;
+    Aggregator agg(tiny_model(), ac, make_server_opt("fedavg", 1.0f, 0.0f),
+                   std::move(clients), 55);
+    agg.run_round();
+    results.emplace_back(agg.global_params().begin(),
+                         agg.global_params().end());
+  }
+  for (std::size_t i = 0; i < results[0].size(); i += 97) {
+    EXPECT_NEAR(results[0][i], results[1][i], 1e-5f);
+    EXPECT_NEAR(results[0][i], results[2][i], 1e-5f);
+  }
+}
+
+TEST(Aggregator, SecureAggregationPreservesTheMean) {
+  auto plain = build_aggregator(4, 0, 2, "fedavg", false);
+  auto secure = build_aggregator(4, 0, 2, "fedavg", true);
+  plain->run_round();
+  secure->run_round();
+  for (std::size_t i = 0; i < plain->global_params().size(); i += 157) {
+    EXPECT_NEAR(plain->global_params()[i], secure->global_params()[i], 5e-3f);
+  }
+}
+
+TEST(Aggregator, PartialParticipationSamplesSubset) {
+  auto agg = build_aggregator(8, 2, 2);
+  const RoundRecord rec = agg->run_round();
+  EXPECT_EQ(rec.participants.size(), 2u);
+}
+
+TEST(Aggregator, CheckpointRestoreRestartsFromLatest) {
+  auto agg = build_aggregator(2, 0, 2);
+  agg->run_round();
+  agg->run_round();
+  const std::vector<float> at2(agg->global_params().begin(),
+                               agg->global_params().end());
+  EXPECT_TRUE(agg->restore_latest_checkpoint());
+  EXPECT_EQ(agg->round(), 2u);
+  for (std::size_t i = 0; i < at2.size(); i += 211) {
+    EXPECT_FLOAT_EQ(agg->global_params()[i], at2[i]);
+  }
+}
+
+TEST(Aggregator, ParallelAndSequentialClientsAgree) {
+  auto make = [&](bool parallel) {
+    std::vector<std::unique_ptr<LLMClient>> clients;
+    for (int i = 0; i < 4; ++i) {
+      clients.push_back(std::make_unique<LLMClient>(
+          i, tiny_client_config(),
+          tiny_stream(100 + static_cast<std::uint64_t>(i)), 7));
+    }
+    AggregatorConfig ac;
+    ac.local_steps = 2;
+    ac.parallel_clients = parallel;
+    return std::make_unique<Aggregator>(tiny_model(), ac,
+                                        make_server_opt("fedavg", 1.0f, 0.0f),
+                                        std::move(clients), 55);
+  };
+  auto seq = make(false);
+  auto par = make(true);
+  seq->run_round();
+  par->run_round();
+  for (std::size_t i = 0; i < seq->global_params().size(); i += 173) {
+    EXPECT_FLOAT_EQ(seq->global_params()[i], par->global_params()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,313 @@
+// Kernel-level correctness: each forward/backward pair is validated against
+// finite differences or a hand-computed reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace photon::kernels {
+namespace {
+
+TEST(Matmul, MatchesManualReference) {
+  // (2,3) x (3,2)
+  const std::vector<float> a{1, 2, 3, 4, 5, 6};
+  const std::vector<float> b{7, 8, 9, 10, 11, 12};
+  std::vector<float> out(4, -1.0f);
+  matmul(out.data(), a.data(), b.data(), 2, 3, 2);
+  EXPECT_FLOAT_EQ(out[0], 58.0f);
+  EXPECT_FLOAT_EQ(out[1], 64.0f);
+  EXPECT_FLOAT_EQ(out[2], 139.0f);
+  EXPECT_FLOAT_EQ(out[3], 154.0f);
+}
+
+TEST(LinearForward, MatchesManualReference) {
+  // inp (1,2), weight (3,2) -> out (1,3): out_o = x . w_o + b_o.
+  const std::vector<float> inp{1.0f, 2.0f};
+  const std::vector<float> w{1, 0, 0, 1, 1, 1};
+  const std::vector<float> bias{0.5f, -0.5f, 0.0f};
+  std::vector<float> out(3);
+  linear_forward(out.data(), inp.data(), w.data(), bias.data(), 1, 2, 3);
+  EXPECT_FLOAT_EQ(out[0], 1.5f);
+  EXPECT_FLOAT_EQ(out[1], 1.5f);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+}
+
+TEST(LinearBackward, MatchesFiniteDifferences) {
+  constexpr int kBt = 3, kC = 4, kOc = 5;
+  Rng rng(7);
+  std::vector<float> inp(kBt * kC), w(kOc * kC), bias(kOc), dout(kBt * kOc);
+  for (auto& x : inp) x = rng.gaussian(0, 1);
+  for (auto& x : w) x = rng.gaussian(0, 1);
+  for (auto& x : bias) x = rng.gaussian(0, 1);
+  for (auto& x : dout) x = rng.gaussian(0, 1);
+
+  auto objective = [&](const std::vector<float>& in_,
+                       const std::vector<float>& w_,
+                       const std::vector<float>& b_) {
+    std::vector<float> out(kBt * kOc);
+    linear_forward(out.data(), in_.data(), w_.data(), b_.data(), kBt, kC, kOc);
+    double s = 0.0;
+    for (int i = 0; i < kBt * kOc; ++i) s += out[i] * dout[i];
+    return s;
+  };
+
+  std::vector<float> dinp(kBt * kC, 0.0f), dw(kOc * kC, 0.0f), db(kOc, 0.0f);
+  linear_backward(dinp.data(), dw.data(), db.data(), dout.data(), inp.data(),
+                  w.data(), kBt, kC, kOc);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < inp.size(); ++i) {
+    auto p = inp, m = inp;
+    p[i] += eps;
+    m[i] -= eps;
+    const double num = (objective(p, w, bias) - objective(m, w, bias)) / (2 * eps);
+    EXPECT_NEAR(dinp[i], num, 2e-2) << "dinp[" << i << "]";
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    auto p = w, m = w;
+    p[i] += eps;
+    m[i] -= eps;
+    const double num = (objective(inp, p, bias) - objective(inp, m, bias)) / (2 * eps);
+    EXPECT_NEAR(dw[i], num, 2e-2) << "dw[" << i << "]";
+  }
+  for (std::size_t i = 0; i < bias.size(); ++i) {
+    auto p = bias, m = bias;
+    p[i] += eps;
+    m[i] -= eps;
+    const double num = (objective(inp, w, p) - objective(inp, w, m)) / (2 * eps);
+    EXPECT_NEAR(db[i], num, 2e-2) << "db[" << i << "]";
+  }
+}
+
+TEST(LayerNorm, ForwardNormalizesRows) {
+  constexpr int kBt = 2, kC = 8;
+  Rng rng(11);
+  std::vector<float> inp(kBt * kC), gamma(kC, 1.0f), beta(kC, 0.0f);
+  for (auto& x : inp) x = rng.gaussian(1.0f, 3.0f);
+  std::vector<float> out(kBt * kC), mean(kBt), rstd(kBt);
+  layernorm_forward(out.data(), mean.data(), rstd.data(), inp.data(),
+                    gamma.data(), beta.data(), kBt, kC);
+  for (int i = 0; i < kBt; ++i) {
+    double m = 0.0, v = 0.0;
+    for (int p = 0; p < kC; ++p) m += out[i * kC + p];
+    m /= kC;
+    for (int p = 0; p < kC; ++p) {
+      const double d = out[i * kC + p] - m;
+      v += d * d;
+    }
+    v /= kC;
+    EXPECT_NEAR(m, 0.0, 1e-5);
+    EXPECT_NEAR(v, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, BackwardMatchesFiniteDifferences) {
+  constexpr int kBt = 2, kC = 6;
+  Rng rng(13);
+  std::vector<float> inp(kBt * kC), gamma(kC), beta(kC), dout(kBt * kC);
+  for (auto& x : inp) x = rng.gaussian(0, 1);
+  for (auto& x : gamma) x = rng.gaussian(1, 0.2f);
+  for (auto& x : beta) x = rng.gaussian(0, 0.2f);
+  for (auto& x : dout) x = rng.gaussian(0, 1);
+
+  auto objective = [&](const std::vector<float>& in_,
+                       const std::vector<float>& g_,
+                       const std::vector<float>& b_) {
+    std::vector<float> out(kBt * kC), mean(kBt), rstd(kBt);
+    layernorm_forward(out.data(), mean.data(), rstd.data(), in_.data(),
+                      g_.data(), b_.data(), kBt, kC);
+    double s = 0.0;
+    for (int i = 0; i < kBt * kC; ++i) s += out[i] * dout[i];
+    return s;
+  };
+
+  std::vector<float> out(kBt * kC), mean(kBt), rstd(kBt);
+  layernorm_forward(out.data(), mean.data(), rstd.data(), inp.data(),
+                    gamma.data(), beta.data(), kBt, kC);
+  std::vector<float> dinp(kBt * kC, 0.0f), dgamma(kC, 0.0f), dbeta(kC, 0.0f);
+  layernorm_backward(dinp.data(), dgamma.data(), dbeta.data(), dout.data(),
+                     inp.data(), gamma.data(), mean.data(), rstd.data(), kBt,
+                     kC);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < inp.size(); ++i) {
+    auto p = inp, m = inp;
+    p[i] += eps;
+    m[i] -= eps;
+    const double num =
+        (objective(p, gamma, beta) - objective(m, gamma, beta)) / (2 * eps);
+    EXPECT_NEAR(dinp[i], num, 3e-2) << "dinp[" << i << "]";
+  }
+  for (std::size_t i = 0; i < gamma.size(); ++i) {
+    auto p = gamma, m = gamma;
+    p[i] += eps;
+    m[i] -= eps;
+    const double num =
+        (objective(inp, p, beta) - objective(inp, m, beta)) / (2 * eps);
+    EXPECT_NEAR(dgamma[i], num, 3e-2) << "dgamma[" << i << "]";
+  }
+}
+
+TEST(Gelu, MatchesErfDefinitionAndGradient) {
+  const std::vector<float> xs{-3.0f, -1.0f, -0.1f, 0.0f, 0.5f, 2.0f};
+  std::vector<float> out(xs.size());
+  gelu_forward(out.data(), xs.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double expected =
+        0.5 * xs[i] * (1.0 + std::erf(xs[i] / std::sqrt(2.0)));
+    EXPECT_NEAR(out[i], expected, 1e-6);
+  }
+  // Gradient vs finite differences.
+  std::vector<float> dout(xs.size(), 1.0f), dinp(xs.size(), 0.0f);
+  gelu_backward(dinp.data(), xs.data(), dout.data(), xs.size());
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<float> xp(xs), xm(xs);
+    xp[i] += eps;
+    xm[i] -= eps;
+    std::vector<float> op(xs.size()), om(xs.size());
+    gelu_forward(op.data(), xp.data(), xs.size());
+    gelu_forward(om.data(), xm.data(), xs.size());
+    EXPECT_NEAR(dinp[i], (op[i] - om[i]) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(Attention, CausalMaskRespected) {
+  // Changing a FUTURE token's q/k/v must not change an earlier output.
+  constexpr int kB = 1, kT = 4, kC = 8, kNh = 2;
+  Rng rng(3);
+  std::vector<float> qkv(kB * kT * 3 * kC);
+  for (auto& x : qkv) x = rng.gaussian(0, 1);
+  std::vector<float> slopes(kNh);
+  alibi_slopes(slopes.data(), kNh);
+  std::vector<float> out1(kB * kT * kC), pre(kB * kNh * kT * kT),
+      att(kB * kNh * kT * kT);
+  attention_forward(out1.data(), pre.data(), att.data(), qkv.data(),
+                    slopes.data(), kB, kT, kC, kNh);
+  // Perturb all of token 3's qkv.
+  auto qkv2 = qkv;
+  for (int j = 0; j < 3 * kC; ++j) qkv2[3 * 3 * kC + j] += 10.0f;
+  std::vector<float> out2(kB * kT * kC);
+  attention_forward(out2.data(), pre.data(), att.data(), qkv2.data(),
+                    slopes.data(), kB, kT, kC, kNh);
+  for (int t = 0; t < 3; ++t) {
+    for (int c = 0; c < kC; ++c) {
+      EXPECT_FLOAT_EQ(out1[t * kC + c], out2[t * kC + c])
+          << "future token leaked into t=" << t;
+    }
+  }
+}
+
+TEST(Attention, AlibiPenalizesDistance) {
+  // With identical q/k, attention should weight recent positions higher
+  // because of the ALiBi distance penalty.
+  constexpr int kB = 1, kT = 6, kC = 4, kNh = 1;
+  std::vector<float> qkv(kB * kT * 3 * kC, 1.0f);
+  std::vector<float> slopes(kNh);
+  alibi_slopes(slopes.data(), kNh);
+  std::vector<float> out(kB * kT * kC), pre(kT * kT), att(kT * kT);
+  attention_forward(out.data(), pre.data(), att.data(), qkv.data(),
+                    slopes.data(), kB, kT, kC, kNh);
+  // Last row: weights strictly increase towards the most recent position.
+  for (int t2 = 1; t2 < kT; ++t2) {
+    EXPECT_GT(att[(kT - 1) * kT + t2], att[(kT - 1) * kT + t2 - 1]);
+  }
+}
+
+TEST(Attention, BackwardMatchesFiniteDifferences) {
+  constexpr int kB = 1, kT = 3, kC = 4, kNh = 2;
+  Rng rng(17);
+  std::vector<float> qkv(kB * kT * 3 * kC);
+  for (auto& x : qkv) x = rng.gaussian(0, 0.5f);
+  std::vector<float> slopes(kNh);
+  alibi_slopes(slopes.data(), kNh);
+  std::vector<float> dout(kB * kT * kC);
+  for (auto& x : dout) x = rng.gaussian(0, 1);
+
+  auto objective = [&](const std::vector<float>& q) {
+    std::vector<float> out(kB * kT * kC), pre(kB * kNh * kT * kT),
+        att(kB * kNh * kT * kT);
+    attention_forward(out.data(), pre.data(), att.data(), q.data(),
+                      slopes.data(), kB, kT, kC, kNh);
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) s += out[i] * dout[i];
+    return s;
+  };
+
+  std::vector<float> out(kB * kT * kC), pre(kB * kNh * kT * kT),
+      att(kB * kNh * kT * kT);
+  attention_forward(out.data(), pre.data(), att.data(), qkv.data(),
+                    slopes.data(), kB, kT, kC, kNh);
+  std::vector<float> dqkv(qkv.size(), 0.0f), dpre(pre.size(), 0.0f),
+      datt(att.size(), 0.0f);
+  attention_backward(dqkv.data(), dpre.data(), datt.data(), dout.data(),
+                     qkv.data(), att.data(), kB, kT, kC, kNh);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < qkv.size(); ++i) {
+    auto p = qkv, m = qkv;
+    p[i] += eps;
+    m[i] -= eps;
+    const double num = (objective(p) - objective(m)) / (2 * eps);
+    EXPECT_NEAR(dqkv[i], num, 3e-2) << "dqkv[" << i << "]";
+  }
+}
+
+TEST(Embedding, ForwardBackwardRoundTrip) {
+  constexpr int kBt = 3, kC = 2, kV = 4;
+  const std::vector<int> tokens{1, 3, 1};
+  std::vector<float> table(kV * kC);
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = static_cast<float>(i);
+  std::vector<float> out(kBt * kC);
+  embedding_forward(out.data(), tokens.data(), table.data(), kBt, kC);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 3.0f);
+  EXPECT_FLOAT_EQ(out[2], 6.0f);
+
+  std::vector<float> dtable(kV * kC, 0.0f);
+  const std::vector<float> dout{1, 1, 1, 1, 1, 1};
+  embedding_backward(dtable.data(), tokens.data(), dout.data(), kBt, kC);
+  EXPECT_FLOAT_EQ(dtable[1 * kC + 0], 2.0f);  // token 1 hit twice
+  EXPECT_FLOAT_EQ(dtable[3 * kC + 0], 1.0f);
+  EXPECT_FLOAT_EQ(dtable[0], 0.0f);
+}
+
+TEST(SoftmaxXent, LossAndGradient) {
+  constexpr int kBt = 2, kV = 3;
+  const std::vector<float> logits{1.0f, 2.0f, 3.0f, 0.0f, 0.0f, 0.0f};
+  const std::vector<int> targets{2, -1};  // second position ignored
+  std::vector<float> losses(kBt), probs(kBt * kV);
+  softmax_xent_forward(losses.data(), probs.data(), logits.data(),
+                       targets.data(), kBt, kV);
+  // Row 0 softmax with max-subtraction.
+  const double z = std::exp(-2.0) + std::exp(-1.0) + 1.0;
+  EXPECT_NEAR(losses[0], -std::log(1.0 / z), 1e-5);
+  EXPECT_FLOAT_EQ(losses[1], 0.0f);
+
+  std::vector<float> dlogits(kBt * kV, 0.0f);
+  softmax_xent_backward(dlogits.data(), probs.data(), targets.data(), kBt, kV,
+                        1.0f);
+  // Gradient sums to zero on the valid row, zero on the ignored row.
+  EXPECT_NEAR(dlogits[0] + dlogits[1] + dlogits[2], 0.0, 1e-6);
+  EXPECT_FLOAT_EQ(dlogits[3], 0.0f);
+  EXPECT_FLOAT_EQ(dlogits[4], 0.0f);
+  EXPECT_FLOAT_EQ(dlogits[5], 0.0f);
+  EXPECT_LT(dlogits[2], 0.0f);  // target logit pushed up
+}
+
+TEST(AlibiSlopes, GeometricSequence) {
+  std::vector<float> slopes(8);
+  alibi_slopes(slopes.data(), 8);
+  EXPECT_NEAR(slopes[0], 0.5f, 1e-6);
+  EXPECT_NEAR(slopes[7], 1.0f / 256.0f, 1e-8);
+  for (int h = 1; h < 8; ++h) {
+    EXPECT_NEAR(slopes[h] / slopes[h - 1], 0.5f, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace photon::kernels

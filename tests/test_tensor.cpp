@@ -1,0 +1,108 @@
+// Tensor value-type semantics and small linear algebra.
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace photon {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+  EXPECT_EQ(t.shape_string(), "(2, 3)");
+}
+
+TEST(Tensor, AtMultiIndex) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 5.0f;
+  EXPECT_FLOAT_EQ(t[5], 5.0f);
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, DataMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, Arithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  const Tensor sum = a + b;
+  EXPECT_FLOAT_EQ(sum[0], 5.0f);
+  EXPECT_FLOAT_EQ(sum[2], 9.0f);
+  const Tensor diff = b - a;
+  EXPECT_FLOAT_EQ(diff[1], 3.0f);
+  const Tensor scaled = a * 2.0f;
+  EXPECT_FLOAT_EQ(scaled[2], 6.0f);
+  Tensor c({2});
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Tensor, NormDotSum) {
+  Tensor a({2}, {3, 4});
+  EXPECT_FLOAT_EQ(a.l2_norm(), 5.0f);
+  Tensor b({2}, {1, 2});
+  EXPECT_FLOAT_EQ(a.dot(b), 11.0f);
+  EXPECT_FLOAT_EQ(a.sum(), 7.0f);
+  EXPECT_FLOAT_EQ(a.max_abs(), 4.0f);
+}
+
+TEST(Tensor, MatmulAgainstHand) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  const Tensor c = a.matmul(b);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 19.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 22.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 43.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 50.0f);
+  Tensor bad({3, 2});
+  EXPECT_THROW(a.matmul(bad), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = a.reshaped({3, 2});
+  EXPECT_FLOAT_EQ(b.at({2, 1}), 6.0f);
+  EXPECT_THROW(a.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(9);
+  const Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) mean += t[i];
+  mean /= static_cast<double>(t.size());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  double var = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    var += (t[i] - mean) * (t[i] - mean);
+  }
+  var /= static_cast<double>(t.size());
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Tensor, AllClose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 1e-6f, 2.0f});
+  EXPECT_TRUE(a.allclose(b));
+  Tensor c({2}, {1.1f, 2.0f});
+  EXPECT_FALSE(a.allclose(c));
+  Tensor d({3});
+  EXPECT_FALSE(a.allclose(d));
+}
+
+TEST(Tensor, ArangeAndFull) {
+  const Tensor a = Tensor::arange(4);
+  EXPECT_FLOAT_EQ(a[3], 3.0f);
+  const Tensor f = Tensor::full({2, 2}, 7.0f);
+  EXPECT_FLOAT_EQ(f[3], 7.0f);
+}
+
+}  // namespace
+}  // namespace photon

@@ -1,0 +1,184 @@
+// util/: RNG determinism & statistics, serialization, CRC, stats, table,
+// thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/serialization.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/threadpool.hpp"
+
+namespace photon {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(123);
+  Rng child = a.split();
+  Rng b(123);
+  Rng child2 = b.split();
+  EXPECT_EQ(child.next_u64(), child2.next_u64());  // deterministic split
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    const auto n = rng.next_below(7);
+    EXPECT_LT(n, 7u);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.add(rng.next_gaussian());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUniformAndDistinct) {
+  Rng rng(11);
+  std::vector<int> hits(10, 0);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto sample = rng.sample_without_replacement(10, 4);
+    EXPECT_EQ(sample.size(), 4u);
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 4u);
+    for (auto s : sample) hits[s]++;
+  }
+  // Each index expected 3000 * 4/10 = 1200 hits.
+  for (int h : hits) EXPECT_NEAR(h, 1200, 150);
+}
+
+TEST(Rng, SampleWeightedFollowsWeights) {
+  Rng rng(13);
+  const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 10000; ++i) hits[rng.sample_weighted(w)]++;
+  EXPECT_EQ(hits[2], 0);
+  EXPECT_NEAR(hits[0], 1000, 150);
+  EXPECT_NEAR(hits[1], 3000, 250);
+  EXPECT_NEAR(hits[3], 6000, 250);
+}
+
+TEST(Rng, SampleErrors) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 5), std::invalid_argument);
+  EXPECT_THROW(rng.sample_weighted({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.sample_weighted({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+TEST(Serialization, RoundTripPrimitivesStringsVectors) {
+  BinaryWriter w;
+  w.write<std::uint32_t>(0xdeadbeef);
+  w.write<double>(3.25);
+  w.write_string("photon");
+  w.write_vector(std::vector<float>{1.5f, -2.5f});
+  w.write_vector(std::vector<int>{7, 8, 9});
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read_string(), "photon");
+  EXPECT_EQ(r.read_vector<float>(), (std::vector<float>{1.5f, -2.5f}));
+  EXPECT_EQ(r.read_vector<int>(), (std::vector<int>{7, 8, 9}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, TruncationThrows) {
+  BinaryWriter w;
+  w.write<std::uint64_t>(10);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read<std::uint32_t>(), 10u);
+  EXPECT_THROW(r.read<std::uint64_t>(), std::runtime_error);
+}
+
+TEST(Crc32, KnownVectorAndSensitivity) {
+  const std::string s = "123456789";
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  EXPECT_EQ(crc32({p, s.size()}), 0xCBF43926u);  // standard check value
+  std::vector<std::uint8_t> v(p, p + s.size());
+  v[3] ^= 1;
+  EXPECT_NE(crc32(v), 0xCBF43926u);
+}
+
+TEST(RunningStat, MatchesClosedForm) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsSingleStream) {
+  RunningStat a, b, whole;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian();
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.5);
+  for (int i = 0; i < 30; ++i) e.add(4.0);
+  EXPECT_NEAR(e.value(), 4.0, 1e-6);
+}
+
+TEST(Quantile, Interpolates) {
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
+}
+
+TEST(TablePrinter, AlignsColumnsAndChecksArity) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1.00"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2     |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_ratio(0.5, 2), "0.50x");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+}  // namespace
+}  // namespace photon

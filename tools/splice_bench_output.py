@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Replace per-bench sections of bench_output.txt with rerun output.
+
+Each section is delimited by '### RUN <path>' ... '### EXIT <code> <path>'.
+Usage: splice_bench_output.py <main_log> <rerun_log>
+Sections present in the rerun log replace their counterparts in the main
+log in place.
+"""
+import re
+import sys
+
+
+def parse_sections(text):
+    sections = {}
+    pattern = re.compile(
+        r"^### RUN (\S+)$(.*?)^### EXIT \d+ \1$", re.M | re.S)
+    for match in pattern.finditer(text):
+        sections[match.group(1)] = match.group(0)
+    return sections
+
+
+def main():
+    main_path, rerun_path = sys.argv[1], sys.argv[2]
+    with open(main_path) as f:
+        main_text = f.read()
+    with open(rerun_path) as f:
+        rerun_text = f.read()
+    for name, body in parse_sections(rerun_text).items():
+        pattern = re.compile(
+            r"^### RUN " + re.escape(name) + r"$.*?^### EXIT \d+ " +
+            re.escape(name) + r"$", re.M | re.S)
+        if pattern.search(main_text):
+            main_text = pattern.sub(lambda _: body, main_text, count=1)
+            print(f"spliced {name}")
+        else:
+            main_text += "\n" + body + "\n"
+            print(f"appended {name}")
+    with open(main_path, "w") as f:
+        f.write(main_text)
+
+
+if __name__ == "__main__":
+    main()
