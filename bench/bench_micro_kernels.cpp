@@ -1,11 +1,28 @@
-// google-benchmark microbenchmarks for the compute and communication
-// substrate: training-step throughput per stand-in scale, collective
-// reductions, codecs, and message framing.  These are the numbers that set
-// the wall-clock cost of every experiment bench in this directory.
+// Microbenchmarks for the compute and communication substrate.
+//
+// Default mode runs the kernel thread-scaling harness: every hot kernel is
+// timed under a serial KernelContext and at 1/2/4/N threads, and the
+// results — seconds per call, GFLOP/s, and speedup vs the serial baseline —
+// are written as machine-readable JSON (BENCH_kernels.json) so later PRs
+// have a perf trajectory to compare against.
+//
+//   bench_micro_kernels [--json=PATH] [--gbench [google-benchmark args...]]
+//
+// --json=PATH   where to write the JSON report (default: BENCH_kernels.json)
+// --gbench      additionally run the google-benchmark suites (train step,
+//               collectives, codecs, message framing)
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "comm/collective.hpp"
 #include "comm/compression.hpp"
@@ -14,12 +31,266 @@
 #include "data/stream.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
+#include "tensor/kernel_context.hpp"
 #include "tensor/kernels.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
 using namespace photon;
+namespace k = kernels;
+
+// ------------------------------------------------------- scaling harness --
+
+struct ThreadResult {
+  int threads = 1;
+  double seconds_per_call = 0.0;
+  double gflops = 0.0;
+  double speedup_vs_serial = 1.0;
+};
+
+struct KernelReport {
+  std::string name;
+  std::string shape;
+  double flops_per_call = 0.0;
+  std::vector<ThreadResult> results;
+};
+
+/// Median-of-3 timing; each sample repeats the kernel until >= 20 ms.
+double time_seconds_per_call(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up (faults pages, warms caches)
+  std::vector<double> samples;
+  for (int s = 0; s < 3; ++s) {
+    int reps = 1;
+    for (;;) {
+      const auto t0 = clock::now();
+      for (int r = 0; r < reps; ++r) fn();
+      const double secs =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (secs >= 0.02 || reps >= (1 << 20)) {
+        samples.push_back(secs / reps);
+        break;
+      }
+      reps *= 2;
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[1];
+}
+
+std::vector<int> thread_counts() {
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> counts{1, 2, 4, hw};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+KernelReport run_scaling(
+    ThreadPool& pool, const std::string& name, const std::string& shape,
+    double flops_per_call,
+    const std::function<void(const k::KernelContext&)>& fn) {
+  KernelReport report{name, shape, flops_per_call, {}};
+  double serial_secs = 0.0;
+  for (const int threads : thread_counts()) {
+    const k::KernelContext ctx(&pool, threads);
+    const double secs = time_seconds_per_call([&] { fn(ctx); });
+    if (threads == 1) serial_secs = secs;
+    ThreadResult r;
+    r.threads = threads;
+    r.seconds_per_call = secs;
+    r.gflops = flops_per_call > 0 ? flops_per_call / secs * 1e-9 : 0.0;
+    r.speedup_vs_serial = serial_secs > 0 ? serial_secs / secs : 1.0;
+    report.results.push_back(r);
+    std::printf("  %-22s %-28s t=%-2d %10.3f ms  %8.2f GFLOP/s  %5.2fx\n",
+                name.c_str(), shape.c_str(), threads, secs * 1e3, r.gflops,
+                r.speedup_vs_serial);
+  }
+  return report;
+}
+
+std::vector<float> gaussian(Rng& rng, std::size_t n, float stddev = 1.0f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.gaussian(0.0f, stddev);
+  return v;
+}
+
+std::vector<KernelReport> run_kernel_scaling(ThreadPool& pool) {
+  Rng rng(42);
+  std::vector<KernelReport> reports;
+
+  {  // matmul
+    constexpr int kM = 192, kK = 192, kN = 192;
+    const auto a = gaussian(rng, static_cast<std::size_t>(kM) * kK);
+    const auto b = gaussian(rng, static_cast<std::size_t>(kK) * kN);
+    std::vector<float> out(static_cast<std::size_t>(kM) * kN);
+    reports.push_back(run_scaling(
+        pool, "matmul", "m=192,k=192,n=192", 2.0 * kM * kK * kN,
+        [&](const k::KernelContext& ctx) {
+          k::matmul(ctx, out.data(), a.data(), b.data(), kM, kK, kN);
+        }));
+  }
+  {  // linear forward / backward
+    constexpr int kBt = 256, kC = 192, kOc = 768;
+    Rng r2(7);
+    const auto inp = gaussian(r2, static_cast<std::size_t>(kBt) * kC);
+    const auto w = gaussian(r2, static_cast<std::size_t>(kOc) * kC);
+    const auto bias = gaussian(r2, kOc);
+    const auto dout = gaussian(r2, static_cast<std::size_t>(kBt) * kOc);
+    std::vector<float> out(static_cast<std::size_t>(kBt) * kOc);
+    reports.push_back(run_scaling(
+        pool, "linear_forward", "bt=256,c=192,oc=768",
+        2.0 * kBt * kC * kOc, [&](const k::KernelContext& ctx) {
+          k::linear_forward(ctx, out.data(), inp.data(), w.data(), bias.data(),
+                            kBt, kC, kOc);
+        }));
+    std::vector<float> dinp(inp.size()), dw(w.size()), db(kOc);
+    reports.push_back(run_scaling(
+        pool, "linear_backward", "bt=256,c=192,oc=768",
+        4.0 * kBt * kC * kOc, [&](const k::KernelContext& ctx) {
+          std::memset(dinp.data(), 0, dinp.size() * sizeof(float));
+          std::memset(dw.data(), 0, dw.size() * sizeof(float));
+          std::memset(db.data(), 0, db.size() * sizeof(float));
+          k::linear_backward(ctx, dinp.data(), dw.data(), db.data(),
+                             dout.data(), inp.data(), w.data(), kBt, kC, kOc);
+        }));
+  }
+  {  // attention forward / backward
+    constexpr int kB = 8, kT = 64, kC = 192, kNh = 6;
+    constexpr int kHs = kC / kNh;
+    Rng r2(11);
+    const auto qkv = gaussian(r2, static_cast<std::size_t>(kB) * kT * 3 * kC,
+                              0.5f);
+    std::vector<float> slopes(kNh);
+    k::alibi_slopes(slopes.data(), kNh);
+    std::vector<float> out(static_cast<std::size_t>(kB) * kT * kC);
+    std::vector<float> pre(static_cast<std::size_t>(kB) * kNh * kT * kT),
+        att(pre.size());
+    // ~half the (t, t2) pairs survive the causal mask; q.k and att.v are
+    // 2*hs flops each.
+    const double flops = 0.5 * kB * kNh * kT * kT * 4.0 * kHs;
+    reports.push_back(run_scaling(
+        pool, "attention_forward", "b=8,t=64,c=192,nh=6", flops,
+        [&](const k::KernelContext& ctx) {
+          k::attention_forward(ctx, out.data(), pre.data(), att.data(),
+                               qkv.data(), slopes.data(), kB, kT, kC, kNh);
+        }));
+    const auto dout = gaussian(r2, out.size());
+    std::vector<float> dqkv(qkv.size()), dpre(pre.size()), datt(att.size());
+    reports.push_back(run_scaling(
+        pool, "attention_backward", "b=8,t=64,c=192,nh=6", 2.0 * flops,
+        [&](const k::KernelContext& ctx) {
+          std::memset(dqkv.data(), 0, dqkv.size() * sizeof(float));
+          std::memset(dpre.data(), 0, dpre.size() * sizeof(float));
+          std::memset(datt.data(), 0, datt.size() * sizeof(float));
+          k::attention_backward(ctx, dqkv.data(), dpre.data(), datt.data(),
+                                dout.data(), qkv.data(), att.data(), kB, kT,
+                                kC, kNh);
+        }));
+  }
+  {  // layernorm forward / backward
+    constexpr int kBt = 4096, kC = 256;
+    Rng r2(13);
+    const auto inp = gaussian(r2, static_cast<std::size_t>(kBt) * kC);
+    const auto gamma = gaussian(r2, kC), beta = gaussian(r2, kC);
+    const auto dout = gaussian(r2, inp.size());
+    std::vector<float> out(inp.size()), mean(kBt), rstd(kBt);
+    reports.push_back(run_scaling(
+        pool, "layernorm_forward", "bt=4096,c=256", 5.0 * kBt * kC,
+        [&](const k::KernelContext& ctx) {
+          k::layernorm_forward(ctx, out.data(), mean.data(), rstd.data(),
+                               inp.data(), gamma.data(), beta.data(), kBt, kC);
+        }));
+    std::vector<float> dinp(inp.size()), dg(kC), db(kC);
+    reports.push_back(run_scaling(
+        pool, "layernorm_backward", "bt=4096,c=256", 9.0 * kBt * kC,
+        [&](const k::KernelContext& ctx) {
+          std::memset(dinp.data(), 0, dinp.size() * sizeof(float));
+          std::memset(dg.data(), 0, dg.size() * sizeof(float));
+          std::memset(db.data(), 0, db.size() * sizeof(float));
+          k::layernorm_backward(ctx, dinp.data(), dg.data(), db.data(),
+                                dout.data(), inp.data(), gamma.data(),
+                                mean.data(), rstd.data(), kBt, kC);
+        }));
+  }
+  {  // fused softmax cross-entropy
+    constexpr int kBt = 256, kV = 2048;
+    Rng r2(17);
+    const auto logits = gaussian(r2, static_cast<std::size_t>(kBt) * kV);
+    std::vector<int> targets(kBt);
+    for (int i = 0; i < kBt; ++i) targets[i] = i % kV;
+    std::vector<float> losses(kBt), probs(logits.size());
+    reports.push_back(run_scaling(
+        pool, "softmax_xent_forward", "bt=256,v=2048", 4.0 * kBt * kV,
+        [&](const k::KernelContext& ctx) {
+          k::softmax_xent_forward(ctx, losses.data(), probs.data(),
+                                  logits.data(), targets.data(), kBt, kV);
+        }));
+  }
+  {  // elementwise + reductions
+    const std::size_t n = 1 << 21;
+    Rng r2(19);
+    const auto a = gaussian(r2, n), b = gaussian(r2, n);
+    std::vector<float> out(n);
+    reports.push_back(run_scaling(
+        pool, "gelu_forward", "n=2097152", 8.0 * static_cast<double>(n),
+        [&](const k::KernelContext& ctx) {
+          k::gelu_forward(ctx, out.data(), a.data(), n);
+        }));
+    reports.push_back(run_scaling(
+        pool, "residual_forward", "n=2097152", static_cast<double>(n),
+        [&](const k::KernelContext& ctx) {
+          k::residual_forward(ctx, out.data(), a.data(), b.data(), n);
+        }));
+    reports.push_back(run_scaling(
+        pool, "axpy", "n=2097152", 2.0 * static_cast<double>(n),
+        [&](const k::KernelContext& ctx) {
+          k::axpy(ctx, out.data(), 0.5f, a.data(), n);
+        }));
+    reports.push_back(run_scaling(
+        pool, "l2_norm", "n=2097152", 2.0 * static_cast<double>(n),
+        [&](const k::KernelContext& ctx) {
+          benchmark::DoNotOptimize(k::l2_norm(ctx, a.data(), n));
+        }));
+  }
+  return reports;
+}
+
+bool write_json(const std::string& path,
+                const std::vector<KernelReport>& reports) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"schema\": \"photon.bench_kernels.v1\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"default_grain\": %zu,\n",
+               k::KernelContext::kDefaultGrain);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& kr = reports[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"shape\": \"%s\", "
+                 "\"flops_per_call\": %.0f, \"results\": [\n",
+                 kr.name.c_str(), kr.shape.c_str(), kr.flops_per_call);
+    for (std::size_t j = 0; j < kr.results.size(); ++j) {
+      const auto& r = kr.results[j];
+      std::fprintf(f,
+                   "      {\"threads\": %d, \"seconds_per_call\": %.9g, "
+                   "\"gflops\": %.4g, \"speedup_vs_serial\": %.4g}%s\n",
+                   r.threads, r.seconds_per_call, r.gflops,
+                   r.speedup_vs_serial, j + 1 < kr.results.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+// ----------------------------------------------- google-benchmark suites --
 
 void BM_TrainStep(benchmark::State& state) {
   const int scale = static_cast<int>(state.range(0));
@@ -112,4 +383,36 @@ BENCHMARK(BM_MessageRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernels.json";
+  bool gbench = false;
+  std::vector<char*> gbench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--gbench") == 0) {
+      gbench = true;
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+
+  std::printf("kernel thread-scaling (hardware_concurrency=%u)\n",
+              std::thread::hardware_concurrency());
+  const auto counts = thread_counts();
+  ThreadPool pool(static_cast<std::size_t>(counts.back()));
+  const auto reports = run_kernel_scaling(pool);
+  if (!write_json(json_path, reports)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (gbench) {
+    int gargc = static_cast<int>(gbench_args.size());
+    benchmark::Initialize(&gargc, gbench_args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

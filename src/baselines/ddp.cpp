@@ -6,12 +6,17 @@
 #include "data/corpus.hpp"
 #include "eval/perplexity.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace photon {
 
 DdpTrainer::DdpTrainer(DdpConfig config) : config_(std::move(config)) {
   model_ = std::make_unique<GptModel>(config_.model,
                                       hash_combine(config_.seed, 0x1217ULL));
+  if (config_.kernel_threads > 0) {
+    kctx_ = kernels::KernelContext(&global_pool(), config_.kernel_threads);
+    model_->set_kernel_context(&kctx_);
+  }
   opt_ = std::make_unique<AdamW>(model_->num_params(), config_.adamw);
   CosineScheduleConfig sc;
   sc.max_lr = config_.max_lr;

@@ -18,6 +18,7 @@
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/scheduler.hpp"
+#include "tensor/kernel_context.hpp"
 
 namespace photon {
 
@@ -43,6 +44,9 @@ struct DdpConfig {
   int corpus_mean_doc_len = 96;
   double sim_throughput_bps = 1.0;
   std::uint64_t seed = 42;
+
+  /// Intra-op kernel threads for this trainer's model (0 = library default).
+  int kernel_threads = 0;
 };
 
 struct DdpResult {
@@ -67,6 +71,7 @@ class DdpTrainer {
   std::unique_ptr<CosineSchedule> schedule_;
   std::vector<std::unique_ptr<DataSource>> worker_streams_;
   TokenDataset eval_set_;
+  kernels::KernelContext kctx_;  // used when config_.kernel_threads > 0
 };
 
 }  // namespace photon

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "tensor/kernel_context.hpp"
 #include "tensor/kernels.hpp"
 #include "util/rng.hpp"
 
@@ -205,6 +206,8 @@ float GptModel::forward(const int* tokens, const int* targets, int batch,
   const auto att_stride =
       static_cast<std::size_t>(batch) * nh * seq * seq;
   Acts& a = *acts_;
+  const k::KernelContext& kc =
+      kctx_ != nullptr ? *kctx_ : k::default_context();
 
   for (int i = 0; i < bt; ++i) {
     if (tokens[i] < 0 || tokens[i] >= v) {
@@ -212,7 +215,7 @@ float GptModel::forward(const int* tokens, const int* targets, int batch,
     }
   }
 
-  k::embedding_forward(a.encoded.data(), tokens, p(layout_.wte), bt, c);
+  k::embedding_forward(kc, a.encoded.data(), tokens, p(layout_.wte), bt, c);
 
   const float* residual = a.encoded.data();
   for (int l = 0; l < config_.n_layers; ++l) {
@@ -230,37 +233,37 @@ float GptModel::forward(const int* tokens, const int* targets, int batch,
     float* fcproj = a.fcproj.data() + ls * btc;
     float* res3 = a.res3.data() + ls * btc;
 
-    k::layernorm_forward(ln1, a.ln1_mean.data() + ls * bt,
+    k::layernorm_forward(kc, ln1, a.ln1_mean.data() + ls * bt,
                          a.ln1_rstd.data() + ls * bt, residual,
                          p(layout_.ln1_g, l), p(layout_.ln1_b, l), bt, c);
-    k::linear_forward(qkv, ln1, p(layout_.qkv_w, l), p(layout_.qkv_b, l), bt,
-                      c, 3 * c);
-    k::attention_forward(atty, preatt, att, qkv, alibi_.data(), batch, seq, c,
-                         nh);
-    k::linear_forward(attproj, atty, p(layout_.proj_w, l),
+    k::linear_forward(kc, qkv, ln1, p(layout_.qkv_w, l), p(layout_.qkv_b, l),
+                      bt, c, 3 * c);
+    k::attention_forward(kc, atty, preatt, att, qkv, alibi_.data(), batch, seq,
+                         c, nh);
+    k::linear_forward(kc, attproj, atty, p(layout_.proj_w, l),
                       p(layout_.proj_b, l), bt, c, c);
-    k::residual_forward(res2, residual, attproj, btc);
-    k::layernorm_forward(ln2, a.ln2_mean.data() + ls * bt,
+    k::residual_forward(kc, res2, residual, attproj, btc);
+    k::layernorm_forward(kc, ln2, a.ln2_mean.data() + ls * bt,
                          a.ln2_rstd.data() + ls * bt, res2,
                          p(layout_.ln2_g, l), p(layout_.ln2_b, l), bt, c);
-    k::linear_forward(fch, ln2, p(layout_.fc_w, l), p(layout_.fc_b, l), bt, c,
-                      ec);
-    k::gelu_forward(fch_gelu, fch, btec);
-    k::linear_forward(fcproj, fch_gelu, p(layout_.fcproj_w, l),
+    k::linear_forward(kc, fch, ln2, p(layout_.fc_w, l), p(layout_.fc_b, l), bt,
+                      c, ec);
+    k::gelu_forward(kc, fch_gelu, fch, btec);
+    k::linear_forward(kc, fcproj, fch_gelu, p(layout_.fcproj_w, l),
                       p(layout_.fcproj_b, l), bt, ec, c);
-    k::residual_forward(res3, res2, fcproj, btc);
+    k::residual_forward(kc, res3, res2, fcproj, btc);
     residual = res3;
   }
 
-  k::layernorm_forward(a.lnf.data(), a.lnf_mean.data(), a.lnf_rstd.data(),
+  k::layernorm_forward(kc, a.lnf.data(), a.lnf_mean.data(), a.lnf_rstd.data(),
                        residual, p(layout_.lnf_g), p(layout_.lnf_b), bt, c);
   // LM head tied with wte: logits = lnf @ wte^T.
-  k::linear_forward(a.logits.data(), a.lnf.data(), p(layout_.wte), nullptr, bt,
-                    c, v);
+  k::linear_forward(kc, a.logits.data(), a.lnf.data(), p(layout_.wte), nullptr,
+                    bt, c, v);
 
   if (targets == nullptr) return 0.0f;
 
-  k::softmax_xent_forward(a.losses.data(), a.probs.data(), a.logits.data(),
+  k::softmax_xent_forward(kc, a.losses.data(), a.probs.data(), a.logits.data(),
                           targets, bt, v);
   double total = 0.0;
   int valid = 0;
@@ -284,6 +287,8 @@ void GptModel::backward(const int* tokens, const int* targets, int batch,
   const auto btec = static_cast<std::size_t>(bt) * ec;
   const auto att_stride = static_cast<std::size_t>(batch) * nh * seq * seq;
   Acts& a = *acts_;
+  const k::KernelContext& kc =
+      kctx_ != nullptr ? *kctx_ : k::default_context();
 
   auto zero = [](std::vector<float>& buf) {
     std::memset(buf.data(), 0, buf.size() * sizeof(float));
@@ -293,10 +298,10 @@ void GptModel::backward(const int* tokens, const int* targets, int batch,
   zero(a.d_res3);
   zero(a.d_encoded);
 
-  k::softmax_xent_backward(a.d_logits.data(), a.probs.data(), targets, bt, v,
-                           loss_scale);
+  k::softmax_xent_backward(kc, a.d_logits.data(), a.probs.data(), targets, bt,
+                           v, loss_scale);
   // LM head (tied): dlnf += dlogits @ wte ; dwte += dlogits^T @ lnf.
-  k::linear_backward(a.d_lnf.data(), g(layout_.wte), nullptr,
+  k::linear_backward(kc, a.d_lnf.data(), g(layout_.wte), nullptr,
                      a.d_logits.data(), a.lnf.data(), p(layout_.wte), bt, c,
                      v);
 
@@ -306,7 +311,7 @@ void GptModel::backward(const int* tokens, const int* targets, int batch,
                                   static_cast<std::size_t>(config_.n_layers - 1) * btc
                             : a.encoded.data();
   float* d_lnf_in = config_.n_layers > 0 ? a.d_res3.data() : a.d_encoded.data();
-  k::layernorm_backward(d_lnf_in, g(layout_.lnf_g), g(layout_.lnf_b),
+  k::layernorm_backward(kc, d_lnf_in, g(layout_.lnf_g), g(layout_.lnf_b),
                         a.d_lnf.data(), lnf_in, p(layout_.lnf_g),
                         a.lnf_mean.data(), a.lnf_rstd.data(), bt, c);
 
@@ -341,17 +346,18 @@ void GptModel::backward(const int* tokens, const int* targets, int batch,
     zero(a.d_ln1);
 
     // res3 = res2 + fcproj.
-    k::residual_backward(a.d_res2.data(), a.d_fcproj.data(), a.d_res3.data(),
-                         btc);
+    k::residual_backward(kc, a.d_res2.data(), a.d_fcproj.data(),
+                         a.d_res3.data(), btc);
     // fcproj = fch_gelu @ fcproj_w^T + b.
-    k::linear_backward(a.d_fch_gelu.data(), g(layout_.fcproj_w, l),
+    k::linear_backward(kc, a.d_fch_gelu.data(), g(layout_.fcproj_w, l),
                        g(layout_.fcproj_b, l), a.d_fcproj.data(), fch_gelu,
                        p(layout_.fcproj_w, l), bt, ec, c);
-    k::gelu_backward(a.d_fch.data(), fch, a.d_fch_gelu.data(), btec);
+    k::gelu_backward(kc, a.d_fch.data(), fch, a.d_fch_gelu.data(), btec);
     // fch = ln2 @ fc_w^T + b.
-    k::linear_backward(a.d_ln2.data(), g(layout_.fc_w, l), g(layout_.fc_b, l),
-                       a.d_fch.data(), ln2, p(layout_.fc_w, l), bt, c, ec);
-    k::layernorm_backward(a.d_res2.data(), g(layout_.ln2_g, l),
+    k::linear_backward(kc, a.d_ln2.data(), g(layout_.fc_w, l),
+                       g(layout_.fc_b, l), a.d_fch.data(), ln2,
+                       p(layout_.fc_w, l), bt, c, ec);
+    k::layernorm_backward(kc, a.d_res2.data(), g(layout_.ln2_g, l),
                           g(layout_.ln2_b, l), a.d_ln2.data(), res2,
                           p(layout_.ln2_g, l), a.ln2_mean.data() + ls * bt,
                           a.ln2_rstd.data() + ls * bt, bt, c);
@@ -359,28 +365,29 @@ void GptModel::backward(const int* tokens, const int* targets, int batch,
     // used directly as the attention-projection gradient below and added to
     // d_res_in at the end of the block.
     // attproj = atty @ proj_w^T + b.
-    k::linear_backward(a.d_atty.data(), g(layout_.proj_w, l),
+    k::linear_backward(kc, a.d_atty.data(), g(layout_.proj_w, l),
                        g(layout_.proj_b, l), a.d_res2.data(), atty,
                        p(layout_.proj_w, l), bt, c, c);
-    k::attention_backward(a.d_qkv.data(), a.d_preatt.data(), a.d_att.data(),
-                          a.d_atty.data(), qkv, att, batch, seq, c, nh);
+    k::attention_backward(kc, a.d_qkv.data(), a.d_preatt.data(),
+                          a.d_att.data(), a.d_atty.data(), qkv, att, batch,
+                          seq, c, nh);
     // qkv = ln1 @ qkv_w^T + b.
-    k::linear_backward(a.d_ln1.data(), g(layout_.qkv_w, l),
+    k::linear_backward(kc, a.d_ln1.data(), g(layout_.qkv_w, l),
                        g(layout_.qkv_b, l), a.d_qkv.data(), ln1,
                        p(layout_.qkv_w, l), bt, c, 3 * c);
     // ln1 input is res_in.  d(res_in) = d_res2 (skip) + layernorm backward.
     if (l > 0) {
       // Overwrite d_res3 with this layer's d_res_in before accumulating.
       std::memcpy(a.d_res3.data(), a.d_res2.data(), btc * sizeof(float));
-      k::layernorm_backward(a.d_res3.data(), g(layout_.ln1_g, l),
+      k::layernorm_backward(kc, a.d_res3.data(), g(layout_.ln1_g, l),
                             g(layout_.ln1_b, l), a.d_ln1.data(), res_in,
                             p(layout_.ln1_g, l), a.ln1_mean.data() + ls * bt,
                             a.ln1_rstd.data() + ls * bt, bt, c);
     } else {
       for (std::size_t i = 0; i < btc; ++i) d_res_in[i] += a.d_res2[i];
-      k::layernorm_backward(d_res_in, g(layout_.ln1_g, l), g(layout_.ln1_b, l),
-                            a.d_ln1.data(), res_in, p(layout_.ln1_g, l),
-                            a.ln1_mean.data() + ls * bt,
+      k::layernorm_backward(kc, d_res_in, g(layout_.ln1_g, l),
+                            g(layout_.ln1_b, l), a.d_ln1.data(), res_in,
+                            p(layout_.ln1_g, l), a.ln1_mean.data() + ls * bt,
                             a.ln1_rstd.data() + ls * bt, bt, c);
     }
   }

@@ -17,6 +17,10 @@
 #include "nn/config.hpp"
 #include "util/serialization.hpp"
 
+namespace photon::kernels {
+class KernelContext;
+}
+
 namespace photon {
 
 /// Named view into the flat parameter buffer (for tests and introspection).
@@ -39,6 +43,12 @@ class GptModel {
 
   const ModelConfig& config() const { return config_; }
   std::size_t num_params() const { return params_.size(); }
+
+  /// Intra-op parallelism context used by forward/backward kernels.
+  /// nullptr (the default) means kernels::default_context().  The pointee
+  /// must outlive the model; the model does not take ownership.
+  void set_kernel_context(const kernels::KernelContext* ctx) { kctx_ = ctx; }
+  const kernels::KernelContext* kernel_context() const { return kctx_; }
 
   std::span<float> params() { return params_; }
   std::span<const float> params() const { return params_; }
@@ -100,6 +110,7 @@ class GptModel {
   } layout_;
 
   std::vector<float> alibi_;   // per-head slopes
+  const kernels::KernelContext* kctx_ = nullptr;
   std::unique_ptr<Acts> acts_;
   int acts_batch_ = 0;
   int acts_seq_ = 0;

@@ -1,167 +1,289 @@
 #include "tensor/kernels.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 namespace photon::kernels {
 
-void matmul(float* out, const float* a, const float* b, int m, int k, int n) {
-  // ikj loop order: streams through b and out rows, vectorizes well.
-  std::memset(out, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* orow = out + static_cast<std::size_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<std::size_t>(p) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+namespace {
+
+// k-dimension block for matmul: kKBlock rows of b (kKBlock * n floats) stay
+// hot in cache while every row of the shard streams over them.
+constexpr int kKBlock = 64;
+
+}  // namespace
+
+void matmul(const KernelContext& ctx, float* out, const float* a,
+            const float* b, int m, int k, int n) {
+  const std::size_t row_cost =
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+  ctx.parallel_shards(
+      static_cast<std::size_t>(m), ctx.grain_rows(row_cost),
+      [&](int, std::size_t i0, std::size_t i1) {
+        std::memset(out + i0 * n, 0, sizeof(float) * (i1 - i0) * n);
+        for (int p0 = 0; p0 < k; p0 += kKBlock) {
+          const int p1 = std::min(k, p0 + kKBlock);
+          for (std::size_t i = i0; i < i1; ++i) {
+            const float* arow = a + i * k;
+            float* orow = out + i * n;
+            // ikj loop order: streams through b and out rows, vectorizes
+            // well.  No zero-skip branch: it defeats vectorization on dense
+            // inputs and silently changes the FLOPs MFU accounting assumes.
+            for (int p = p0; p < p1; ++p) {
+              const float av = arow[p];
+              const float* brow = b + static_cast<std::size_t>(p) * n;
+              for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+            }
+          }
+        }
+      });
 }
 
-void linear_forward(float* out, const float* inp, const float* weight,
-                    const float* bias, int bt, int c, int oc) {
-  for (int i = 0; i < bt; ++i) {
-    const float* x = inp + static_cast<std::size_t>(i) * c;
-    float* y = out + static_cast<std::size_t>(i) * oc;
-    for (int o = 0; o < oc; ++o) {
-      const float* w = weight + static_cast<std::size_t>(o) * c;
-      float acc = bias != nullptr ? bias[o] : 0.0f;
-      for (int p = 0; p < c; ++p) acc += x[p] * w[p];
-      y[o] = acc;
-    }
-  }
+void linear_forward(const KernelContext& ctx, float* out, const float* inp,
+                    const float* weight, const float* bias, int bt, int c,
+                    int oc) {
+  const std::size_t row_cost =
+      static_cast<std::size_t>(c) * static_cast<std::size_t>(oc);
+  ctx.parallel_shards(
+      static_cast<std::size_t>(bt), ctx.grain_rows(row_cost),
+      [&](int, std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* x = inp + i * c;
+          float* y = out + i * oc;
+          for (int o = 0; o < oc; ++o) {
+            const float* w = weight + static_cast<std::size_t>(o) * c;
+            float acc = bias != nullptr ? bias[o] : 0.0f;
+            for (int p = 0; p < c; ++p) acc += x[p] * w[p];
+            y[o] = acc;
+          }
+        }
+      });
 }
 
-void linear_backward(float* dinp, float* dweight, float* dbias,
-                     const float* dout, const float* inp, const float* weight,
-                     int bt, int c, int oc) {
+void linear_backward(const KernelContext& ctx, float* dinp, float* dweight,
+                     float* dbias, const float* dout, const float* inp,
+                     const float* weight, int bt, int c, int oc) {
+  const std::size_t row_cost =
+      static_cast<std::size_t>(c) * static_cast<std::size_t>(oc);
   if (dinp != nullptr) {
-    // dinp = dout @ W  (dout: (BT,OC), W: (OC,C))
-    for (int i = 0; i < bt; ++i) {
-      const float* dy = dout + static_cast<std::size_t>(i) * oc;
-      float* dx = dinp + static_cast<std::size_t>(i) * c;
-      for (int o = 0; o < oc; ++o) {
-        const float g = dy[o];
-        if (g == 0.0f) continue;
-        const float* w = weight + static_cast<std::size_t>(o) * c;
-        for (int p = 0; p < c; ++p) dx[p] += g * w[p];
-      }
-    }
+    // dinp = dout @ W  (dout: (BT,OC), W: (OC,C)).  Each row of dinp is
+    // owned by exactly one shard: race-free and bit-exact.
+    ctx.parallel_shards(
+        static_cast<std::size_t>(bt), ctx.grain_rows(row_cost),
+        [&](int, std::size_t i0, std::size_t i1) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            const float* dy = dout + i * oc;
+            float* dx = dinp + i * c;
+            for (int o = 0; o < oc; ++o) {
+              const float g = dy[o];
+              const float* w = weight + static_cast<std::size_t>(o) * c;
+              for (int p = 0; p < c; ++p) dx[p] += g * w[p];
+            }
+          }
+        });
   }
-  if (dweight != nullptr) {
-    // dW = dout^T @ inp
-    for (int i = 0; i < bt; ++i) {
-      const float* dy = dout + static_cast<std::size_t>(i) * oc;
-      const float* x = inp + static_cast<std::size_t>(i) * c;
-      for (int o = 0; o < oc; ++o) {
-        const float g = dy[o];
-        if (g == 0.0f) continue;
-        float* dw = dweight + static_cast<std::size_t>(o) * c;
-        for (int p = 0; p < c; ++p) dw[p] += g * x[p];
-      }
+  if (dweight != nullptr || dbias != nullptr) {
+    // dW = dout^T @ inp and db = colsum(dout) reduce over BT rows, so shards
+    // accumulate into per-shard partials (shard 0 goes straight into the
+    // output) that are folded in shard order afterwards — deterministic at a
+    // fixed thread count.
+    const std::size_t wsz =
+        dweight != nullptr
+            ? static_cast<std::size_t>(oc) * static_cast<std::size_t>(c)
+            : 0;
+    const std::size_t bsz = dbias != nullptr ? static_cast<std::size_t>(oc) : 0;
+    const std::size_t mg = ctx.grain_rows(row_cost);
+    const int shards = ctx.shard_count(static_cast<std::size_t>(bt), mg);
+    std::vector<float> scratch(
+        static_cast<std::size_t>(std::max(0, shards - 1)) * (wsz + bsz), 0.0f);
+    ctx.parallel_shards(
+        static_cast<std::size_t>(bt), mg,
+        [&](int s, std::size_t i0, std::size_t i1) {
+          float* dw =
+              s == 0 ? dweight
+                     : scratch.data() +
+                           static_cast<std::size_t>(s - 1) * (wsz + bsz);
+          float* db = s == 0 ? dbias
+                             : scratch.data() +
+                                   static_cast<std::size_t>(s - 1) *
+                                       (wsz + bsz) +
+                                   wsz;
+          for (std::size_t i = i0; i < i1; ++i) {
+            const float* dy = dout + i * oc;
+            const float* x = inp + i * c;
+            if (dweight != nullptr) {
+              for (int o = 0; o < oc; ++o) {
+                const float g = dy[o];
+                float* dwrow = dw + static_cast<std::size_t>(o) * c;
+                for (int p = 0; p < c; ++p) dwrow[p] += g * x[p];
+              }
+            }
+            if (dbias != nullptr) {
+              for (int o = 0; o < oc; ++o) db[o] += dy[o];
+            }
+          }
+        });
+    // Fold partials elementwise; every element sums its shards in shard
+    // order no matter which thread folds it, so the result is unchanged.
+    if (dweight != nullptr && shards > 1) {
+      ctx.parallel_shards(
+          wsz, ctx.grain_rows(static_cast<std::size_t>(shards)),
+          [&](int, std::size_t e0, std::size_t e1) {
+            for (int s = 1; s < shards; ++s) {
+              const float* part =
+                  scratch.data() + static_cast<std::size_t>(s - 1) * (wsz + bsz);
+              for (std::size_t e = e0; e < e1; ++e) dweight[e] += part[e];
+            }
+          });
     }
-  }
-  if (dbias != nullptr) {
-    for (int i = 0; i < bt; ++i) {
-      const float* dy = dout + static_cast<std::size_t>(i) * oc;
-      for (int o = 0; o < oc; ++o) dbias[o] += dy[o];
+    if (dbias != nullptr && shards > 1) {
+      for (int s = 1; s < shards; ++s) {
+        const float* part = scratch.data() +
+                            static_cast<std::size_t>(s - 1) * (wsz + bsz) + wsz;
+        for (std::size_t e = 0; e < bsz; ++e) dbias[e] += part[e];
+      }
     }
   }
 }
 
-void layernorm_forward(float* out, float* mean, float* rstd, const float* inp,
-                       const float* gamma, const float* beta, int bt, int c) {
+void layernorm_forward(const KernelContext& ctx, float* out, float* mean,
+                       float* rstd, const float* inp, const float* gamma,
+                       const float* beta, int bt, int c) {
   constexpr float kEps = 1e-5f;
-  for (int i = 0; i < bt; ++i) {
-    const float* x = inp + static_cast<std::size_t>(i) * c;
-    float* y = out + static_cast<std::size_t>(i) * c;
-    double m = 0.0;
-    for (int p = 0; p < c; ++p) m += x[p];
-    m /= c;
-    double v = 0.0;
-    for (int p = 0; p < c; ++p) {
-      const double d = x[p] - m;
-      v += d * d;
-    }
-    v /= c;
-    const float mf = static_cast<float>(m);
-    const float rs = static_cast<float>(1.0 / std::sqrt(v + kEps));
-    for (int p = 0; p < c; ++p) {
-      y[p] = (x[p] - mf) * rs * gamma[p] + beta[p];
-    }
-    mean[i] = mf;
-    rstd[i] = rs;
+  ctx.parallel_shards(
+      static_cast<std::size_t>(bt),
+      ctx.grain_rows(4 * static_cast<std::size_t>(c)),
+      [&](int, std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* x = inp + i * c;
+          float* y = out + i * c;
+          double m = 0.0;
+          for (int p = 0; p < c; ++p) m += x[p];
+          m /= c;
+          double v = 0.0;
+          for (int p = 0; p < c; ++p) {
+            const double d = x[p] - m;
+            v += d * d;
+          }
+          v /= c;
+          const float mf = static_cast<float>(m);
+          const float rs = static_cast<float>(1.0 / std::sqrt(v + kEps));
+          for (int p = 0; p < c; ++p) {
+            y[p] = (x[p] - mf) * rs * gamma[p] + beta[p];
+          }
+          mean[i] = mf;
+          rstd[i] = rs;
+        }
+      });
+}
+
+void layernorm_backward(const KernelContext& ctx, float* dinp, float* dgamma,
+                        float* dbeta, const float* dout, const float* inp,
+                        const float* gamma, const float* mean,
+                        const float* rstd, int bt, int c) {
+  // dinp rows are shard-owned (bit-exact); dgamma/dbeta reduce over rows via
+  // per-shard partials folded in shard order.
+  const std::size_t mg = ctx.grain_rows(6 * static_cast<std::size_t>(c));
+  const int shards = ctx.shard_count(static_cast<std::size_t>(bt), mg);
+  const std::size_t csz = static_cast<std::size_t>(c);
+  std::vector<float> scratch(
+      static_cast<std::size_t>(std::max(0, shards - 1)) * 2 * csz, 0.0f);
+  ctx.parallel_shards(
+      static_cast<std::size_t>(bt), mg,
+      [&](int s, std::size_t i0, std::size_t i1) {
+        float* dg = s == 0 ? dgamma
+                           : scratch.data() +
+                                 static_cast<std::size_t>(s - 1) * 2 * csz;
+        float* db = s == 0 ? dbeta
+                           : scratch.data() +
+                                 static_cast<std::size_t>(s - 1) * 2 * csz +
+                                 csz;
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* x = inp + i * c;
+          const float* dy = dout + i * c;
+          float* dx = dinp + i * c;
+          const float m = mean[i];
+          const float rs = rstd[i];
+
+          // Two reductions shared by every element of the row.
+          double dnorm_mean = 0.0;
+          double dnorm_norm_mean = 0.0;
+          for (int p = 0; p < c; ++p) {
+            const float norm = (x[p] - m) * rs;
+            const float dnorm = gamma[p] * dy[p];
+            dnorm_mean += dnorm;
+            dnorm_norm_mean += dnorm * norm;
+          }
+          dnorm_mean /= c;
+          dnorm_norm_mean /= c;
+
+          for (int p = 0; p < c; ++p) {
+            const float norm = (x[p] - m) * rs;
+            const float dnorm = gamma[p] * dy[p];
+            dg[p] += dy[p] * norm;
+            db[p] += dy[p];
+            dx[p] += (dnorm - static_cast<float>(dnorm_mean) -
+                      norm * static_cast<float>(dnorm_norm_mean)) *
+                     rs;
+          }
+        }
+      });
+  for (int s = 1; s < shards; ++s) {
+    const float* part =
+        scratch.data() + static_cast<std::size_t>(s - 1) * 2 * csz;
+    for (std::size_t p = 0; p < csz; ++p) dgamma[p] += part[p];
+    for (std::size_t p = 0; p < csz; ++p) dbeta[p] += part[csz + p];
   }
 }
 
-void layernorm_backward(float* dinp, float* dgamma, float* dbeta,
-                        const float* dout, const float* inp, const float* gamma,
-                        const float* mean, const float* rstd, int bt, int c) {
-  for (int i = 0; i < bt; ++i) {
-    const float* x = inp + static_cast<std::size_t>(i) * c;
-    const float* dy = dout + static_cast<std::size_t>(i) * c;
-    float* dx = dinp + static_cast<std::size_t>(i) * c;
-    const float m = mean[i];
-    const float rs = rstd[i];
-
-    // Two reductions shared by every element of the row.
-    double dnorm_mean = 0.0;
-    double dnorm_norm_mean = 0.0;
-    for (int p = 0; p < c; ++p) {
-      const float norm = (x[p] - m) * rs;
-      const float dnorm = gamma[p] * dy[p];
-      dnorm_mean += dnorm;
-      dnorm_norm_mean += dnorm * norm;
-    }
-    dnorm_mean /= c;
-    dnorm_norm_mean /= c;
-
-    for (int p = 0; p < c; ++p) {
-      const float norm = (x[p] - m) * rs;
-      const float dnorm = gamma[p] * dy[p];
-      dgamma[p] += dy[p] * norm;
-      dbeta[p] += dy[p];
-      dx[p] += (dnorm - static_cast<float>(dnorm_mean) -
-                norm * static_cast<float>(dnorm_norm_mean)) *
-               rs;
-    }
-  }
-}
-
-void gelu_forward(float* out, const float* inp, std::size_t n) {
+void gelu_forward(const KernelContext& ctx, float* out, const float* inp,
+                  std::size_t n) {
   constexpr float kInvSqrt2 = 0.70710678118654752440f;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float x = inp[i];
-    out[i] = 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
-  }
+  ctx.parallel_shards(n, ctx.grain(),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        for (std::size_t i = i0; i < i1; ++i) {
+                          const float x = inp[i];
+                          out[i] = 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
+                        }
+                      });
 }
 
-void gelu_backward(float* dinp, const float* inp, const float* dout,
-                   std::size_t n) {
+void gelu_backward(const KernelContext& ctx, float* dinp, const float* inp,
+                   const float* dout, std::size_t n) {
   constexpr float kInvSqrt2 = 0.70710678118654752440f;
   constexpr float kInvSqrt2Pi = 0.39894228040143267794f;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float x = inp[i];
-    const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
-    const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
-    dinp[i] += dout[i] * (cdf + x * pdf);
-  }
+  ctx.parallel_shards(
+      n, ctx.grain(), [&](int, std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float x = inp[i];
+          const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+          const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
+          dinp[i] += dout[i] * (cdf + x * pdf);
+        }
+      });
 }
 
-void residual_forward(float* out, const float* a, const float* b,
-                      std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+void residual_forward(const KernelContext& ctx, float* out, const float* a,
+                      const float* b, std::size_t n) {
+  ctx.parallel_shards(n, ctx.grain(),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        for (std::size_t i = i0; i < i1; ++i)
+                          out[i] = a[i] + b[i];
+                      });
 }
 
-void residual_backward(float* da, float* db, const float* dout,
-                       std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    da[i] += dout[i];
-    db[i] += dout[i];
-  }
+void residual_backward(const KernelContext& ctx, float* da, float* db,
+                       const float* dout, std::size_t n) {
+  ctx.parallel_shards(n, ctx.grain(),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        for (std::size_t i = i0; i < i1; ++i) {
+                          da[i] += dout[i];
+                          db[i] += dout[i];
+                        }
+                      });
 }
 
 void alibi_slopes(float* slopes, int nh) {
@@ -170,14 +292,22 @@ void alibi_slopes(float* slopes, int nh) {
   }
 }
 
-void attention_forward(float* out, float* preatt, float* att, const float* qkv,
-                       const float* slopes, int b, int t, int c, int nh) {
+void attention_forward(const KernelContext& ctx, float* out, float* preatt,
+                       float* att, const float* qkv, const float* slopes,
+                       int b, int t, int c, int nh) {
   const int hs = c / nh;  // head size
   const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
   const std::size_t tt = static_cast<std::size_t>(t) * t;
+  const std::size_t pairs = static_cast<std::size_t>(b) * nh;
+  const std::size_t pair_cost = tt * static_cast<std::size_t>(hs);
 
-  for (int bi = 0; bi < b; ++bi) {
-    for (int h = 0; h < nh; ++h) {
+  // (batch, head) pairs are fully independent: each owns disjoint slices of
+  // preatt/att/out, so sharding over them is race-free and bit-exact.
+  ctx.parallel_shards(pairs, ctx.grain_rows(pair_cost), [&](int, std::size_t b0,
+                                                            std::size_t b1) {
+    for (std::size_t bh = b0; bh < b1; ++bh) {
+      const int bi = static_cast<int>(bh) / nh;
+      const int h = static_cast<int>(bh) % nh;
       const float slope = slopes[h];
       float* pre_h = preatt + (static_cast<std::size_t>(bi) * nh + h) * tt;
       float* att_h = att + (static_cast<std::size_t>(bi) * nh + h) * tt;
@@ -224,18 +354,25 @@ void attention_forward(float* out, float* preatt, float* att, const float* qkv,
         }
       }
     }
-  }
+  });
 }
 
-void attention_backward(float* dqkv, float* dpreatt, float* datt,
-                        const float* dout, const float* qkv, const float* att,
-                        int b, int t, int c, int nh) {
+void attention_backward(const KernelContext& ctx, float* dqkv, float* dpreatt,
+                        float* datt, const float* dout, const float* qkv,
+                        const float* att, int b, int t, int c, int nh) {
   const int hs = c / nh;
   const float scale = 1.0f / std::sqrt(static_cast<float>(hs));
   const std::size_t tt = static_cast<std::size_t>(t) * t;
+  const std::size_t pairs = static_cast<std::size_t>(b) * nh;
+  const std::size_t pair_cost = 2 * tt * static_cast<std::size_t>(hs);
 
-  for (int bi = 0; bi < b; ++bi) {
-    for (int h = 0; h < nh; ++h) {
+  // Like the forward: a (batch, head) pair only ever touches the head-h
+  // slice of its own batch's dqkv rows, so pairs never alias.
+  ctx.parallel_shards(pairs, ctx.grain_rows(pair_cost), [&](int, std::size_t b0,
+                                                            std::size_t b1) {
+    for (std::size_t bh = b0; bh < b1; ++bh) {
+      const int bi = static_cast<int>(bh) / nh;
+      const int h = static_cast<int>(bh) % nh;
       const float* att_h = att + (static_cast<std::size_t>(bi) * nh + h) * tt;
       float* datt_h = datt + (static_cast<std::size_t>(bi) * nh + h) * tt;
       float* dpre_h = dpreatt + (static_cast<std::size_t>(bi) * nh + h) * tt;
@@ -286,20 +423,26 @@ void attention_backward(float* dqkv, float* dpreatt, float* datt,
         }
       }
     }
-  }
+  });
 }
 
-void embedding_forward(float* out, const int* tokens, const float* table,
-                       int bt, int c) {
-  for (int i = 0; i < bt; ++i) {
-    const float* row = table + static_cast<std::size_t>(tokens[i]) * c;
-    std::memcpy(out + static_cast<std::size_t>(i) * c, row,
-                sizeof(float) * static_cast<std::size_t>(c));
-  }
+void embedding_forward(const KernelContext& ctx, float* out, const int* tokens,
+                       const float* table, int bt, int c) {
+  ctx.parallel_shards(
+      static_cast<std::size_t>(bt), ctx.grain_rows(static_cast<std::size_t>(c)),
+      [&](int, std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* row = table + static_cast<std::size_t>(tokens[i]) * c;
+          std::memcpy(out + i * c, row,
+                      sizeof(float) * static_cast<std::size_t>(c));
+        }
+      });
 }
 
 void embedding_backward(float* dtable, const int* tokens, const float* dout,
                         int bt, int c) {
+  // Scatter-add: different rows can hit the same token id, so this stays
+  // serial (it is a tiny fraction of the step anyway).
   for (int i = 0; i < bt; ++i) {
     float* drow = dtable + static_cast<std::size_t>(tokens[i]) * c;
     const float* dy = dout + static_cast<std::size_t>(i) * c;
@@ -307,55 +450,177 @@ void embedding_backward(float* dtable, const int* tokens, const float* dout,
   }
 }
 
+void softmax_xent_forward(const KernelContext& ctx, float* losses,
+                          float* probs, const float* logits,
+                          const int* targets, int bt, int v) {
+  ctx.parallel_shards(
+      static_cast<std::size_t>(bt),
+      ctx.grain_rows(3 * static_cast<std::size_t>(v)),
+      [&](int, std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* z = logits + i * v;
+          float* p = probs + i * v;
+          float maxv = -std::numeric_limits<float>::infinity();
+          for (int j = 0; j < v; ++j) maxv = std::max(maxv, z[j]);
+          double sum = 0.0;
+          for (int j = 0; j < v; ++j) {
+            const float e = std::exp(z[j] - maxv);
+            p[j] = e;
+            sum += e;
+          }
+          const float inv = static_cast<float>(1.0 / sum);
+          for (int j = 0; j < v; ++j) p[j] *= inv;
+          const int target = targets[i];
+          if (target < 0) {
+            losses[i] = 0.0f;
+          } else {
+            losses[i] = -std::log(std::max(p[target], 1e-12f));
+          }
+        }
+      });
+}
+
+void softmax_xent_backward(const KernelContext& ctx, float* dlogits,
+                           const float* probs, const int* targets, int bt,
+                           int v, float scale) {
+  ctx.parallel_shards(
+      static_cast<std::size_t>(bt), ctx.grain_rows(static_cast<std::size_t>(v)),
+      [&](int, std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const int target = targets[i];
+          if (target < 0) continue;
+          const float* p = probs + i * v;
+          float* dz = dlogits + i * v;
+          for (int j = 0; j < v; ++j) {
+            dz[j] += (p[j] - (j == target ? 1.0f : 0.0f)) * scale;
+          }
+        }
+      });
+}
+
+void scale_inplace(const KernelContext& ctx, float* x, float s,
+                   std::size_t n) {
+  ctx.parallel_shards(n, ctx.grain(),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        for (std::size_t i = i0; i < i1; ++i) x[i] *= s;
+                      });
+}
+
+void axpy(const KernelContext& ctx, float* y, float a, const float* x,
+          std::size_t n) {
+  ctx.parallel_shards(n, ctx.grain(),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        for (std::size_t i = i0; i < i1; ++i) y[i] += a * x[i];
+                      });
+}
+
+double l2_norm(const KernelContext& ctx, const float* x, std::size_t n) {
+  const int shards = ctx.shard_count(n, ctx.grain());
+  std::vector<double> partials(static_cast<std::size_t>(shards), 0.0);
+  ctx.parallel_shards(n, ctx.grain(),
+                      [&](int s, std::size_t i0, std::size_t i1) {
+                        double acc = 0.0;
+                        for (std::size_t i = i0; i < i1; ++i) {
+                          acc += static_cast<double>(x[i]) * x[i];
+                        }
+                        partials[static_cast<std::size_t>(s)] = acc;
+                      });
+  double total = 0.0;
+  for (const double p : partials) total += p;
+  return std::sqrt(total);
+}
+
+// ------------------------------------------------------------------------
+// Legacy signatures: route through the env-configured default context.
+
+void matmul(float* out, const float* a, const float* b, int m, int k, int n) {
+  matmul(default_context(), out, a, b, m, k, n);
+}
+
+void linear_forward(float* out, const float* inp, const float* weight,
+                    const float* bias, int bt, int c, int oc) {
+  linear_forward(default_context(), out, inp, weight, bias, bt, c, oc);
+}
+
+void linear_backward(float* dinp, float* dweight, float* dbias,
+                     const float* dout, const float* inp, const float* weight,
+                     int bt, int c, int oc) {
+  linear_backward(default_context(), dinp, dweight, dbias, dout, inp, weight,
+                  bt, c, oc);
+}
+
+void layernorm_forward(float* out, float* mean, float* rstd, const float* inp,
+                       const float* gamma, const float* beta, int bt, int c) {
+  layernorm_forward(default_context(), out, mean, rstd, inp, gamma, beta, bt,
+                    c);
+}
+
+void layernorm_backward(float* dinp, float* dgamma, float* dbeta,
+                        const float* dout, const float* inp, const float* gamma,
+                        const float* mean, const float* rstd, int bt, int c) {
+  layernorm_backward(default_context(), dinp, dgamma, dbeta, dout, inp, gamma,
+                     mean, rstd, bt, c);
+}
+
+void gelu_forward(float* out, const float* inp, std::size_t n) {
+  gelu_forward(default_context(), out, inp, n);
+}
+
+void gelu_backward(float* dinp, const float* inp, const float* dout,
+                   std::size_t n) {
+  gelu_backward(default_context(), dinp, inp, dout, n);
+}
+
+void residual_forward(float* out, const float* a, const float* b,
+                      std::size_t n) {
+  residual_forward(default_context(), out, a, b, n);
+}
+
+void residual_backward(float* da, float* db, const float* dout,
+                       std::size_t n) {
+  residual_backward(default_context(), da, db, dout, n);
+}
+
+void attention_forward(float* out, float* preatt, float* att, const float* qkv,
+                       const float* slopes, int b, int t, int c, int nh) {
+  attention_forward(default_context(), out, preatt, att, qkv, slopes, b, t, c,
+                    nh);
+}
+
+void attention_backward(float* dqkv, float* dpreatt, float* datt,
+                        const float* dout, const float* qkv, const float* att,
+                        int b, int t, int c, int nh) {
+  attention_backward(default_context(), dqkv, dpreatt, datt, dout, qkv, att,
+                     b, t, c, nh);
+}
+
+void embedding_forward(float* out, const int* tokens, const float* table,
+                       int bt, int c) {
+  embedding_forward(default_context(), out, tokens, table, bt, c);
+}
+
 void softmax_xent_forward(float* losses, float* probs, const float* logits,
                           const int* targets, int bt, int v) {
-  for (int i = 0; i < bt; ++i) {
-    const float* z = logits + static_cast<std::size_t>(i) * v;
-    float* p = probs + static_cast<std::size_t>(i) * v;
-    float maxv = -std::numeric_limits<float>::infinity();
-    for (int j = 0; j < v; ++j) maxv = std::max(maxv, z[j]);
-    double sum = 0.0;
-    for (int j = 0; j < v; ++j) {
-      const float e = std::exp(z[j] - maxv);
-      p[j] = e;
-      sum += e;
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int j = 0; j < v; ++j) p[j] *= inv;
-    const int target = targets[i];
-    if (target < 0) {
-      losses[i] = 0.0f;
-    } else {
-      losses[i] = -std::log(std::max(p[target], 1e-12f));
-    }
-  }
+  softmax_xent_forward(default_context(), losses, probs, logits, targets, bt,
+                       v);
 }
 
 void softmax_xent_backward(float* dlogits, const float* probs,
                            const int* targets, int bt, int v, float scale) {
-  for (int i = 0; i < bt; ++i) {
-    const int target = targets[i];
-    if (target < 0) continue;
-    const float* p = probs + static_cast<std::size_t>(i) * v;
-    float* dz = dlogits + static_cast<std::size_t>(i) * v;
-    for (int j = 0; j < v; ++j) {
-      dz[j] += (p[j] - (j == target ? 1.0f : 0.0f)) * scale;
-    }
-  }
+  softmax_xent_backward(default_context(), dlogits, probs, targets, bt, v,
+                        scale);
 }
 
 void scale_inplace(float* x, float s, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+  scale_inplace(default_context(), x, s, n);
 }
 
 void axpy(float* y, float a, const float* x, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+  axpy(default_context(), y, a, x, n);
 }
 
 double l2_norm(const float* x, std::size_t n) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(x[i]) * x[i];
-  return std::sqrt(s);
+  return l2_norm(default_context(), x, n);
 }
 
 }  // namespace photon::kernels

@@ -9,45 +9,85 @@
 //     per step), which is what makes gradient accumulation free.
 //   * Attention uses ALiBi relative-position biases (MPT architecture),
 //     so the model has no positional-embedding parameters.
+//
+// Every kernel has two entry points: an explicit-context overload that
+// shards work over a kernels::KernelContext, and a legacy signature that
+// routes through default_context() (env-configured; serial on one core).
+// Sharding is race-free by construction — rows, (batch, head) pairs, or
+// elementwise chunks — except where a reduction crosses shard boundaries
+// (linear_backward dweight/dbias, layernorm_backward dgamma/dbeta,
+// l2_norm); those use per-shard partial accumulators folded in shard order,
+// which is deterministic run-to-run at a fixed thread count but may differ
+// from the serial summation order by float rounding (~1e-7 relative).
 
 #include <cstddef>
+
+#include "tensor/kernel_context.hpp"
 
 namespace photon::kernels {
 
 // ---------------------------------------------------------------- matmul --
-/// out(m,n) = a(m,k) @ b(k,n)
+/// out(m,n) = a(m,k) @ b(k,n).  Cache-blocked over k; row-parallel over m.
+void matmul(const KernelContext& ctx, float* out, const float* a,
+            const float* b, int m, int k, int n);
 void matmul(float* out, const float* a, const float* b, int m, int k, int n);
 
 /// Linear forward: out(BT, OC) = inp(BT, C) @ weight(OC, C)^T + bias(OC).
-/// bias may be nullptr.
+/// bias may be nullptr.  Row-parallel over BT.
+void linear_forward(const KernelContext& ctx, float* out, const float* inp,
+                    const float* weight, const float* bias, int bt, int c,
+                    int oc);
 void linear_forward(float* out, const float* inp, const float* weight,
                     const float* bias, int bt, int c, int oc);
 
 /// Linear backward. dinp(BT,C), dweight(OC,C), dbias(OC) are accumulated.
 /// Any of dinp/dweight/dbias may be nullptr to skip that term.
+/// dinp is row-parallel (bit-exact); dweight/dbias reduce per-shard
+/// partials deterministically.
+void linear_backward(const KernelContext& ctx, float* dinp, float* dweight,
+                     float* dbias, const float* dout, const float* inp,
+                     const float* weight, int bt, int c, int oc);
 void linear_backward(float* dinp, float* dweight, float* dbias,
                      const float* dout, const float* inp, const float* weight,
                      int bt, int c, int oc);
 
 // -------------------------------------------------------------- layernorm --
 /// LayerNorm forward over the last dim. mean/rstd are (BT) caches for bwd.
+/// Row-parallel over BT (bit-exact).
+void layernorm_forward(const KernelContext& ctx, float* out, float* mean,
+                       float* rstd, const float* inp, const float* gamma,
+                       const float* beta, int bt, int c);
 void layernorm_forward(float* out, float* mean, float* rstd, const float* inp,
                        const float* gamma, const float* beta, int bt, int c);
 
+/// dinp is row-parallel (bit-exact); dgamma/dbeta reduce per-shard partials
+/// deterministically.
+void layernorm_backward(const KernelContext& ctx, float* dinp, float* dgamma,
+                        float* dbeta, const float* dout, const float* inp,
+                        const float* gamma, const float* mean,
+                        const float* rstd, int bt, int c);
 void layernorm_backward(float* dinp, float* dgamma, float* dbeta,
                         const float* dout, const float* inp, const float* gamma,
                         const float* mean, const float* rstd, int bt, int c);
 
 // ------------------------------------------------------------------- gelu --
 /// Exact GELU via erf (matches PyTorch's default; tanh approx drifts in fp32).
+void gelu_forward(const KernelContext& ctx, float* out, const float* inp,
+                  std::size_t n);
 void gelu_forward(float* out, const float* inp, std::size_t n);
+void gelu_backward(const KernelContext& ctx, float* dinp, const float* inp,
+                   const float* dout, std::size_t n);
 void gelu_backward(float* dinp, const float* inp, const float* dout,
                    std::size_t n);
 
 // --------------------------------------------------------------- residual --
+void residual_forward(const KernelContext& ctx, float* out, const float* a,
+                      const float* b, std::size_t n);
 void residual_forward(float* out, const float* a, const float* b,
                       std::size_t n);
 /// Residual backward: both branches receive dout (accumulated).
+void residual_backward(const KernelContext& ctx, float* da, float* db,
+                       const float* dout, std::size_t n);
 void residual_backward(float* da, float* db, const float* dout, std::size_t n);
 
 // -------------------------------------------------------------- attention --
@@ -57,9 +97,17 @@ void residual_backward(float* da, float* db, const float* dout, std::size_t n);
 ///   att:    (B, NH, T, T) post-softmax cache
 ///   out:    (B, T, C)
 ///   slopes: (NH) ALiBi slopes
+/// Parallel over (batch, head) pairs, which are fully independent
+/// (bit-exact).
+void attention_forward(const KernelContext& ctx, float* out, float* preatt,
+                       float* att, const float* qkv, const float* slopes,
+                       int b, int t, int c, int nh);
 void attention_forward(float* out, float* preatt, float* att, const float* qkv,
                        const float* slopes, int b, int t, int c, int nh);
 
+void attention_backward(const KernelContext& ctx, float* dqkv, float* dpreatt,
+                        float* datt, const float* dout, const float* qkv,
+                        const float* att, int b, int t, int c, int nh);
 void attention_backward(float* dqkv, float* dpreatt, float* datt,
                         const float* dout, const float* qkv, const float* att,
                         int b, int t, int c, int nh);
@@ -68,26 +116,40 @@ void attention_backward(float* dqkv, float* dpreatt, float* datt,
 void alibi_slopes(float* slopes, int nh);
 
 // -------------------------------------------------------------- embedding --
-/// out(BT, C) = table[tokens[i]] for each position.
+/// out(BT, C) = table[tokens[i]] for each position.  Row-parallel.
+void embedding_forward(const KernelContext& ctx, float* out, const int* tokens,
+                       const float* table, int bt, int c);
 void embedding_forward(float* out, const int* tokens, const float* table,
                        int bt, int c);
+/// Scatter-add with possible token collisions across rows; stays serial.
 void embedding_backward(float* dtable, const int* tokens, const float* dout,
                         int bt, int c);
 
 // --------------------------------------------- fused softmax cross-entropy --
 /// Computes per-position losses(BT) and probs(BT, V) for targets(BT).
-/// Positions with target < 0 are ignored (loss 0).
+/// Positions with target < 0 are ignored (loss 0).  Row-parallel.
+void softmax_xent_forward(const KernelContext& ctx, float* losses,
+                          float* probs, const float* logits,
+                          const int* targets, int bt, int v);
 void softmax_xent_forward(float* losses, float* probs, const float* logits,
                           const int* targets, int bt, int v);
 
 /// dlogits(BT, V) accumulated with (probs - onehot(target)) * scale.
-/// Ignored positions contribute zero gradient.
+/// Ignored positions contribute zero gradient.  Row-parallel.
+void softmax_xent_backward(const KernelContext& ctx, float* dlogits,
+                           const float* probs, const int* targets, int bt,
+                           int v, float scale);
 void softmax_xent_backward(float* dlogits, const float* probs,
                            const int* targets, int bt, int v, float scale);
 
 // ------------------------------------------------------------------- misc --
+void scale_inplace(const KernelContext& ctx, float* x, float s, std::size_t n);
 void scale_inplace(float* x, float s, std::size_t n);
+void axpy(const KernelContext& ctx, float* y, float a, const float* x,
+          std::size_t n);                                     // y += a*x
 void axpy(float* y, float a, const float* x, std::size_t n);  // y += a*x
+/// Per-shard partial sums reduced in shard order (deterministic).
+double l2_norm(const KernelContext& ctx, const float* x, std::size_t n);
 double l2_norm(const float* x, std::size_t n);
 
 }  // namespace photon::kernels

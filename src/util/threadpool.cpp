@@ -4,6 +4,12 @@
 
 namespace photon {
 
+namespace {
+// Set for the lifetime of every worker thread; lets nested parallel sections
+// detect re-entry (from any pool) and run inline instead of enqueueing.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
   workers_.reserve(num_threads);
@@ -21,7 +27,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() { return t_on_pool_worker; }
+
 void ThreadPool::worker_loop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -37,15 +46,35 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, 1, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1) {
-    fn(0);
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t chunks =
+      std::min(workers_.size(), (n + grain - 1) / grain);
+  if (chunks <= 1 || on_worker_thread()) {
+    fn(0, n);
     return;
   }
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks - 1);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    if (c + 1 == chunks) {
+      fn(begin, end);  // the caller thread works the last chunk itself
+    } else {
+      futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+    }
+    begin = end;
   }
   for (auto& f : futures) f.get();
 }

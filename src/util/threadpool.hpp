@@ -1,6 +1,14 @@
 #pragma once
 // Fixed-size thread pool used to run LLM clients of a federated round in
-// parallel (paper Alg. 1, line 5: "for k in C do in parallel").
+// parallel (paper Alg. 1, line 5: "for k in C do in parallel") and, through
+// kernels::KernelContext, to shard individual tensor kernels.
+//
+// Nesting policy: parallel_for detects when it is invoked from a pool worker
+// thread (any pool) and runs the loop inline on the caller instead of
+// enqueueing.  This makes nested parallelism — e.g. a federated round that
+// fans clients out across the pool while each client's kernels also want the
+// pool — degrade to serial per-client compute rather than deadlocking on a
+// full task queue or oversubscribing the machine.
 
 #include <condition_variable>
 #include <cstddef>
@@ -23,6 +31,10 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of any ThreadPool.  Used to
+  /// degrade nested parallel sections to inline execution.
+  static bool on_worker_thread();
+
   /// Enqueue a task; returns a future for its completion.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -39,7 +51,18 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [0, n) across the pool and wait for all to finish.
+  /// Indices are batched into at most size() contiguous chunks (one task per
+  /// chunk, not one per index).  Safe to call from a worker thread: runs
+  /// inline instead of deadlocking.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Chunked overload: partitions [0, n) into at most size() contiguous
+  /// ranges of at least `grain` indices each and runs fn(begin, end) across
+  /// the pool.  The caller thread executes the last chunk itself.  Safe to
+  /// call from a worker thread (runs fn(0, n) inline).
+  void parallel_for(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();
@@ -51,7 +74,8 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Pool sized to the host; shared by simulation drivers.
+/// Pool sized to the host; shared by simulation drivers and the default
+/// kernel context.
 ThreadPool& global_pool();
 
 }  // namespace photon

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <future>
+#include <tuple>
 #include <vector>
 
+#include "tensor/kernel_context.hpp"
 #include "tensor/kernels.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace photon::kernels {
 namespace {
@@ -297,6 +301,252 @@ TEST(SoftmaxXent, LossAndGradient) {
   EXPECT_FLOAT_EQ(dlogits[4], 0.0f);
   EXPECT_FLOAT_EQ(dlogits[5], 0.0f);
   EXPECT_LT(dlogits[2], 0.0f);  // target logit pushed up
+}
+
+// ---------------------------------------------------------------------------
+// Parallel kernels vs the serial reference.  Row-/pair-sharded kernels must
+// be bit-exact (each output element is computed by exactly one shard with
+// identical code); kernels that fold per-shard partial accumulators
+// (linear_backward dweight/dbias, layernorm_backward dgamma/dbeta, l2_norm)
+// get a tight tolerance but must be deterministic across repeated runs at a
+// fixed thread count.  grain=1 forces sharding even at the odd tiny sizes
+// (n < threads, n % shards != 0, bt == 1).
+
+class ParallelKernels : public ::testing::Test {
+ protected:
+  ParallelKernels() : pool_(4), par_(&pool_, 4, /*grain=*/1) {}
+
+  std::vector<float> randn(std::size_t n, float stddev = 1.0f) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = rng_.gaussian(0.0f, stddev);
+    return v;
+  }
+
+  ThreadPool pool_;
+  KernelContext par_;
+  const KernelContext& ser_ = KernelContext::serial();
+  Rng rng_{123};
+};
+
+TEST_F(ParallelKernels, MatmulBitExactAcrossOddSizes) {
+  for (const auto& [m, k, n] : {std::tuple{1, 5, 4}, {3, 7, 2}, {4, 4, 4},
+                                {17, 23, 9}, {5, 129, 3}}) {
+    const auto a = randn(static_cast<std::size_t>(m) * k);
+    const auto b = randn(static_cast<std::size_t>(k) * n);
+    std::vector<float> out_s(static_cast<std::size_t>(m) * n),
+        out_p(out_s.size());
+    matmul(ser_, out_s.data(), a.data(), b.data(), m, k, n);
+    matmul(par_, out_p.data(), a.data(), b.data(), m, k, n);
+    for (std::size_t i = 0; i < out_s.size(); ++i) {
+      EXPECT_EQ(out_s[i], out_p[i]) << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ParallelKernels, LinearForwardBitExact) {
+  for (const int bt : {1, 3, 5, 17}) {
+    constexpr int kC = 6, kOc = 9;
+    const auto inp = randn(static_cast<std::size_t>(bt) * kC);
+    const auto w = randn(kOc * kC);
+    const auto bias = randn(kOc);
+    std::vector<float> out_s(static_cast<std::size_t>(bt) * kOc),
+        out_p(out_s.size());
+    linear_forward(ser_, out_s.data(), inp.data(), w.data(), bias.data(), bt,
+                   kC, kOc);
+    linear_forward(par_, out_p.data(), inp.data(), w.data(), bias.data(), bt,
+                   kC, kOc);
+    for (std::size_t i = 0; i < out_s.size(); ++i) {
+      EXPECT_EQ(out_s[i], out_p[i]) << "bt=" << bt << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ParallelKernels, LinearBackwardMatchesSerialAndIsDeterministic) {
+  for (const int bt : {1, 3, 13}) {
+    constexpr int kC = 5, kOc = 7;
+    const auto inp = randn(static_cast<std::size_t>(bt) * kC);
+    const auto w = randn(kOc * kC);
+    const auto dout = randn(static_cast<std::size_t>(bt) * kOc);
+    std::vector<float> dinp_s(inp.size(), 0.f), dw_s(w.size(), 0.f),
+        db_s(kOc, 0.f);
+    linear_backward(ser_, dinp_s.data(), dw_s.data(), db_s.data(), dout.data(),
+                    inp.data(), w.data(), bt, kC, kOc);
+    std::vector<float> dinp_p(inp.size(), 0.f), dw_p(w.size(), 0.f),
+        db_p(kOc, 0.f);
+    linear_backward(par_, dinp_p.data(), dw_p.data(), db_p.data(), dout.data(),
+                    inp.data(), w.data(), bt, kC, kOc);
+    // dinp rows are shard-owned: bit-exact.
+    for (std::size_t i = 0; i < dinp_s.size(); ++i) {
+      EXPECT_EQ(dinp_s[i], dinp_p[i]) << "bt=" << bt;
+    }
+    // dweight/dbias fold shard partials: tight tolerance.
+    for (std::size_t i = 0; i < dw_s.size(); ++i) {
+      EXPECT_NEAR(dw_s[i], dw_p[i], 1e-5 * (1.0 + std::fabs(dw_s[i])));
+    }
+    for (std::size_t i = 0; i < db_s.size(); ++i) {
+      EXPECT_NEAR(db_s[i], db_p[i], 1e-5 * (1.0 + std::fabs(db_s[i])));
+    }
+    // ...and must be bit-reproducible run-to-run at a fixed thread count.
+    std::vector<float> dinp_q(inp.size(), 0.f), dw_q(w.size(), 0.f),
+        db_q(kOc, 0.f);
+    linear_backward(par_, dinp_q.data(), dw_q.data(), db_q.data(), dout.data(),
+                    inp.data(), w.data(), bt, kC, kOc);
+    EXPECT_EQ(dw_p, dw_q);
+    EXPECT_EQ(db_p, db_q);
+  }
+}
+
+TEST_F(ParallelKernels, LayerNormMatchesSerialAndIsDeterministic) {
+  for (const int bt : {1, 2, 11}) {
+    constexpr int kC = 8;
+    const auto inp = randn(static_cast<std::size_t>(bt) * kC);
+    const auto gamma = randn(kC, 0.3f);
+    const auto beta = randn(kC, 0.3f);
+    const auto dout = randn(static_cast<std::size_t>(bt) * kC);
+    std::vector<float> out_s(inp.size()), out_p(inp.size()), mean(bt),
+        rstd(bt);
+    layernorm_forward(ser_, out_s.data(), mean.data(), rstd.data(), inp.data(),
+                      gamma.data(), beta.data(), bt, kC);
+    layernorm_forward(par_, out_p.data(), mean.data(), rstd.data(), inp.data(),
+                      gamma.data(), beta.data(), bt, kC);
+    EXPECT_EQ(out_s, out_p);
+
+    std::vector<float> dx_s(inp.size(), 0.f), dg_s(kC, 0.f), db_s(kC, 0.f);
+    layernorm_backward(ser_, dx_s.data(), dg_s.data(), db_s.data(),
+                       dout.data(), inp.data(), gamma.data(), mean.data(),
+                       rstd.data(), bt, kC);
+    std::vector<float> dx_p(inp.size(), 0.f), dg_p(kC, 0.f), db_p(kC, 0.f);
+    layernorm_backward(par_, dx_p.data(), dg_p.data(), db_p.data(),
+                       dout.data(), inp.data(), gamma.data(), mean.data(),
+                       rstd.data(), bt, kC);
+    EXPECT_EQ(dx_s, dx_p);  // rows shard-owned
+    for (int p = 0; p < kC; ++p) {
+      EXPECT_NEAR(dg_s[p], dg_p[p], 1e-5 * (1.0 + std::fabs(dg_s[p])));
+      EXPECT_NEAR(db_s[p], db_p[p], 1e-5 * (1.0 + std::fabs(db_s[p])));
+    }
+    std::vector<float> dx_q(inp.size(), 0.f), dg_q(kC, 0.f), db_q(kC, 0.f);
+    layernorm_backward(par_, dx_q.data(), dg_q.data(), db_q.data(),
+                       dout.data(), inp.data(), gamma.data(), mean.data(),
+                       rstd.data(), bt, kC);
+    EXPECT_EQ(dg_p, dg_q);
+    EXPECT_EQ(db_p, db_q);
+  }
+}
+
+TEST_F(ParallelKernels, AttentionBitExact) {
+  constexpr int kB = 2, kT = 5, kC = 12, kNh = 3;
+  const auto qkv = randn(kB * kT * 3 * kC, 0.5f);
+  std::vector<float> slopes(kNh);
+  alibi_slopes(slopes.data(), kNh);
+  std::vector<float> out_s(kB * kT * kC), out_p(kB * kT * kC);
+  std::vector<float> pre_s(kB * kNh * kT * kT), att_s(pre_s.size());
+  std::vector<float> pre_p(pre_s.size()), att_p(pre_s.size());
+  attention_forward(ser_, out_s.data(), pre_s.data(), att_s.data(), qkv.data(),
+                    slopes.data(), kB, kT, kC, kNh);
+  attention_forward(par_, out_p.data(), pre_p.data(), att_p.data(), qkv.data(),
+                    slopes.data(), kB, kT, kC, kNh);
+  EXPECT_EQ(out_s, out_p);
+  EXPECT_EQ(att_s, att_p);
+
+  const auto dout = randn(kB * kT * kC);
+  std::vector<float> dqkv_s(qkv.size(), 0.f), dqkv_p(qkv.size(), 0.f);
+  std::vector<float> dpre(pre_s.size(), 0.f), datt(att_s.size(), 0.f);
+  attention_backward(ser_, dqkv_s.data(), dpre.data(), datt.data(),
+                     dout.data(), qkv.data(), att_s.data(), kB, kT, kC, kNh);
+  std::fill(dpre.begin(), dpre.end(), 0.f);
+  std::fill(datt.begin(), datt.end(), 0.f);
+  attention_backward(par_, dqkv_p.data(), dpre.data(), datt.data(),
+                     dout.data(), qkv.data(), att_s.data(), kB, kT, kC, kNh);
+  EXPECT_EQ(dqkv_s, dqkv_p);
+}
+
+TEST_F(ParallelKernels, SoftmaxXentBitExact) {
+  constexpr int kBt = 7, kV = 11;
+  const auto logits = randn(kBt * kV);
+  std::vector<int> targets(kBt);
+  for (int i = 0; i < kBt; ++i) targets[i] = i % 3 == 0 ? -1 : i % kV;
+  std::vector<float> losses_s(kBt), probs_s(kBt * kV), losses_p(kBt),
+      probs_p(kBt * kV);
+  softmax_xent_forward(ser_, losses_s.data(), probs_s.data(), logits.data(),
+                       targets.data(), kBt, kV);
+  softmax_xent_forward(par_, losses_p.data(), probs_p.data(), logits.data(),
+                       targets.data(), kBt, kV);
+  EXPECT_EQ(losses_s, losses_p);
+  EXPECT_EQ(probs_s, probs_p);
+
+  std::vector<float> dz_s(kBt * kV, 0.f), dz_p(kBt * kV, 0.f);
+  softmax_xent_backward(ser_, dz_s.data(), probs_s.data(), targets.data(),
+                        kBt, kV, 0.25f);
+  softmax_xent_backward(par_, dz_p.data(), probs_p.data(), targets.data(),
+                        kBt, kV, 0.25f);
+  EXPECT_EQ(dz_s, dz_p);
+}
+
+TEST_F(ParallelKernels, ElementwiseBitExact) {
+  const std::size_t n = 10007;  // not a multiple of any shard count
+  const auto a = randn(n), b = randn(n);
+  std::vector<float> out_s(n), out_p(n);
+  gelu_forward(ser_, out_s.data(), a.data(), n);
+  gelu_forward(par_, out_p.data(), a.data(), n);
+  EXPECT_EQ(out_s, out_p);
+
+  std::vector<float> di_s(n, 0.f), di_p(n, 0.f);
+  gelu_backward(ser_, di_s.data(), a.data(), b.data(), n);
+  gelu_backward(par_, di_p.data(), a.data(), b.data(), n);
+  EXPECT_EQ(di_s, di_p);
+
+  residual_forward(ser_, out_s.data(), a.data(), b.data(), n);
+  residual_forward(par_, out_p.data(), a.data(), b.data(), n);
+  EXPECT_EQ(out_s, out_p);
+
+  std::vector<float> y_s(a), y_p(a);
+  axpy(ser_, y_s.data(), 0.5f, b.data(), n);
+  axpy(par_, y_p.data(), 0.5f, b.data(), n);
+  EXPECT_EQ(y_s, y_p);
+  scale_inplace(ser_, y_s.data(), 1.25f, n);
+  scale_inplace(par_, y_p.data(), 1.25f, n);
+  EXPECT_EQ(y_s, y_p);
+
+  std::vector<float> emb_s(5 * 4), emb_p(5 * 4);
+  const auto table = randn(3 * 4);
+  const std::vector<int> tokens{0, 2, 1, 2, 0};
+  embedding_forward(ser_, emb_s.data(), tokens.data(), table.data(), 5, 4);
+  embedding_forward(par_, emb_p.data(), tokens.data(), table.data(), 5, 4);
+  EXPECT_EQ(emb_s, emb_p);
+}
+
+TEST_F(ParallelKernels, L2NormMatchesSerialAndIsDeterministic) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3},
+                              std::size_t{4096}, std::size_t{10007}}) {
+    const auto x = randn(n);
+    const double s = l2_norm(ser_, x.data(), n);
+    const double p = l2_norm(par_, x.data(), n);
+    EXPECT_NEAR(p, s, 1e-9 * (1.0 + s)) << "n=" << n;
+    EXPECT_EQ(p, l2_norm(par_, x.data(), n));  // deterministic
+  }
+}
+
+TEST_F(ParallelKernels, NestedCallFromPoolWorkerDegradesToSerial) {
+  // A kernel invoked from a pool worker (the federated client fan-out
+  // pattern) must run serial — and still produce the same result.
+  constexpr int kM = 6, kK = 7, kN = 5;
+  const auto a = randn(kM * kK), b = randn(kK * kN);
+  std::vector<float> want(kM * kN);
+  matmul(ser_, want.data(), a.data(), b.data(), kM, kK, kN);
+
+  // submit() always lands on a worker thread (parallel_for would run some
+  // chunks inline on this caller thread, where degradation must NOT kick in).
+  std::vector<std::vector<float>> got(4, std::vector<float>(kM * kN));
+  std::vector<std::future<void>> futs;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    futs.push_back(pool_.submit([&, i] {
+      EXPECT_TRUE(ThreadPool::on_worker_thread());
+      EXPECT_EQ(par_.effective_threads(), 1);
+      matmul(par_, got[i].data(), a.data(), b.data(), kM, kK, kN);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  for (const auto& g : got) EXPECT_EQ(g, want);
 }
 
 TEST(AlibiSlopes, GeometricSequence) {

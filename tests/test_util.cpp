@@ -180,5 +180,60 @@ TEST(ThreadPool, SubmitReturnsValue) {
   EXPECT_EQ(f.get(), 42);
 }
 
+TEST(ThreadPool, ChunkedParallelForCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{100}, std::size_t{101}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, 8, [&](std::size_t begin, std::size_t end) {
+      ASSERT_LE(begin, end);
+      for (std::size_t i = begin; i < end; ++i) hits[i]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  // grain larger than n: must still cover everything (single chunk).
+  std::atomic<int> covered{0};
+  pool.parallel_for(5, 1000, [&](std::size_t begin, std::size_t end) {
+    covered += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 5);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  // The caller thread executes one chunk itself, so bodies run both on
+  // workers and on the caller; nested calls from workers must run inline
+  // instead of deadlocking on the shared queue.
+  std::atomic<int> count{0};
+  std::atomic<int> on_worker{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    if (ThreadPool::on_worker_thread()) on_worker.fetch_add(1);
+    pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+  // submit() always lands on a worker thread.
+  auto f = pool.submit([&] {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+  });
+  f.get();
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  EXPECT_EQ(count.load(), 9 * 16);
+}
+
+TEST(ThreadPool, NestedParallelForStress) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.parallel_for(32, 2, [&](std::size_t begin, std::size_t end) {
+      pool.parallel_for(end - begin, [&](std::size_t) {
+        total.fetch_add(1);
+      });
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * 32);
+}
+
 }  // namespace
 }  // namespace photon

@@ -1,0 +1,168 @@
+// Standalone ThreadSanitizer stress for the threaded kernel layer.  Built
+// with -fsanitize=thread (no gtest: the sanitizer only instruments what it
+// compiles) and run as a tier-1 ctest test.  Exercises the racy-by-design
+// surfaces: nested parallel_for, chunked parallel_for, and every parallel
+// kernel — including the per-shard partial-accumulator reductions — and
+// cross-checks results against the serial context.
+//
+// Exit code 0 = clean; TSan itself aborts with a report on any data race.
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "tensor/kernel_context.hpp"
+#include "tensor/kernels.hpp"
+#include "util/threadpool.hpp"
+
+namespace {
+
+using photon::ThreadPool;
+namespace k = photon::kernels;
+
+std::uint64_t g_lcg = 0x9E3779B97F4A7C15ull;
+float frand() {
+  g_lcg = g_lcg * 6364136223846793005ull + 1442695040888963407ull;
+  return static_cast<float>((g_lcg >> 40) & 0xFFFF) / 65536.0f - 0.5f;
+}
+
+std::vector<float> randvec(std::size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = frand();
+  return v;
+}
+
+bool close(const std::vector<float>& a, const std::vector<float>& b,
+           double tol, const char* what) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(1.0, std::fabs(static_cast<double>(b[i])));
+    if (std::fabs(static_cast<double>(a[i]) - b[i]) / denom > tol) {
+      std::fprintf(stderr, "FAIL %s[%zu]: %g vs %g\n", what, i,
+                   static_cast<double>(a[i]), static_cast<double>(b[i]));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool nested_parallel_for(ThreadPool& pool) {
+  std::atomic<int> count{0};
+  for (int rep = 0; rep < 20; ++rep) {
+    pool.parallel_for(8, [&](std::size_t) {
+      // Nested call from a worker thread: must run inline, not deadlock.
+      pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+    });
+  }
+  if (count.load() != 20 * 8 * 16) {
+    std::fprintf(stderr, "FAIL nested parallel_for count %d\n", count.load());
+    return false;
+  }
+  std::atomic<int> covered{0};
+  pool.parallel_for(1000, 64, [&](std::size_t b, std::size_t e) {
+    covered.fetch_add(static_cast<int>(e - b));
+  });
+  if (covered.load() != 1000) {
+    std::fprintf(stderr, "FAIL chunked parallel_for coverage\n");
+    return false;
+  }
+  return true;
+}
+
+bool kernels_race_free(ThreadPool& pool) {
+  const k::KernelContext par(&pool, 4, /*grain=*/1);
+  const k::KernelContext& ser = k::KernelContext::serial();
+  constexpr int kBt = 37, kC = 24, kOc = 40;  // odd sizes, bt % shards != 0
+
+  const auto inp = randvec(kBt * kC), w = randvec(kOc * kC), bias = randvec(kOc);
+  const auto dout = randvec(kBt * kOc);
+
+  std::vector<float> out_p(kBt * kOc), out_s(kBt * kOc);
+  k::linear_forward(par, out_p.data(), inp.data(), w.data(), bias.data(), kBt,
+                    kC, kOc);
+  k::linear_forward(ser, out_s.data(), inp.data(), w.data(), bias.data(), kBt,
+                    kC, kOc);
+  if (!close(out_p, out_s, 1e-6, "linear_forward")) return false;
+
+  std::vector<float> dinp_p(kBt * kC, 0.f), dw_p(kOc * kC, 0.f), db_p(kOc, 0.f);
+  std::vector<float> dinp_s(kBt * kC, 0.f), dw_s(kOc * kC, 0.f), db_s(kOc, 0.f);
+  k::linear_backward(par, dinp_p.data(), dw_p.data(), db_p.data(), dout.data(),
+                     inp.data(), w.data(), kBt, kC, kOc);
+  k::linear_backward(ser, dinp_s.data(), dw_s.data(), db_s.data(), dout.data(),
+                     inp.data(), w.data(), kBt, kC, kOc);
+  if (!close(dinp_p, dinp_s, 1e-6, "linear_backward dinp")) return false;
+  if (!close(dw_p, dw_s, 1e-5, "linear_backward dweight")) return false;
+  if (!close(db_p, db_s, 1e-5, "linear_backward dbias")) return false;
+
+  std::vector<float> ln_p(kBt * kC), ln_s(kBt * kC), mean(kBt), rstd(kBt);
+  const auto gamma = randvec(kC), beta = randvec(kC), dln = randvec(kBt * kC);
+  k::layernorm_forward(par, ln_p.data(), mean.data(), rstd.data(), inp.data(),
+                       gamma.data(), beta.data(), kBt, kC);
+  k::layernorm_forward(ser, ln_s.data(), mean.data(), rstd.data(), inp.data(),
+                       gamma.data(), beta.data(), kBt, kC);
+  if (!close(ln_p, ln_s, 1e-6, "layernorm_forward")) return false;
+  std::vector<float> dx_p(kBt * kC, 0.f), dg_p(kC, 0.f), dbt_p(kC, 0.f);
+  std::vector<float> dx_s(kBt * kC, 0.f), dg_s(kC, 0.f), dbt_s(kC, 0.f);
+  k::layernorm_backward(par, dx_p.data(), dg_p.data(), dbt_p.data(), dln.data(),
+                        inp.data(), gamma.data(), mean.data(), rstd.data(),
+                        kBt, kC);
+  k::layernorm_backward(ser, dx_s.data(), dg_s.data(), dbt_s.data(), dln.data(),
+                        inp.data(), gamma.data(), mean.data(), rstd.data(),
+                        kBt, kC);
+  if (!close(dx_p, dx_s, 1e-6, "layernorm_backward dinp")) return false;
+  if (!close(dg_p, dg_s, 1e-5, "layernorm_backward dgamma")) return false;
+  if (!close(dbt_p, dbt_s, 1e-5, "layernorm_backward dbeta")) return false;
+
+  constexpr int kM = 19, kK = 23, kN = 17;
+  const auto ma = randvec(kM * kK), mb = randvec(kK * kN);
+  std::vector<float> mo_p(kM * kN), mo_s(kM * kN);
+  k::matmul(par, mo_p.data(), ma.data(), mb.data(), kM, kK, kN);
+  k::matmul(ser, mo_s.data(), ma.data(), mb.data(), kM, kK, kN);
+  if (!close(mo_p, mo_s, 1e-6, "matmul")) return false;
+
+  constexpr int kB = 3, kT = 9, kAc = 16, kNh = 4;
+  const auto qkv = randvec(kB * kT * 3 * kAc);
+  std::vector<float> slopes(kNh);
+  k::alibi_slopes(slopes.data(), kNh);
+  std::vector<float> ao_p(kB * kT * kAc), ao_s(kB * kT * kAc);
+  std::vector<float> pre(kB * kNh * kT * kT), att(kB * kNh * kT * kT);
+  k::attention_forward(par, ao_p.data(), pre.data(), att.data(), qkv.data(),
+                       slopes.data(), kB, kT, kAc, kNh);
+  k::attention_forward(ser, ao_s.data(), pre.data(), att.data(), qkv.data(),
+                       slopes.data(), kB, kT, kAc, kNh);
+  if (!close(ao_p, ao_s, 1e-6, "attention_forward")) return false;
+  const auto datty = randvec(kB * kT * kAc);
+  std::vector<float> dqkv_p(qkv.size(), 0.f), dqkv_s(qkv.size(), 0.f);
+  std::vector<float> dpre(pre.size(), 0.f), datt(att.size(), 0.f);
+  k::attention_backward(par, dqkv_p.data(), dpre.data(), datt.data(),
+                        datty.data(), qkv.data(), att.data(), kB, kT, kAc,
+                        kNh);
+  std::fill(dpre.begin(), dpre.end(), 0.f);
+  std::fill(datt.begin(), datt.end(), 0.f);
+  k::attention_backward(ser, dqkv_s.data(), dpre.data(), datt.data(),
+                        datty.data(), qkv.data(), att.data(), kB, kT, kAc,
+                        kNh);
+  if (!close(dqkv_p, dqkv_s, 1e-6, "attention_backward")) return false;
+
+  const auto big = randvec(10007);
+  const double n_p = k::l2_norm(par, big.data(), big.size());
+  const double n_s = k::l2_norm(ser, big.data(), big.size());
+  if (std::fabs(n_p - n_s) / std::max(1.0, n_s) > 1e-9) {
+    std::fprintf(stderr, "FAIL l2_norm %g vs %g\n", n_p, n_s);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool(4);
+  bool ok = true;
+  ok = nested_parallel_for(pool) && ok;
+  for (int rep = 0; rep < 5; ++rep) ok = kernels_race_free(pool) && ok;
+  if (!ok) return 1;
+  std::printf("tsan stress ok\n");
+  return 0;
+}
