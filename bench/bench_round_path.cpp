@@ -1,0 +1,497 @@
+// Round-path benchmark: cost of everything in a federated round that is
+// *not* local training — broadcast serialization, update return, codec,
+// CRC, and the aggregation collective — swept over cohort size K, codec,
+// and topology.
+//
+// Each comm-path case is timed twice:
+//   ref — an inline reproduction of the pre-zero-copy round path (payload
+//         copied into every message, whole-buffer encode through a
+//         length-prefixed vector, full decode copies, per-client deltas
+//         copied out, pseudo-gradient copied, staged ring-AllReduce,
+//         two-pass PS/AR with an O(n) double accumulator);
+//   new — the production path: one borrowed broadcast payload, chunked
+//         encode/decode into per-link scratch reused across rounds, the
+//         collective run in place over the received buffers.
+// Both produce bit-identical aggregation results; the ratio is the
+// overhead drop this PR claims.
+//
+//   bench_round_path [--smoke] [--json=PATH]
+//
+// --json=PATH   JSON report path (default: BENCH_round.json)
+// --smoke       one tiny case + a 1-round federation (CI smoke)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/collective.hpp"
+#include "comm/compression.hpp"
+#include "comm/link.hpp"
+#include "comm/message.hpp"
+#include "core/aggregator.hpp"
+#include "core/client.hpp"
+#include "data/corpus.hpp"
+#include "data/stream.hpp"
+#include "nn/config.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace {
+
+using namespace photon;
+
+double seconds_of(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  std::vector<double> samples;
+  for (int s = 0; s < 3; ++s) {
+    int reps = 1;
+    for (;;) {
+      const auto t0 = clock::now();
+      for (int r = 0; r < reps; ++r) fn();
+      const double secs =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (secs >= 0.02 || reps >= (1 << 16)) {
+        samples.push_back(secs / reps);
+        break;
+      }
+      reps *= 2;
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[1];
+}
+
+// ------------------------------------------------- pre-PR reference path --
+
+std::vector<std::uint8_t> ref_encode(const Message& m) {
+  const Codec* codec_ptr = codec_by_name(m.codec);
+  BinaryWriter payload_writer;
+  payload_writer.write_vector(m.payload);
+  const auto compressed = codec_ptr->compress(payload_writer.bytes());
+  BinaryWriter w;
+  w.write(static_cast<std::uint32_t>(0x50484F54));
+  w.write(static_cast<std::uint8_t>(m.type));
+  w.write(m.round);
+  w.write(m.sender);
+  w.write_string(m.codec);
+  w.write(static_cast<std::uint64_t>(m.metadata.size()));
+  for (const auto& [key, value] : m.metadata) {
+    w.write_string(key);
+    w.write(value);
+  }
+  w.write(static_cast<std::uint64_t>(compressed.size()));
+  w.write_raw(compressed);
+  w.write(crc32(compressed));
+  return w.take();
+}
+
+Message ref_decode(std::span<const std::uint8_t> wire) {
+  BinaryReader r(wire);
+  r.read<std::uint32_t>();
+  Message m;
+  m.type = static_cast<MessageType>(r.read<std::uint8_t>());
+  m.round = r.read<std::uint32_t>();
+  m.sender = r.read<std::uint32_t>();
+  m.codec = r.read_string();
+  const auto n_meta = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_meta; ++i) {
+    const std::string key = r.read_string();
+    m.metadata[key] = r.read<double>();
+  }
+  const auto payload_len = r.read<std::uint64_t>();
+  const auto compressed = r.read_raw(payload_len);
+  crc32(compressed);
+  const Codec* codec_ptr = codec_by_name(m.codec);
+  const auto raw = codec_ptr->decompress(compressed);
+  BinaryReader pr(raw);
+  m.payload = pr.read_vector<float>();
+  return m;
+}
+
+void ref_two_pass_mean(std::vector<std::vector<float>>& deltas) {
+  const std::size_t n = deltas.front().size();
+  std::vector<double> acc(n, 0.0);
+  for (const auto& b : deltas) {
+    for (std::size_t i = 0; i < n; ++i) acc[i] += b[i];
+  }
+  const double inv = 1.0 / static_cast<double>(deltas.size());
+  for (auto& b : deltas) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b[i] = static_cast<float>(acc[i] * inv);
+    }
+  }
+}
+
+void ref_staged_ring_mean(std::vector<std::vector<float>>& deltas) {
+  const int k = static_cast<int>(deltas.size());
+  const std::size_t n = deltas.front().size();
+  std::vector<std::size_t> starts(static_cast<std::size_t>(k) + 1);
+  for (int c = 0; c <= k; ++c) {
+    starts[static_cast<std::size_t>(c)] =
+        n * static_cast<std::size_t>(c) / static_cast<std::size_t>(k);
+  }
+  auto chunk = [&](int worker, int c) {
+    const int cc = ((c % k) + k) % k;
+    return std::span<float>(deltas[static_cast<std::size_t>(worker)])
+        .subspan(starts[static_cast<std::size_t>(cc)],
+                 starts[static_cast<std::size_t>(cc) + 1] -
+                     starts[static_cast<std::size_t>(cc)]);
+  };
+  for (int s = 0; s < k - 1; ++s) {
+    std::vector<std::vector<float>> staged(static_cast<std::size_t>(k));
+    for (int w = 0; w < k; ++w) {
+      const auto src = chunk(w, w - s);
+      staged[static_cast<std::size_t>(w)].assign(src.begin(), src.end());
+    }
+    for (int w = 0; w < k; ++w) {
+      auto dst = chunk((w + 1) % k, w - s);
+      const auto& sent = staged[static_cast<std::size_t>(w)];
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += sent[i];
+    }
+  }
+  for (int s = 0; s < k - 1; ++s) {
+    std::vector<std::vector<float>> staged(static_cast<std::size_t>(k));
+    for (int w = 0; w < k; ++w) {
+      const auto src = chunk(w, w + 1 - s);
+      staged[static_cast<std::size_t>(w)].assign(src.begin(), src.end());
+    }
+    for (int w = 0; w < k; ++w) {
+      auto dst = chunk((w + 1) % k, w + 1 - s);
+      const auto& sent = staged[static_cast<std::size_t>(w)];
+      std::memcpy(dst.data(), sent.data(), sent.size() * sizeof(float));
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(k);
+  for (auto& b : deltas) {
+    for (auto& x : b) x *= inv;
+  }
+}
+
+// One reference round: per-client broadcast with a fresh payload copy and
+// whole-buffer encode/decode, serial update return with copied-out deltas,
+// copied pseudo-gradient, staged/two-pass collective.
+void ref_round(const std::vector<float>& params, int k,
+               const std::string& codec, Topology topo,
+               std::uint64_t* wire_bytes) {
+  std::vector<std::vector<float>> deltas(static_cast<std::size_t>(k));
+  *wire_bytes = 0;
+  for (int c = 0; c < k; ++c) {
+    Message broadcast;
+    broadcast.type = MessageType::kModelBroadcast;
+    broadcast.codec = codec;
+    broadcast.payload = params;  // per-client model copy
+    const auto bwire = ref_encode(broadcast);
+    *wire_bytes += bwire.size();
+    const Message received = ref_decode(bwire);
+
+    Message up;
+    up.type = MessageType::kClientUpdate;
+    up.codec = codec;
+    up.payload = received.payload;  // client's delta, copied into the message
+    const auto uwire = ref_encode(up);
+    *wire_bytes += uwire.size();
+    const Message back = ref_decode(uwire);
+    deltas[static_cast<std::size_t>(c)] = back.payload;  // copied out
+  }
+  if (topo == Topology::kRingAllReduce) {
+    ref_staged_ring_mean(deltas);
+  } else {
+    ref_two_pass_mean(deltas);
+  }
+  std::vector<float> pseudo_grad = deltas.front();  // full-model copy
+  (void)pseudo_grad;
+}
+
+// ---------------------------------------------------- production new path --
+
+struct NewRoundState {
+  std::vector<SimLink> links;
+  std::vector<Message> rx;
+};
+
+void new_round(const std::vector<float>& params, int k,
+               const std::string& codec, Topology topo, NewRoundState& st,
+               std::uint64_t* wire_bytes) {
+  if (st.links.empty()) {
+    for (int c = 0; c < k; ++c) {
+      st.links.emplace_back("bench" + std::to_string(c), 10.0);
+      st.links.back().set_thread_pool(&global_pool());
+    }
+    st.rx.resize(static_cast<std::size_t>(k));
+  }
+  std::uint64_t before = 0;
+  for (const auto& l : st.links) before += l.stats().wire_bytes;
+
+  Message broadcast;
+  broadcast.type = MessageType::kModelBroadcast;
+  broadcast.codec = codec;
+  broadcast.payload_view = params;  // one buffer serves every client
+  for (int c = 0; c < k; ++c) {
+    auto& rx = st.rx[static_cast<std::size_t>(c)];
+    st.links[static_cast<std::size_t>(c)].transmit(broadcast, rx);
+
+    Message up;
+    up.type = MessageType::kClientUpdate;
+    up.codec = codec;
+    up.payload_view = rx.payload;  // client's delta, borrowed
+    st.links[static_cast<std::size_t>(c)].transmit(up, rx);
+  }
+  std::vector<std::span<float>> spans;
+  spans.reserve(static_cast<std::size_t>(k));
+  for (auto& rx : st.rx) spans.emplace_back(rx.payload);
+  collective_mean(topo, spans, 1250.0);
+  const std::span<const float> pseudo_grad = st.rx.front().payload;  // view
+  (void)pseudo_grad;
+
+  std::uint64_t after = 0;
+  for (const auto& l : st.links) after += l.stats().wire_bytes;
+  *wire_bytes = after - before;
+}
+
+// ------------------------------------------------------------- reporting --
+
+struct CommCase {
+  std::string label;
+  std::size_t n = 0;
+  int k = 0;
+  std::string codec;
+  Topology topo = Topology::kRingAllReduce;
+};
+
+struct CommResult {
+  CommCase c;
+  double ref_seconds = 0.0;
+  double new_seconds = 0.0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t ref_bytes_copied = 0;
+  std::uint64_t new_bytes_copied = 0;
+  double encode_gbps = 0.0;
+  double decode_gbps = 0.0;
+};
+
+const char* topo_name(Topology t) {
+  switch (t) {
+    case Topology::kParameterServer: return "ps";
+    case Topology::kAllReduce: return "ar";
+    case Topology::kRingAllReduce: return "rar";
+  }
+  return "?";
+}
+
+std::vector<float> make_payload(std::size_t n) {
+  Rng rng(0xBEEF);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Half zeros: gives rle0 something to chew on, like a clipped update.
+    v[i] = (i % 2 == 0) ? 0.0f : rng.gaussian(0.0f, 0.02f);
+  }
+  return v;
+}
+
+CommResult run_comm_case(const CommCase& c) {
+  CommResult res;
+  res.c = c;
+  const auto params = make_payload(c.n);
+  const std::size_t raw = c.n * sizeof(float);
+
+  NewRoundState st;
+  res.new_seconds = seconds_of([&] {
+    new_round(params, c.k, c.codec, c.topo, st, &res.wire_bytes);
+  });
+  res.ref_seconds = seconds_of([&] {
+    std::uint64_t ignored = 0;
+    ref_round(params, c.k, c.codec, c.topo, &ignored);
+  });
+
+  // Bytes written to memory per round by each path's transmit machinery
+  // (2K transmits; excludes what the collective itself touches).  ref:
+  // payload copy into the message, length-prefixed re-serialize, codec
+  // output, wire append, decode copy-out, decompress, payload copy-out,
+  // plus the caller's delta and pseudo-grad copies.  new: codec output
+  // (zero for identity: memcpy straight into the wire counts once) and the
+  // decode into the reused payload.
+  const std::uint64_t comp =
+      res.wire_bytes / (2ull * static_cast<std::uint64_t>(c.k));
+  const auto k64 = static_cast<std::uint64_t>(c.k);
+  res.ref_bytes_copied =
+      2 * k64 * (3 * raw + 3 * comp) + k64 * raw /* deltas[i] */ +
+      raw /* pseudo_grad */;
+  res.new_bytes_copied =
+      2 * k64 * (comp + raw) + (codec_by_name(c.codec)->is_identity()
+                                    ? 0
+                                    : 2 * k64 * comp /* chunk concat */);
+
+  // Encode / decode throughput of the chunked path on this payload.
+  Message m;
+  m.codec = c.codec;
+  m.payload_view = params;
+  WireScratch scratch;
+  const double enc = seconds_of([&] { m.encode_into(scratch, &global_pool()); });
+  Message out;
+  const double dec = seconds_of(
+      [&] { Message::decode_into(scratch.wire, out, &global_pool()); });
+  res.encode_gbps = static_cast<double>(raw) / enc / 1e9;
+  res.decode_gbps = static_cast<double>(raw) / dec / 1e9;
+  return res;
+}
+
+// --------------------------------------------------- real federation runs --
+
+struct RoundResult {
+  int round = 0;
+  double wall_seconds = 0.0;
+  double wall_train_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  std::uint64_t comm_bytes = 0;
+  double mean_train_loss = 0.0;
+};
+
+std::vector<RoundResult> run_federation(int rounds, int clients) {
+  ClientTrainConfig ctc;
+  ctc.model = ModelConfig::micro();
+  ctc.local_batch = 2;
+  ctc.schedule.max_lr = 5e-3f;
+  ctc.schedule.warmup_steps = 2;
+  ctc.schedule.total_steps = 1000;
+  ctc.link_codec = "rle0";
+
+  CorpusConfig cc;
+  cc.vocab_size = ctc.model.vocab_size;
+  auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
+
+  std::vector<std::unique_ptr<LLMClient>> cs;
+  for (int i = 0; i < clients; ++i) {
+    cs.push_back(std::make_unique<LLMClient>(
+        i, ctc, std::make_unique<CorpusStreamSource>(corpus, 100 + i), 7));
+  }
+  AggregatorConfig ac;
+  ac.local_steps = 2;
+  ac.topology = Topology::kRingAllReduce;
+  Aggregator agg(ctc.model, ac, std::make_unique<FedAvgOpt>(), std::move(cs),
+                 42);
+
+  std::vector<RoundResult> out;
+  for (int r = 0; r < rounds; ++r) {
+    const RoundRecord rec = agg.run_round();
+    RoundResult rr;
+    rr.round = static_cast<int>(rec.round);
+    rr.wall_seconds = rec.wall_seconds;
+    rr.wall_train_seconds = rec.wall_train_seconds;
+    rr.overhead_seconds = rec.wall_seconds - rec.wall_train_seconds;
+    rr.comm_bytes = rec.comm_bytes;
+    rr.mean_train_loss = rec.mean_train_loss;
+    out.push_back(rr);
+  }
+  return out;
+}
+
+bool write_json(const std::string& path, const std::vector<CommResult>& comm,
+                const std::vector<RoundResult>& rounds) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"comm_path\": [\n");
+  for (std::size_t i = 0; i < comm.size(); ++i) {
+    const auto& r = comm[i];
+    std::fprintf(
+        f,
+        "    {\"label\": \"%s\", \"n_floats\": %zu, \"k\": %d, "
+        "\"codec\": \"%s\", \"topology\": \"%s\", "
+        "\"ref_seconds_per_round\": %.6e, \"new_seconds_per_round\": %.6e, "
+        "\"speedup\": %.3f, \"wire_bytes\": %llu, "
+        "\"ref_bytes_copied\": %llu, \"new_bytes_copied\": %llu, "
+        "\"encode_gbps\": %.3f, \"decode_gbps\": %.3f}%s\n",
+        r.c.label.c_str(), r.c.n, r.c.k, r.c.codec.c_str(),
+        topo_name(r.c.topo), r.ref_seconds, r.new_seconds,
+        r.ref_seconds / r.new_seconds,
+        static_cast<unsigned long long>(r.wire_bytes),
+        static_cast<unsigned long long>(r.ref_bytes_copied),
+        static_cast<unsigned long long>(r.new_bytes_copied), r.encode_gbps,
+        r.decode_gbps, i + 1 < comm.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"rounds\": [\n");
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const auto& r = rounds[i];
+    std::fprintf(
+        f,
+        "    {\"round\": %d, \"wall_seconds\": %.6e, "
+        "\"wall_train_seconds\": %.6e, \"overhead_seconds\": %.6e, "
+        "\"comm_bytes\": %llu, \"mean_train_loss\": %.4f}%s\n",
+        r.round, r.wall_seconds, r.wall_train_seconds, r.overhead_seconds,
+        static_cast<unsigned long long>(r.comm_bytes), r.mean_train_loss,
+        i + 1 < rounds.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_round.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  std::vector<CommCase> cases;
+  if (smoke) {
+    cases.push_back({"smoke_100k_K2_identity_rar", 100'000, 2, "",
+                     Topology::kRingAllReduce});
+  } else {
+    // Headline: ~10M-param model, K=8 cohort, identity codec, ring-AR.
+    cases.push_back({"headline_10M_K8_identity_rar", 10'000'000, 8, "",
+                     Topology::kRingAllReduce});
+    for (const char* codec : {"rle0", "lzss"}) {
+      cases.push_back({std::string("codec_1M_K4_") + codec + "_rar",
+                       1'000'000, 4, codec, Topology::kRingAllReduce});
+    }
+    for (int k : {2, 8, 16}) {
+      cases.push_back({"ksweep_1M_K" + std::to_string(k) + "_identity_rar",
+                       1'000'000, k, "", Topology::kRingAllReduce});
+    }
+    cases.push_back(
+        {"topo_1M_K4_identity_ps", 1'000'000, 4, "", Topology::kParameterServer});
+    cases.push_back(
+        {"topo_1M_K4_identity_ar", 1'000'000, 4, "", Topology::kAllReduce});
+  }
+
+  std::vector<CommResult> comm;
+  for (const auto& c : cases) {
+    comm.push_back(run_comm_case(c));
+    const auto& r = comm.back();
+    std::printf(
+        "%-32s n=%-9zu K=%-3d %-5s %-4s ref %.4fs new %.4fs  speedup %.2fx  "
+        "enc %.2f GB/s dec %.2f GB/s\n",
+        r.c.label.c_str(), r.c.n, r.c.k,
+        r.c.codec.empty() ? "ident" : r.c.codec.c_str(), topo_name(r.c.topo),
+        r.ref_seconds, r.new_seconds, r.ref_seconds / r.new_seconds,
+        r.encode_gbps, r.decode_gbps);
+  }
+
+  const auto rounds = run_federation(smoke ? 1 : 2, smoke ? 2 : 4);
+  for (const auto& r : rounds) {
+    std::printf(
+        "round %d: wall %.3fs train %.3fs overhead %.3fs comm %llu B "
+        "loss %.3f\n",
+        r.round, r.wall_seconds, r.wall_train_seconds, r.overhead_seconds,
+        static_cast<unsigned long long>(r.comm_bytes), r.mean_train_loss);
+  }
+
+  if (!write_json(json_path, comm, rounds)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

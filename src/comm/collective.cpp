@@ -21,27 +21,40 @@ double seconds_for(std::uint64_t bytes, double bandwidth_mbps) {
   return static_cast<double>(bytes) / (bandwidth_mbps * 1024.0 * 1024.0);
 }
 
+// Element-wise mean written back to every buffer, fused into a single pass
+// (no O(n) double accumulator buffer).  Per element: accumulate the buffers
+// in index order into a double, then write float(acc / k) to all of them —
+// the exact arithmetic of the old two-pass implementation, and independent
+// per element, so sharding over `ctx` cannot change a single bit.
+void mean_into_all(std::vector<std::span<float>>& buffers,
+                   const kernels::KernelContext& ctx) {
+  const std::size_t k = buffers.size();
+  const std::size_t n = buffers.front().size();
+  const double inv = 1.0 / static_cast<double>(k);
+  ctx.parallel_shards(
+      n, ctx.grain_rows(2 * k),
+      [&](int, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double acc = 0.0;
+          for (const auto& b : buffers) acc += b[i];
+          const float mean = static_cast<float>(acc * inv);
+          for (auto& b : buffers) b[i] = mean;
+        }
+      });
+}
+
 }  // namespace
 
 CollectiveReport ps_all_reduce_mean(std::vector<std::span<float>> buffers,
-                                    double bandwidth_mbps) {
+                                    double bandwidth_mbps,
+                                    const kernels::KernelContext& ctx) {
   validate(buffers);
   const int k = static_cast<int>(buffers.size());
   const std::size_t n = buffers.front().size();
   const std::uint64_t buf_bytes = static_cast<std::uint64_t>(n) * sizeof(float);
 
-  // Server accumulates all K updates...
-  std::vector<double> acc(n, 0.0);
-  for (const auto& b : buffers) {
-    for (std::size_t i = 0; i < n; ++i) acc[i] += b[i];
-  }
-  const double inv = 1.0 / k;
-  // ...then broadcasts the mean back.
-  for (auto& b : buffers) {
-    for (std::size_t i = 0; i < n; ++i) {
-      b[i] = static_cast<float>(acc[i] * inv);
-    }
-  }
+  // Server accumulates all K updates and broadcasts the mean back.
+  mean_into_all(buffers, ctx);
 
   CollectiveReport r;
   r.topology = Topology::kParameterServer;
@@ -54,24 +67,16 @@ CollectiveReport ps_all_reduce_mean(std::vector<std::span<float>> buffers,
 }
 
 CollectiveReport all_reduce_mean(std::vector<std::span<float>> buffers,
-                                 double bandwidth_mbps) {
+                                 double bandwidth_mbps,
+                                 const kernels::KernelContext& ctx) {
   validate(buffers);
   const int k = static_cast<int>(buffers.size());
   const std::size_t n = buffers.front().size();
   const std::uint64_t buf_bytes = static_cast<std::uint64_t>(n) * sizeof(float);
 
-  // Every worker receives every other worker's buffer and reduces locally.
-  // Simulate worker 0's reduction then copy (all workers compute the same).
-  std::vector<double> acc(n, 0.0);
-  for (const auto& b : buffers) {
-    for (std::size_t i = 0; i < n; ++i) acc[i] += b[i];
-  }
-  const double inv = 1.0 / k;
-  for (auto& b : buffers) {
-    for (std::size_t i = 0; i < n; ++i) {
-      b[i] = static_cast<float>(acc[i] * inv);
-    }
-  }
+  // Every worker receives every other worker's buffer and reduces locally;
+  // all workers compute the identical mean.
+  mean_into_all(buffers, ctx);
 
   CollectiveReport r;
   r.topology = Topology::kAllReduce;
@@ -85,7 +90,8 @@ CollectiveReport all_reduce_mean(std::vector<std::span<float>> buffers,
 }
 
 CollectiveReport ring_all_reduce_mean(std::vector<std::span<float>> buffers,
-                                      double bandwidth_mbps) {
+                                      double bandwidth_mbps,
+                                      const kernels::KernelContext& ctx) {
   validate(buffers);
   const int k = static_cast<int>(buffers.size());
   const std::size_t n = buffers.front().size();
@@ -112,47 +118,62 @@ CollectiveReport ring_all_reduce_mean(std::vector<std::span<float>> buffers,
         starts[static_cast<std::size_t>(cc) + 1] -
             starts[static_cast<std::size_t>(cc)]);
   };
+  // Per-worker transfers within a step touch disjoint memory, so they can
+  // run in any order — or concurrently — without staging buffers: in
+  // reduce-scatter step s, worker x is read at chunk (x - s) and written at
+  // chunk (x - 1 - s); in all-gather step s it is read at chunk (x + 1 - s)
+  // and written at chunk (x - s).  Both pairs are distinct mod k for k >= 2,
+  // so the unstaged result is bit-identical to simultaneous-send semantics.
+  const std::size_t worker_grain =
+      ctx.grain_rows(std::max<std::size_t>(1, n / static_cast<std::size_t>(k)));
 
   // Reduce-scatter: in step s, worker w sends chunk (w - s) to worker w+1,
   // which accumulates it.  After k-1 steps worker w owns the full sum of
   // chunk (w + 1).
   for (int s = 0; s < k - 1; ++s) {
-    // Snapshot senders' chunks to preserve simultaneous-send semantics.
-    std::vector<std::vector<float>> staged(static_cast<std::size_t>(k));
-    for (int w = 0; w < k; ++w) {
-      const auto src = chunk(w, w - s);
-      staged[static_cast<std::size_t>(w)].assign(src.begin(), src.end());
-    }
-    for (int w = 0; w < k; ++w) {
-      const int dst = (w + 1) % k;
-      auto dst_chunk = chunk(dst, w - s);
-      const auto& sent = staged[static_cast<std::size_t>(w)];
-      for (std::size_t i = 0; i < dst_chunk.size(); ++i) {
-        dst_chunk[i] += sent[i];
-      }
-    }
+    ctx.parallel_shards(
+        static_cast<std::size_t>(k), worker_grain,
+        [&](int, std::size_t wb, std::size_t we) {
+          for (std::size_t wi = wb; wi < we; ++wi) {
+            const int w = static_cast<int>(wi);
+            const int dst = (w + 1) % k;
+            const auto src = chunk(w, w - s);
+            auto dst_chunk = chunk(dst, w - s);
+            for (std::size_t i = 0; i < dst_chunk.size(); ++i) {
+              dst_chunk[i] += src[i];
+            }
+          }
+        });
   }
 
   // All-gather: worker w owns the fully reduced chunk (w + 1); circulate.
   for (int s = 0; s < k - 1; ++s) {
-    std::vector<std::vector<float>> staged(static_cast<std::size_t>(k));
-    for (int w = 0; w < k; ++w) {
-      const auto src = chunk(w, w + 1 - s);
-      staged[static_cast<std::size_t>(w)].assign(src.begin(), src.end());
-    }
-    for (int w = 0; w < k; ++w) {
-      const int dst = (w + 1) % k;
-      auto dst_chunk = chunk(dst, w + 1 - s);
-      const auto& sent = staged[static_cast<std::size_t>(w)];
-      std::memcpy(dst_chunk.data(), sent.data(), sent.size() * sizeof(float));
-    }
+    ctx.parallel_shards(
+        static_cast<std::size_t>(k), worker_grain,
+        [&](int, std::size_t wb, std::size_t we) {
+          for (std::size_t wi = wb; wi < we; ++wi) {
+            const int w = static_cast<int>(wi);
+            const int dst = (w + 1) % k;
+            const auto src = chunk(w, w + 1 - s);
+            auto dst_chunk = chunk(dst, w + 1 - s);
+            if (!src.empty()) {
+              std::memcpy(dst_chunk.data(), src.data(),
+                          src.size() * sizeof(float));
+            }
+          }
+        });
   }
 
-  // Mean.
+  // Mean (element-wise, so sharding is exact).
   const float inv = 1.0f / static_cast<float>(k);
-  for (auto& b : buffers) {
-    for (auto& x : b) x *= inv;
-  }
+  ctx.parallel_shards(n, ctx.grain_rows(static_cast<std::size_t>(k)),
+                      [&](int, std::size_t begin, std::size_t end) {
+                        for (auto& b : buffers) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            b[i] *= inv;
+                          }
+                        }
+                      });
 
   // Per-worker traffic: 2 * (k-1) chunk transfers of ~S/k each.
   const std::uint64_t buf_bytes = static_cast<std::uint64_t>(n) * sizeof(float);
@@ -166,14 +187,15 @@ CollectiveReport ring_all_reduce_mean(std::vector<std::span<float>> buffers,
 
 CollectiveReport collective_mean(Topology topology,
                                  std::vector<std::span<float>> buffers,
-                                 double bandwidth_mbps) {
+                                 double bandwidth_mbps,
+                                 const kernels::KernelContext& ctx) {
   switch (topology) {
     case Topology::kParameterServer:
-      return ps_all_reduce_mean(std::move(buffers), bandwidth_mbps);
+      return ps_all_reduce_mean(std::move(buffers), bandwidth_mbps, ctx);
     case Topology::kAllReduce:
-      return all_reduce_mean(std::move(buffers), bandwidth_mbps);
+      return all_reduce_mean(std::move(buffers), bandwidth_mbps, ctx);
     case Topology::kRingAllReduce:
-      return ring_all_reduce_mean(std::move(buffers), bandwidth_mbps);
+      return ring_all_reduce_mean(std::move(buffers), bandwidth_mbps, ctx);
   }
   throw std::invalid_argument("collective_mean: bad topology");
 }

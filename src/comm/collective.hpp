@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "tensor/kernel_context.hpp"
 
 namespace photon {
 
@@ -35,20 +36,29 @@ struct CollectiveReport {
 
 /// In-place mean over `buffers` via a parameter server.  All buffers end
 /// holding the mean.  Buffers must be equal length and non-empty.
-CollectiveReport ps_all_reduce_mean(std::vector<std::span<float>> buffers,
-                                    double bandwidth_mbps);
+///
+/// All collectives shard element ranges over `ctx` with the same
+/// deterministic-sharding contract as the tensor kernels: results are
+/// bit-identical between serial and parallel execution at any thread count
+/// (the reduction order per element never depends on sharding).
+CollectiveReport ps_all_reduce_mean(
+    std::vector<std::span<float>> buffers, double bandwidth_mbps,
+    const kernels::KernelContext& ctx = kernels::default_context());
 
 /// In-place mean via naive AllReduce (every pair exchanges buffers).
-CollectiveReport all_reduce_mean(std::vector<std::span<float>> buffers,
-                                 double bandwidth_mbps);
+CollectiveReport all_reduce_mean(
+    std::vector<std::span<float>> buffers, double bandwidth_mbps,
+    const kernels::KernelContext& ctx = kernels::default_context());
 
 /// In-place mean via Ring-AllReduce: reduce-scatter then all-gather with
 /// K chunks.  Exercises the actual chunked dataflow.
-CollectiveReport ring_all_reduce_mean(std::vector<std::span<float>> buffers,
-                                      double bandwidth_mbps);
+CollectiveReport ring_all_reduce_mean(
+    std::vector<std::span<float>> buffers, double bandwidth_mbps,
+    const kernels::KernelContext& ctx = kernels::default_context());
 
-CollectiveReport collective_mean(Topology topology,
-                                 std::vector<std::span<float>> buffers,
-                                 double bandwidth_mbps);
+CollectiveReport collective_mean(
+    Topology topology, std::vector<std::span<float>> buffers,
+    double bandwidth_mbps,
+    const kernels::KernelContext& ctx = kernels::default_context());
 
 }  // namespace photon

@@ -22,9 +22,9 @@ constexpr std::size_t kMaxMatch = 255;
 
 }  // namespace
 
-std::vector<std::uint8_t> Rle0Codec::compress(
-    std::span<const std::uint8_t> input) const {
-  std::vector<std::uint8_t> out;
+void Rle0Codec::compress_into(std::span<const std::uint8_t> input,
+                              std::vector<std::uint8_t>& out) const {
+  out.clear();
   out.reserve(input.size() / 2 + 16);
   std::size_t i = 0;
   while (i < input.size()) {
@@ -44,12 +44,37 @@ std::vector<std::uint8_t> Rle0Codec::compress(
       i += run;
     }
   }
-  return out;
+}
+
+void Rle0Codec::decompress_into(std::span<const std::uint8_t> input,
+                                std::span<std::uint8_t> out) const {
+  std::size_t i = 0;
+  std::size_t o = 0;
+  while (i < input.size()) {
+    if (i + 2 > input.size()) throw std::runtime_error("rle0: truncated op");
+    const std::uint8_t op = input[i];
+    const std::size_t count = input[i + 1];
+    i += 2;
+    if (count == 0) throw std::runtime_error("rle0: zero count");
+    if (o + count > out.size()) throw std::runtime_error("rle0: output overflow");
+    if (op == kOpZeros) {
+      std::memset(out.data() + o, 0, count);
+    } else if (op == kOpLiteral) {
+      if (i + count > input.size()) throw std::runtime_error("rle0: truncated literal");
+      std::memcpy(out.data() + o, input.data() + i, count);
+      i += count;
+    } else {
+      throw std::runtime_error("rle0: bad op");
+    }
+    o += count;
+  }
+  if (o != out.size()) throw std::runtime_error("rle0: output underflow");
 }
 
 std::vector<std::uint8_t> Rle0Codec::decompress(
     std::span<const std::uint8_t> input) const {
-  std::vector<std::uint8_t> out;
+  // Scan once for the decompressed size, then decode without growth.
+  std::size_t total = 0;
   std::size_t i = 0;
   while (i < input.size()) {
     if (i + 2 > input.size()) throw std::runtime_error("rle0: truncated op");
@@ -57,23 +82,21 @@ std::vector<std::uint8_t> Rle0Codec::decompress(
     const std::size_t count = input[i + 1];
     i += 2;
     if (count == 0) throw std::runtime_error("rle0: zero count");
-    if (op == kOpZeros) {
-      out.insert(out.end(), count, std::uint8_t{0});
-    } else if (op == kOpLiteral) {
-      if (i + count > input.size()) throw std::runtime_error("rle0: truncated literal");
-      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
-                 input.begin() + static_cast<std::ptrdiff_t>(i + count));
+    if (op == kOpLiteral) {
       i += count;
-    } else {
+    } else if (op != kOpZeros) {
       throw std::runtime_error("rle0: bad op");
     }
+    total += count;
   }
+  std::vector<std::uint8_t> out(total);
+  decompress_into(input, out);
   return out;
 }
 
-std::vector<std::uint8_t> LzssCodec::compress(
-    std::span<const std::uint8_t> input) const {
-  std::vector<std::uint8_t> out;
+void LzssCodec::compress_into(std::span<const std::uint8_t> input,
+                              std::vector<std::uint8_t>& out) const {
+  out.clear();
   out.reserve(input.size() + input.size() / 8 + 16);
 
   // Hash chain over 4-byte prefixes for match finding.
@@ -138,7 +161,34 @@ std::vector<std::uint8_t> LzssCodec::compress(
     }
     out[flag_pos] = flags;
   }
-  return out;
+}
+
+void LzssCodec::decompress_into(std::span<const std::uint8_t> input,
+                                std::span<std::uint8_t> out) const {
+  std::size_t i = 0;
+  std::size_t o = 0;
+  while (i < input.size()) {
+    const std::uint8_t flags = input[i++];
+    for (int bit = 0; bit < 8 && i < input.size(); ++bit) {
+      if (flags & (1u << bit)) {
+        if (i + 3 > input.size()) throw std::runtime_error("lzss: truncated match");
+        const std::size_t off = static_cast<std::size_t>(input[i]) |
+                                (static_cast<std::size_t>(input[i + 1]) << 8);
+        const std::size_t len = input[i + 2];
+        i += 3;
+        if (off == 0 || off > o) throw std::runtime_error("lzss: bad offset");
+        if (o + len > out.size()) throw std::runtime_error("lzss: output overflow");
+        const std::size_t start = o - off;
+        // Byte-by-byte: matches may overlap their own output.
+        for (std::size_t j = 0; j < len; ++j) out[o + j] = out[start + j];
+        o += len;
+      } else {
+        if (o + 1 > out.size()) throw std::runtime_error("lzss: output overflow");
+        out[o++] = input[i++];
+      }
+    }
+  }
+  if (o != out.size()) throw std::runtime_error("lzss: output underflow");
 }
 
 std::vector<std::uint8_t> LzssCodec::decompress(
@@ -167,13 +217,23 @@ std::vector<std::uint8_t> LzssCodec::decompress(
 
 namespace {
 
-/// Identity codec used when message.codec == "".
+/// Identity codec used when message.codec == "".  The chunked Message path
+/// special-cases is_identity() to memcpy straight between payload and wire
+/// with no codec buffer at all; these methods exist for generic callers.
 class IdentityCodec final : public Codec {
  public:
   std::string name() const override { return ""; }
-  std::vector<std::uint8_t> compress(
-      std::span<const std::uint8_t> input) const override {
-    return {input.begin(), input.end()};
+  bool is_identity() const override { return true; }
+  void compress_into(std::span<const std::uint8_t> input,
+                     std::vector<std::uint8_t>& out) const override {
+    out.assign(input.begin(), input.end());
+  }
+  void decompress_into(std::span<const std::uint8_t> input,
+                       std::span<std::uint8_t> out) const override {
+    if (input.size() != out.size()) {
+      throw std::runtime_error("identity: size mismatch");
+    }
+    if (!input.empty()) std::memcpy(out.data(), input.data(), input.size());
   }
   std::vector<std::uint8_t> decompress(
       std::span<const std::uint8_t> input) const override {

@@ -21,17 +21,42 @@ class Codec {
  public:
   virtual ~Codec() = default;
   virtual std::string name() const = 0;
-  virtual std::vector<std::uint8_t> compress(
-      std::span<const std::uint8_t> input) const = 0;
+
+  /// True for the "" pass-through codec: compressed bytes == input bytes.
+  /// Callers use this to skip intermediate buffers entirely.
+  virtual bool is_identity() const { return false; }
+
+  /// Compress into `out`, reusing its capacity (cleared first).  This is
+  /// the allocation-free primitive the chunked Message path calls per
+  /// chunk with scratch buffers held across rounds.
+  virtual void compress_into(std::span<const std::uint8_t> input,
+                             std::vector<std::uint8_t>& out) const = 0;
+
+  /// Decompress into the caller-provided buffer of exactly the original
+  /// size (the chunked wire format stores it).  Writes no temporaries.
+  /// Throws std::runtime_error on malformed input or if the output does
+  /// not fill `out` exactly.
+  virtual void decompress_into(std::span<const std::uint8_t> input,
+                               std::span<std::uint8_t> out) const = 0;
+
+  /// Size-discovering decompress (legacy convenience; allocates).
   virtual std::vector<std::uint8_t> decompress(
       std::span<const std::uint8_t> input) const = 0;
+
+  std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) const {
+    std::vector<std::uint8_t> out;
+    compress_into(input, out);
+    return out;
+  }
 };
 
 class Rle0Codec final : public Codec {
  public:
   std::string name() const override { return "rle0"; }
-  std::vector<std::uint8_t> compress(
-      std::span<const std::uint8_t> input) const override;
+  void compress_into(std::span<const std::uint8_t> input,
+                     std::vector<std::uint8_t>& out) const override;
+  void decompress_into(std::span<const std::uint8_t> input,
+                       std::span<std::uint8_t> out) const override;
   std::vector<std::uint8_t> decompress(
       std::span<const std::uint8_t> input) const override;
 };
@@ -39,8 +64,10 @@ class Rle0Codec final : public Codec {
 class LzssCodec final : public Codec {
  public:
   std::string name() const override { return "lzss"; }
-  std::vector<std::uint8_t> compress(
-      std::span<const std::uint8_t> input) const override;
+  void compress_into(std::span<const std::uint8_t> input,
+                     std::vector<std::uint8_t>& out) const override;
+  void decompress_into(std::span<const std::uint8_t> input,
+                       std::span<std::uint8_t> out) const override;
   std::vector<std::uint8_t> decompress(
       std::span<const std::uint8_t> input) const override;
 };

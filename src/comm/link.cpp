@@ -23,12 +23,18 @@ double SimLink::transfer_time(std::uint64_t bytes) const {
 }
 
 Message SimLink::transmit(const Message& message) {
-  const auto wire = message.encode();
+  Message received;
+  transmit(message, received);
+  return received;
+}
+
+void SimLink::transmit(const Message& message, Message& out) {
+  const auto wire = message.encode_into(scratch_, pool_);
   ++stats_.messages;
-  stats_.payload_bytes += message.payload.size() * sizeof(float);
+  stats_.payload_bytes += message.view().size() * sizeof(float);
   stats_.wire_bytes += wire.size();
   stats_.transfer_seconds += transfer_time(wire.size());
-  return Message::decode(wire);
+  Message::decode_into(wire, out, pool_);
 }
 
 double SimLink::account_raw(std::uint64_t bytes) {

@@ -38,6 +38,15 @@ class SimLink {
   /// copy (bit-exact, CRC-checked) and records stats.
   Message transmit(const Message& message);
 
+  /// Zero-copy transmit: encodes into scratch buffers this link keeps
+  /// across rounds and decodes into `out`, reusing its payload capacity.
+  /// Chunked codec/CRC work runs on the pool set via set_thread_pool.
+  /// Stats and received bits are identical to transmit(message).
+  void transmit(const Message& message, Message& out);
+
+  /// Pool for per-chunk encode/decode work (nullptr = inline).  Not owned.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Account a raw transfer without message framing (e.g. data streaming).
   double account_raw(std::uint64_t bytes);
 
@@ -49,6 +58,8 @@ class SimLink {
   double bandwidth_gbps_;
   double latency_s_;
   LinkStats stats_;
+  ThreadPool* pool_ = nullptr;
+  WireScratch scratch_;
 };
 
 /// Directed bandwidth matrix between named sites, used to model the

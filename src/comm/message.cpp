@@ -1,74 +1,276 @@
 #include "comm/message.hpp"
 
+#include <atomic>
+#include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include "comm/compression.hpp"
+#include "util/threadpool.hpp"
 
 namespace photon {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x50484F54;  // "PHOT"
+constexpr std::uint32_t kMagic = 0x324F4850;  // "PHO2"
+constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
 
-}  // namespace
+std::size_t g_chunk_bytes = kDefaultChunkBytes;
 
-std::vector<std::uint8_t> Message::encode() const {
-  const Codec* codec_ptr = codec_by_name(codec);
-  if (codec_ptr == nullptr) {
-    throw std::runtime_error("Message: unknown codec " + codec);
+// Fixed chunking of the raw payload bytes.  Boundaries depend only on the
+// payload size and the configured chunk size — never on the thread count —
+// which is what makes serial and parallel encodes bit-identical.
+struct ChunkPlan {
+  std::size_t raw_bytes = 0;
+  std::size_t chunk_bytes = 0;
+  std::size_t n_chunks = 0;
+
+  std::size_t raw_off(std::size_t c) const { return c * chunk_bytes; }
+  std::size_t raw_len(std::size_t c) const {
+    const std::size_t off = raw_off(c);
+    return std::min(chunk_bytes, raw_bytes - off);
   }
+};
 
-  BinaryWriter payload_writer;
-  payload_writer.write_vector(payload);
-  const auto compressed = codec_ptr->compress(payload_writer.bytes());
+ChunkPlan plan_chunks(std::size_t raw_bytes, std::size_t chunk_bytes) {
+  ChunkPlan p;
+  p.raw_bytes = raw_bytes;
+  p.chunk_bytes = (chunk_bytes == 0 || chunk_bytes > raw_bytes)
+                      ? std::max<std::size_t>(raw_bytes, 1)
+                      : chunk_bytes;
+  p.n_chunks = raw_bytes == 0 ? 0 : (raw_bytes + p.chunk_bytes - 1) / p.chunk_bytes;
+  return p;
+}
 
-  BinaryWriter w;
+// Run fn(c) for each chunk, on the pool when one is given and there is more
+// than one chunk.  Exceptions (malformed codec input, CRC problems) are
+// captured per task and rethrown on the caller after every task has finished,
+// so no task can outlive the locals it references.
+void for_chunks(ThreadPool* pool, std::size_t n,
+                const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (std::size_t c = 0; c < n; ++c) fn(c);
+    return;
+  }
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::string err;
+  pool->parallel_for(n, [&](std::size_t c) {
+    try {
+      fn(c);
+    } catch (const std::exception& e) {
+      std::scoped_lock lock(err_mu);
+      if (!failed.exchange(true)) err = e.what();
+    }
+  });
+  if (failed.load()) throw std::runtime_error(err);
+}
+
+std::uint32_t fold_crcs(const std::vector<std::uint32_t>& crcs,
+                        const std::vector<std::uint64_t>& lens) {
+  std::uint32_t folded = 0;
+  bool first = true;
+  for (std::size_t c = 0; c < crcs.size(); ++c) {
+    if (lens[c] == 0) continue;
+    folded = first ? crcs[c] : crc32_combine(folded, crcs[c], lens[c]);
+    first = false;
+  }
+  return folded;
+}
+
+const Codec* require_codec(const std::string& name, const char* who) {
+  const Codec* codec_ptr = codec_by_name(name);
+  if (codec_ptr == nullptr) {
+    throw std::runtime_error(std::string(who) + ": unknown codec " + name);
+  }
+  return codec_ptr;
+}
+
+void write_header(BinaryWriter& w, const Message& m, const ChunkPlan& plan) {
   w.write(kMagic);
-  w.write(static_cast<std::uint8_t>(type));
-  w.write(round);
-  w.write(sender);
-  w.write_string(codec);
-  w.write(static_cast<std::uint64_t>(metadata.size()));
-  for (const auto& [key, value] : metadata) {
+  w.write(static_cast<std::uint8_t>(m.type));
+  w.write(m.round);
+  w.write(m.sender);
+  w.write_string(m.codec);
+  w.write(static_cast<std::uint64_t>(m.metadata.size()));
+  for (const auto& [key, value] : m.metadata) {
     w.write_string(key);
     w.write(value);
   }
-  w.write(static_cast<std::uint64_t>(compressed.size()));
-  w.write_raw(compressed);
-  w.write(crc32(compressed));
-  return w.take();
+  w.write(static_cast<std::uint64_t>(m.view().size()));
+  w.write(static_cast<std::uint64_t>(plan.chunk_bytes));
+  w.write(static_cast<std::uint32_t>(plan.n_chunks));
 }
 
-Message Message::decode(std::span<const std::uint8_t> wire) {
+}  // namespace
+
+std::size_t wire_chunk_bytes() { return g_chunk_bytes; }
+void set_wire_chunk_bytes(std::size_t bytes) { g_chunk_bytes = bytes; }
+
+std::span<const std::uint8_t> Message::encode_into(WireScratch& scratch,
+                                                   ThreadPool* pool) const {
+  const Codec* codec_ptr = require_codec(codec, "Message");
+  const auto pv = view();
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(pv.data());
+  const ChunkPlan plan = plan_chunks(pv.size() * sizeof(float), g_chunk_bytes);
+
+  BinaryWriter w{std::move(scratch.wire)};
+  write_header(w, *this, plan);
+
+  std::vector<std::uint32_t> crcs(plan.n_chunks);
+  std::vector<std::uint64_t> lens(plan.n_chunks);
+
+  if (codec_ptr->is_identity()) {
+    // Identity fast path: compressed bytes == raw bytes, so every chunk's
+    // wire offset is known up front.  Write the length table, size the
+    // buffer once, then memcpy + CRC each chunk straight into place.
+    for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+      lens[c] = plan.raw_len(c);
+      w.write(lens[c]);
+    }
+    auto buf = w.take();
+    const std::size_t data_off = buf.size();
+    buf.resize(data_off + plan.raw_bytes);
+    for_chunks(pool, plan.n_chunks, [&](std::size_t c) {
+      const std::size_t off = plan.raw_off(c);
+      const std::size_t len = plan.raw_len(c);
+      std::memcpy(buf.data() + data_off + off, raw + off, len);
+      crcs[c] = crc32({raw + off, len});
+    });
+    const std::uint32_t folded = fold_crcs(crcs, lens);
+    const auto* cp = reinterpret_cast<const std::uint8_t*>(&folded);
+    buf.insert(buf.end(), cp, cp + sizeof(folded));
+    scratch.wire = std::move(buf);
+    return scratch.wire;
+  }
+
+  // Codec path: compress chunks (in parallel) into reused per-chunk scratch
+  // buffers, then lay the length table and chunk bytes into the wire.
+  if (scratch.chunks.size() < plan.n_chunks) scratch.chunks.resize(plan.n_chunks);
+  for_chunks(pool, plan.n_chunks, [&](std::size_t c) {
+    const std::size_t off = plan.raw_off(c);
+    const std::size_t len = plan.raw_len(c);
+    codec_ptr->compress_into({raw + off, len}, scratch.chunks[c]);
+    crcs[c] = crc32(scratch.chunks[c]);
+  });
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+    lens[c] = scratch.chunks[c].size();
+    total += scratch.chunks[c].size();
+    w.write(lens[c]);
+  }
+  auto buf = w.take();
+  buf.reserve(buf.size() + total + sizeof(std::uint32_t));
+  for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+    buf.insert(buf.end(), scratch.chunks[c].begin(), scratch.chunks[c].end());
+  }
+  const std::uint32_t folded = fold_crcs(crcs, lens);
+  const auto* cp = reinterpret_cast<const std::uint8_t*>(&folded);
+  buf.insert(buf.end(), cp, cp + sizeof(folded));
+  scratch.wire = std::move(buf);
+  return scratch.wire;
+}
+
+std::vector<std::uint8_t> Message::encode() const {
+  WireScratch scratch;
+  encode_into(scratch, nullptr);
+  return std::move(scratch.wire);
+}
+
+void Message::decode_into(std::span<const std::uint8_t> wire, Message& out,
+                          ThreadPool* pool) {
   BinaryReader r(wire);
   if (r.read<std::uint32_t>() != kMagic) {
     throw std::runtime_error("Message::decode: bad magic");
   }
-  Message m;
-  m.type = static_cast<MessageType>(r.read<std::uint8_t>());
-  m.round = r.read<std::uint32_t>();
-  m.sender = r.read<std::uint32_t>();
-  m.codec = r.read_string();
+  out.type = static_cast<MessageType>(r.read<std::uint8_t>());
+  out.round = r.read<std::uint32_t>();
+  out.sender = r.read<std::uint32_t>();
+  out.codec = r.read_string();
+  out.metadata.clear();
   const auto n_meta = r.read<std::uint64_t>();
   for (std::uint64_t i = 0; i < n_meta; ++i) {
     const std::string key = r.read_string();
-    m.metadata[key] = r.read<double>();
+    out.metadata[key] = r.read<double>();
   }
-  const auto payload_len = r.read<std::uint64_t>();
-  const auto compressed = r.read_raw(payload_len);
+  const auto elems = r.read<std::uint64_t>();
+  const auto chunk_bytes = r.read<std::uint64_t>();
+  const auto n_chunks = r.read<std::uint32_t>();
+
+  // No codec expands a wire byte into more than 128 raw bytes (rle0 tops
+  // out at 255 raw per 2-byte op), so this bound rejects corrupted element
+  // counts before the payload resize below without overflowing elems * 4.
+  if (elems / 128 > wire.size()) {
+    throw std::runtime_error("Message::decode: implausible payload size");
+  }
+  const std::size_t raw_bytes = static_cast<std::size_t>(elems) * sizeof(float);
+  const ChunkPlan plan = plan_chunks(raw_bytes, chunk_bytes);
+  if (plan.n_chunks != n_chunks ||
+      (raw_bytes != 0 && plan.chunk_bytes != chunk_bytes)) {
+    throw std::runtime_error("Message::decode: bad chunk table");
+  }
+
+  std::vector<std::uint64_t> lens(n_chunks);
+  std::vector<std::uint64_t> offs(n_chunks);
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    lens[c] = r.read<std::uint64_t>();
+    offs[c] = total;
+    if (lens[c] > r.remaining()) {
+      throw std::runtime_error("Message::decode: truncated chunk table");
+    }
+    total += lens[c];
+  }
+  const auto data = r.view_raw(total);
   const auto expected_crc = r.read<std::uint32_t>();
-  if (crc32(compressed) != expected_crc) {
+
+  out.payload_view = {};
+  out.payload.resize(elems);
+  auto* raw_out = reinterpret_cast<std::uint8_t*>(out.payload.data());
+  const Codec* codec_ptr = require_codec(out.codec, "Message::decode");
+
+  std::vector<std::uint32_t> crcs(n_chunks);
+  for_chunks(pool, n_chunks, [&](std::size_t c) {
+    const auto comp = data.subspan(offs[c], lens[c]);
+    crcs[c] = crc32(comp);
+    codec_ptr->decompress_into(comp, {raw_out + plan.raw_off(c), plan.raw_len(c)});
+  });
+  if (fold_crcs(crcs, lens) != expected_crc) {
     throw std::runtime_error("Message::decode: CRC mismatch");
   }
-  const Codec* codec_ptr = codec_by_name(m.codec);
-  if (codec_ptr == nullptr) {
-    throw std::runtime_error("Message::decode: unknown codec");
-  }
-  const auto raw = codec_ptr->decompress(compressed);
-  BinaryReader pr(raw);
-  m.payload = pr.read_vector<float>();
+}
+
+Message Message::decode(std::span<const std::uint8_t> wire) {
+  Message m;
+  decode_into(wire, m, nullptr);
   return m;
 }
 
-std::size_t Message::encoded_size() const { return encode().size(); }
+std::size_t Message::encoded_size() const {
+  const Codec* codec_ptr = require_codec(codec, "Message");
+  const auto pv = view();
+  const ChunkPlan plan = plan_chunks(pv.size() * sizeof(float), g_chunk_bytes);
+
+  std::size_t size = sizeof(kMagic) + sizeof(std::uint8_t) + 2 * sizeof(std::uint32_t);
+  size += sizeof(std::uint64_t) + codec.size();  // codec string
+  size += sizeof(std::uint64_t);                 // n_meta
+  for (const auto& [key, value] : metadata) {
+    size += sizeof(std::uint64_t) + key.size() + sizeof(value);
+  }
+  size += 2 * sizeof(std::uint64_t) + sizeof(std::uint32_t);  // elems, chunk, n
+  size += plan.n_chunks * sizeof(std::uint64_t);              // length table
+  size += sizeof(std::uint32_t);                              // crc
+
+  if (codec_ptr->is_identity()) return size + plan.raw_bytes;
+
+  // Compressed sizes require running the codec, but only ever through one
+  // chunk-sized scratch buffer — never a full wire image.
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(pv.data());
+  std::vector<std::uint8_t> scratch;
+  for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+    codec_ptr->compress_into({raw + plan.raw_off(c), plan.raw_len(c)}, scratch);
+    size += scratch.size();
+  }
+  return size;
+}
 
 }  // namespace photon

@@ -36,19 +36,31 @@ void SecureAggregator::mask_in_place(int client, std::span<float> update,
   }
 }
 
-void SecureAggregator::sum_into(const std::vector<std::vector<float>>& masked,
-                                std::span<float> out) {
+void SecureAggregator::sum_into(std::span<const std::span<const float>> masked,
+                                std::span<float> out,
+                                const kernels::KernelContext& ctx) {
   if (masked.empty()) throw std::invalid_argument("sum_into: empty");
   for (const auto& m : masked) {
     if (m.size() != out.size()) {
       throw std::invalid_argument("sum_into: size mismatch");
     }
   }
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    double acc = 0.0;
-    for (const auto& m : masked) acc += m[i];
-    out[i] = static_cast<float>(acc);
-  }
+  ctx.parallel_shards(out.size(), ctx.grain_rows(masked.size()),
+                      [&](int, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          double acc = 0.0;
+                          for (const auto& m : masked) acc += m[i];
+                          out[i] = static_cast<float>(acc);
+                        }
+                      });
+}
+
+void SecureAggregator::sum_into(const std::vector<std::vector<float>>& masked,
+                                std::span<float> out) {
+  std::vector<std::span<const float>> views;
+  views.reserve(masked.size());
+  for (const auto& m : masked) views.emplace_back(m);
+  sum_into(views, out);
 }
 
 }  // namespace photon

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "tensor/kernel_context.hpp"
+
 namespace photon {
 
 class SecureAggregator {
@@ -29,7 +31,15 @@ class SecureAggregator {
                      float mask_stddev = 1.0f) const;
 
   /// Sum of masked updates == sum of plain updates (masks cancel).  Helper
-  /// for the server side: element-wise sum of buffers into `out`.
+  /// for the server side: element-wise sum of buffers into `out`.  Shards
+  /// element ranges over `ctx`; per-element reduction order is fixed
+  /// (buffer index order), so results are bit-identical serial vs parallel.
+  static void sum_into(std::span<const std::span<const float>> masked,
+                       std::span<float> out,
+                       const kernels::KernelContext& ctx =
+                           kernels::default_context());
+
+  /// Convenience overload over owned buffers.
   static void sum_into(const std::vector<std::vector<float>>& masked,
                        std::span<float> out);
 

@@ -1,5 +1,6 @@
 #include "core/aggregator.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "comm/collective.hpp"
@@ -30,6 +31,9 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
   if (config_.local_steps <= 0) {
     throw std::invalid_argument("Aggregator: local_steps must be > 0");
   }
+  if (config_.checkpoint_every < 0) {
+    throw std::invalid_argument("Aggregator: checkpoint_every must be >= 0");
+  }
   for (const auto& c : clients_) {
     if (c->config().model.num_params() != model_config_.num_params()) {
       throw std::invalid_argument("Aggregator: client/global model mismatch");
@@ -39,6 +43,10 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     links_.emplace_back("agg<->client" + std::to_string(i),
                         config_.link_bandwidth_gbps);
+    // Chunked encode/decode work may use the pool; when the round is
+    // already fanned out across it, transmits degrade to inline (nesting
+    // policy) and the bits are identical either way.
+    links_.back().set_thread_pool(&global_pool());
   }
 
   // InitModel (Alg. 1 L2): the server initializes the global parameters.
@@ -47,6 +55,7 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
 }
 
 RoundRecord Aggregator::run_round() {
+  const auto t_round = std::chrono::steady_clock::now();
   const int k = config_.clients_per_round > 0
                     ? config_.clients_per_round
                     : static_cast<int>(clients_.size());
@@ -61,20 +70,44 @@ RoundRecord Aggregator::run_round() {
   record.round = round_;
   record.participants = cohort;
 
-  // Broadcast + local training (Alg. 1 L5-6), clients in parallel.
-  std::vector<ClientUpdate> updates(cohort.size());
+  if (rx_.size() < cohort.size()) rx_.resize(cohort.size());
+  if (updates_.size() < cohort.size()) updates_.resize(cohort.size());
+
+  // One broadcast message borrows the global parameters; every client link
+  // encodes straight from that buffer, so broadcasting to K clients makes
+  // zero copies of the model beyond the wire itself.
+  Message broadcast;
+  broadcast.type = MessageType::kModelBroadcast;
+  broadcast.round = round_;
+  broadcast.sender = 0;
+  broadcast.payload_view = global_params_;
+  broadcast.metadata["local_steps"] = config_.local_steps;
+
+  // Broadcast + local training + update return (Alg. 1 L5-7), clients in
+  // parallel.  The update's serialization/compression rides the same
+  // fan-out instead of a serial post-pass, and borrows the client's delta.
+  std::vector<double> train_seconds(cohort.size(), 0.0);
   auto run_client = [&](std::size_t i) {
     const int id = cohort[i];
     SimLink& link = links_[static_cast<std::size_t>(id)];
-    Message broadcast;
-    broadcast.type = MessageType::kModelBroadcast;
-    broadcast.round = round_;
-    broadcast.sender = 0;
-    broadcast.payload = global_params_;
-    broadcast.metadata["local_steps"] = config_.local_steps;
-    const Message received = link.transmit(broadcast);
-    updates[i] = clients_[static_cast<std::size_t>(id)]->run_round(
-        received.payload, round_, config_.local_steps, schedule_step_base_);
+    Message& rx = rx_[i];
+    link.transmit(broadcast, rx);
+    const auto t_train = std::chrono::steady_clock::now();
+    clients_[static_cast<std::size_t>(id)]->run_round(
+        rx.payload, round_, config_.local_steps, schedule_step_base_,
+        updates_[i]);
+    train_seconds[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_train)
+            .count();
+    Message up;
+    up.type = MessageType::kClientUpdate;
+    up.round = round_;
+    up.sender = static_cast<std::uint32_t>(id);
+    up.codec = updates_[i].post.codec;
+    up.payload_view = updates_[i].delta;
+    up.metadata = updates_[i].metrics;
+    link.transmit(up, rx);  // rx now holds the received update
   };
   if (config_.parallel_clients && cohort.size() > 1) {
     global_pool().parallel_for(cohort.size(), run_client);
@@ -82,63 +115,64 @@ RoundRecord Aggregator::run_round() {
     for (std::size_t i = 0; i < cohort.size(); ++i) run_client(i);
   }
 
-  // Updates return through the Link (Alg. 1 L7), exercising the codec each
-  // client's post-processing selected.
-  std::vector<std::vector<float>> deltas(cohort.size());
+  // Ordered (cohort-index) combine keeps metrics and losses bit-identical
+  // between the serial and parallel fan-outs.
   std::vector<MetricDict> client_metrics(cohort.size());
   std::vector<double> weights(cohort.size());
   for (std::size_t i = 0; i < cohort.size(); ++i) {
-    const int id = cohort[i];
-    SimLink& link = links_[static_cast<std::size_t>(id)];
-    Message up;
-    up.type = MessageType::kClientUpdate;
-    up.round = round_;
-    up.sender = static_cast<std::uint32_t>(id);
-    up.codec = updates[i].post.codec;
-    up.payload = updates[i].delta;
-    up.metadata = updates[i].metrics;
-    const Message received = link.transmit(up);
-    deltas[i] = received.payload;
-    client_metrics[i] = received.metadata;
-    weights[i] = static_cast<double>(updates[i].tokens);
-    record.tokens_this_round += updates[i].tokens;
+    client_metrics[i] = rx_[i].metadata;
+    weights[i] = static_cast<double>(updates_[i].tokens);
+    record.tokens_this_round += updates_[i].tokens;
     record.mean_train_loss +=
-        updates[i].mean_train_loss / static_cast<double>(cohort.size());
+        updates_[i].mean_train_loss / static_cast<double>(cohort.size());
   }
+
   // Aggregate (Alg. 1 L8): element-wise mean of pseudo-gradients through
   // the configured topology; secure aggregation masks first and forces PS.
-  std::vector<float> pseudo_grad;
+  // The mean is computed in place over the received payloads, and
+  // `pseudo_grad` is a view — no full-model copy on this path.
+  std::span<const float> pseudo_grad;
   double sim_comm_seconds = 0.0;
   std::uint64_t collective_bytes = 0;
   if (config_.secure_aggregation && cohort.size() > 1) {
     SecureAggregator sec(static_cast<int>(cohort.size()),
                          hash_combine(config_.seed, round_));
-    for (std::size_t i = 0; i < cohort.size(); ++i) {
-      sec.mask_in_place(static_cast<int>(i), deltas[i]);
+    auto mask_client = [&](std::size_t i) {
+      sec.mask_in_place(static_cast<int>(i), rx_[i].payload);
+    };
+    if (config_.parallel_clients && cohort.size() > 1) {
+      global_pool().parallel_for(cohort.size(), mask_client);
+    } else {
+      for (std::size_t i = 0; i < cohort.size(); ++i) mask_client(i);
     }
-    pseudo_grad.assign(deltas.front().size(), 0.0f);
-    SecureAggregator::sum_into(deltas, pseudo_grad);
+    std::vector<std::span<const float>> masked(cohort.size());
+    for (std::size_t i = 0; i < cohort.size(); ++i) masked[i] = rx_[i].payload;
+    pseudo_grad_.resize(masked.front().size());
+    SecureAggregator::sum_into(masked, pseudo_grad_);
     const float inv = 1.0f / static_cast<float>(cohort.size());
-    kernels::scale_inplace(pseudo_grad.data(), inv, pseudo_grad.size());
+    kernels::scale_inplace(pseudo_grad_.data(), inv, pseudo_grad_.size());
+    pseudo_grad = pseudo_grad_;
     const auto report = CollectiveReport{
         Topology::kParameterServer, static_cast<int>(cohort.size()),
-        static_cast<std::uint64_t>(cohort.size()) * pseudo_grad.size() *
+        static_cast<std::uint64_t>(cohort.size()) * pseudo_grad_.size() *
             sizeof(float),
-        2ull * cohort.size() * pseudo_grad.size() * sizeof(float), 0.0};
+        2ull * cohort.size() * pseudo_grad_.size() * sizeof(float), 0.0};
     collective_bytes = report.total_bytes;
     sim_comm_seconds = static_cast<double>(report.bottleneck_bytes) /
                        (config_.bandwidth_mbps * 1024.0 * 1024.0);
   } else if (cohort.size() > 1) {
     std::vector<std::span<float>> spans;
-    spans.reserve(deltas.size());
-    for (auto& d : deltas) spans.emplace_back(d);
+    spans.reserve(cohort.size());
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      spans.emplace_back(rx_[i].payload);
+    }
     const CollectiveReport report =
         collective_mean(config_.topology, spans, config_.bandwidth_mbps);
-    pseudo_grad = deltas.front();
+    pseudo_grad = rx_.front().payload;  // every buffer now holds the mean
     sim_comm_seconds = report.seconds;
     collective_bytes = report.total_bytes;
   } else {
-    pseudo_grad = deltas.front();
+    pseudo_grad = rx_.front().payload;
   }
 
   // ServerOpt (Alg. 1 L9).
@@ -148,7 +182,10 @@ RoundRecord Aggregator::run_round() {
 
   // AggMetrics (L10) and Checkpoint (L11).
   record.client_metrics = aggregate_metrics(client_metrics, weights);
-  checkpoints_.save(round_, global_params_);
+  if (config_.checkpoint_every > 0 &&
+      round_ % static_cast<std::uint32_t>(config_.checkpoint_every) == 0) {
+    checkpoints_.save(round_, global_params_);
+  }
 
   // Wire bytes: broadcast + update message bytes through Agg links plus the
   // aggregation collective's fabric traffic.
@@ -159,6 +196,10 @@ RoundRecord Aggregator::run_round() {
   record.sim_comm_seconds = sim_comm_seconds;
   record.sim_local_seconds =
       static_cast<double>(config_.local_steps) / config_.sim_throughput_bps;
+  for (const double s : train_seconds) record.wall_train_seconds += s;
+  record.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_round)
+          .count();
 
   PHOTON_LOG_INFO("aggregator",
                   "round %u: K=%zu loss %.4f update-norm %.4f",

@@ -44,6 +44,10 @@ struct AggregatorConfig {
   std::uint64_t seed = 0x41676701ULL;
   /// Run sampled clients on the global thread pool.
   bool parallel_clients = true;
+  /// Checkpoint every Nth round (Alg. 1 L11); 1 = every round (default),
+  /// 0 = never.  Large models make per-round checkpointing the dominant
+  /// non-training cost, so runs that only need crash recovery can thin it.
+  int checkpoint_every = 1;
 };
 
 class Aggregator {
@@ -89,6 +93,13 @@ class Aggregator {
   std::vector<float> global_params_;
   std::uint32_t round_ = 0;
   std::int64_t schedule_step_base_ = 0;
+
+  // Per-cohort-slot buffers reused across rounds: received messages (their
+  // payload capacity persists), client updates (delta buffers persist), and
+  // the secure-aggregation sum.  Round 1 allocates; later rounds don't.
+  std::vector<Message> rx_;
+  std::vector<ClientUpdate> updates_;
+  std::vector<float> pseudo_grad_;
 };
 
 }  // namespace photon

@@ -65,6 +65,15 @@ std::pair<double, std::uint64_t> LLMClient::train_replica(
 ClientUpdate LLMClient::run_round(std::span<const float> global_params,
                                   std::uint32_t round, int local_steps,
                                   std::int64_t schedule_step_base) {
+  ClientUpdate update;
+  run_round(global_params, round, local_steps, schedule_step_base, update);
+  return update;
+}
+
+void LLMClient::run_round(std::span<const float> global_params,
+                          std::uint32_t round, int local_steps,
+                          std::int64_t schedule_step_base,
+                          ClientUpdate& update) {
   if (global_params.size() != model_.num_params()) {
     throw std::invalid_argument("LLMClient::run_round: param size mismatch");
   }
@@ -72,8 +81,11 @@ ClientUpdate LLMClient::run_round(std::span<const float> global_params,
     throw std::invalid_argument("LLMClient::run_round: local_steps <= 0");
   }
 
-  ClientUpdate update;
   update.client_id = id_;
+  update.tokens = 0;
+  update.mean_train_loss = 0.0;
+  update.metrics.clear();
+  update.post = {};
 
   double mean_loss = 0.0;
   std::uint64_t tokens = 0;
@@ -128,7 +140,6 @@ ClientUpdate LLMClient::run_round(std::span<const float> global_params,
   update.metrics["local_steps"] = static_cast<double>(local_steps);
   PHOTON_LOG_DEBUG("llm-client", "client %d round %u loss %.4f", id_, round,
                    mean_loss);
-  return update;
 }
 
 }  // namespace photon

@@ -69,6 +69,13 @@ class LLMClient {
                          std::uint32_t round, int local_steps,
                          std::int64_t schedule_step_base);
 
+  /// Allocation-reusing variant: writes into `out`, recycling its delta and
+  /// metric storage across rounds (the Aggregator keeps one ClientUpdate
+  /// per cohort slot alive for the whole run).
+  void run_round(std::span<const float> global_params, std::uint32_t round,
+                 int local_steps, std::int64_t schedule_step_base,
+                 ClientUpdate& out);
+
   /// Local checkpoint from the last completed round (Alg. 1 L27), for fast
   /// recovery; empty before the first round.
   std::span<const float> local_checkpoint() const { return checkpoint_; }

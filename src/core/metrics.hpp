@@ -27,6 +27,8 @@ struct RoundRecord {
   std::uint64_t comm_bytes = 0;   // wire bytes this round (all clients)
   double sim_comm_seconds = 0.0;  // simulated aggregation communication time
   double sim_local_seconds = 0.0; // simulated local compute time
+  double wall_seconds = 0.0;       // measured wall time of the whole round
+  double wall_train_seconds = 0.0; // measured wall time inside client training
   MetricDict client_metrics;      // aggregated client metric dict
   double eval_perplexity = -1.0;  // < 0 = not evaluated this round
 };

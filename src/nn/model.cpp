@@ -1,5 +1,6 @@
 #include "nn/model.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -138,7 +139,13 @@ void GptModel::load_params(std::span<const float> src) {
 }
 
 void GptModel::ensure_acts(int batch, int seq) {
-  if (batch <= acts_batch_ && seq == acts_seq_) return;
+  // Element-wise high-water mark: buffer sizes are monotone in both batch
+  // and seq, so anything within the mark fits as-is.  Allocating for the
+  // per-dimension maxima (not just the request) keeps alternating shapes
+  // (e.g. train batch vs eval batch) from reallocating every call.
+  if (batch <= acts_batch_ && seq <= acts_seq_) return;
+  batch = std::max(batch, acts_batch_);
+  seq = std::max(seq, acts_seq_);
   const auto bt = static_cast<std::size_t>(batch) * seq;
   const auto c = static_cast<std::size_t>(config_.d_model);
   const auto v = static_cast<std::size_t>(config_.vocab_size);

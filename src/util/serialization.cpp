@@ -1,31 +1,112 @@
 #include "util/serialization.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace photon {
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table;
+// table[k][i] advances the register by k extra zero bytes, letting the hot
+// loop fold 8 input bytes per iteration (~5-8x the bytewise throughput,
+// identical CRC values).
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = (prev >> 8) ^ tables[0][prev & 0xffu];
+    }
+  }
+  return tables;
 }
 
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
-  static const auto table = make_crc_table();
+  static const auto tables = make_crc_tables();
   std::uint32_t c = 0xffffffffu;
-  for (std::uint8_t byte : data) {
-    c = table[(c ^ byte) & 0xffu] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = tables[7][lo & 0xffu] ^ tables[6][(lo >> 8) & 0xffu] ^
+          tables[5][(lo >> 16) & 0xffu] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xffu] ^ tables[2][(hi >> 8) & 0xffu] ^
+          tables[1][(hi >> 16) & 0xffu] ^ tables[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n-- != 0) {
+    c = tables[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
+}
+
+namespace {
+
+// GF(2) 32x32 matrix times vector; matrices represent the CRC register's
+// linear transform under zero-byte feeds (zlib's crc32_combine technique).
+std::uint32_t gf2_matrix_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  int i = 0;
+  while (vec != 0) {
+    if (vec & 1u) sum ^= mat[i];
+    vec >>= 1;
+    ++i;
+  }
+  return sum;
+}
+
+void gf2_matrix_square(std::uint32_t* square, const std::uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
+}
+
+}  // namespace
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+
+  std::uint32_t even[32];  // even-power-of-two zero-byte operators
+  std::uint32_t odd[32];   // odd-power operators
+
+  // Operator for one zero bit.
+  odd[0] = 0xedb88320u;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_matrix_square(even, odd);  // two zero bits
+  gf2_matrix_square(odd, even);  // four zero bits
+
+  // Advance crc_a through len_b zero bytes by squaring operators.
+  do {
+    gf2_matrix_square(even, odd);
+    if (len_b & 1u) crc_a = gf2_matrix_times(even, crc_a);
+    len_b >>= 1;
+    if (len_b == 0) break;
+    gf2_matrix_square(odd, even);
+    if (len_b & 1u) crc_a = gf2_matrix_times(odd, crc_a);
+    len_b >>= 1;
+  } while (len_b != 0);
+
+  return crc_a ^ crc_b;
 }
 
 }  // namespace photon

@@ -18,6 +18,16 @@ namespace photon {
 
 class BinaryWriter {
  public:
+  BinaryWriter() = default;
+
+  /// Reuse `buffer`'s capacity: the writer starts empty but keeps the
+  /// allocation.  Pair with take() to recycle a scratch buffer across
+  /// encodes without reallocating.
+  explicit BinaryWriter(std::vector<std::uint8_t> buffer)
+      : buf_(std::move(buffer)) {
+    buf_.clear();
+  }
+
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
@@ -100,6 +110,15 @@ class BinaryReader {
     return v;
   }
 
+  /// Zero-copy variant of read_raw: a view into the underlying buffer,
+  /// valid for the buffer's lifetime.
+  std::span<const std::uint8_t> view_raw(std::size_t n) {
+    require(n);
+    const auto v = data_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
  private:
   void require(std::size_t n) const {
     if (pos_ + n > data_.size()) {
@@ -113,5 +132,12 @@ class BinaryReader {
 
 /// CRC32 (IEEE, reflected) for payload integrity checks on the Link.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// CRC of the concatenation A||B given crc(A), crc(B), and |B| (zlib-style
+/// GF(2) matrix combine).  Lets per-chunk CRCs computed in parallel be
+/// folded in chunk order into the exact whole-buffer CRC:
+///   crc32(A||B) == crc32_combine(crc32(A), crc32(B), B.size()).
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::uint64_t len_b);
 
 }  // namespace photon

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "comm/collective.hpp"
 #include "comm/compression.hpp"
@@ -11,7 +12,9 @@
 #include "comm/link.hpp"
 #include "comm/message.hpp"
 #include "comm/secure_agg.hpp"
+#include "tensor/kernel_context.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace photon {
 namespace {
@@ -319,6 +322,203 @@ TEST(CostModelHelpers, ModelSizeAndDdpTraffic) {
   EXPECT_NEAR(model_size_mb(1000000), 3.8147, 1e-3);  // 4 MB / 1.048576
   EXPECT_DOUBLE_EQ(ddp_bytes_per_step_mb(1, 100.0), 0.0);
   EXPECT_DOUBLE_EQ(ddp_bytes_per_step_mb(4, 100.0), 150.0);
+}
+
+// ------------------------------------------- chunked wire / parallel path --
+
+/// Restores the process-wide chunk size after a test that changes it.
+struct ChunkGuard {
+  std::size_t saved = wire_chunk_bytes();
+  ~ChunkGuard() { set_wire_chunk_bytes(saved); }
+};
+
+TEST(Crc32Combine, FoldedChunkCrcsMatchWholeBufferCrc) {
+  const auto data = random_bytes(65537, 9, 0.4);
+  const std::span<const std::uint8_t> all(data);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{37},
+                            std::size_t{32768}, data.size() - 1, data.size()}) {
+    const auto a = all.first(split);
+    const auto b = all.subspan(split);
+    EXPECT_EQ(crc32_combine(crc32(a), crc32(b), b.size()), crc32(all))
+        << "split=" << split;
+  }
+  // Three-way fold in order, like the chunked encoder does.
+  const auto a = all.first(10000);
+  const auto b = all.subspan(10000, 30000);
+  const auto c = all.subspan(40000);
+  std::uint32_t folded = crc32(a);
+  folded = crc32_combine(folded, crc32(b), b.size());
+  folded = crc32_combine(folded, crc32(c), c.size());
+  EXPECT_EQ(folded, crc32(all));
+}
+
+std::vector<float> sparse_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_bool(0.5) ? 0.0f : rng.gaussian(0.0f, 1.0f);
+  return v;
+}
+
+class ChunkedMessage : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ChunkedMessage, ChunkedAndWholeBufferEncodesRoundTripIdentically) {
+  ChunkGuard guard;
+  Message m;
+  m.type = MessageType::kClientUpdate;
+  m.round = 3;
+  m.codec = GetParam();
+  m.payload = sparse_floats(50000, 17);
+  m.metadata["x"] = 1.5;
+
+  set_wire_chunk_bytes(0);  // whole buffer, one chunk
+  const auto whole = m.encode();
+  set_wire_chunk_bytes(4096);  // ~49 chunks
+  const auto chunked = m.encode();
+
+  EXPECT_EQ(Message::decode(whole).payload, m.payload);
+  EXPECT_EQ(Message::decode(chunked).payload, m.payload);
+  EXPECT_EQ(chunked.size(), m.encoded_size());
+
+  // For the identity codec the chunk data is the raw payload either way, so
+  // the folded per-chunk CRC must equal the whole-buffer CRC exactly.
+  if (std::string(GetParam()).empty()) {
+    std::uint32_t crc_whole = 0;
+    std::uint32_t crc_chunked = 0;
+    std::memcpy(&crc_whole, whole.data() + whole.size() - 4, 4);
+    std::memcpy(&crc_chunked, chunked.data() + chunked.size() - 4, 4);
+    EXPECT_EQ(crc_chunked, crc_whole);
+  }
+}
+
+TEST_P(ChunkedMessage, ParallelEncodeDecodeBitIdenticalToSerial) {
+  ChunkGuard guard;
+  set_wire_chunk_bytes(2048);
+  ThreadPool pool(4);
+
+  Message m;
+  m.codec = GetParam();
+  m.payload = sparse_floats(30000, 23);
+
+  WireScratch serial_scratch, parallel_scratch;
+  const auto serial = m.encode_into(serial_scratch, nullptr);
+  const auto parallel = m.encode_into(parallel_scratch, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(std::memcmp(serial.data(), parallel.data(), serial.size()), 0);
+
+  Message out;
+  Message::decode_into(parallel, out, &pool);
+  EXPECT_EQ(out.payload, m.payload);
+
+  // Scratch reuse: a second encode of a different payload through the same
+  // scratch must still be exact.
+  m.payload = sparse_floats(10000, 29);
+  const auto again = m.encode_into(parallel_scratch, &pool);
+  Message::decode_into(again, out, nullptr);
+  EXPECT_EQ(out.payload, m.payload);
+}
+
+TEST_P(ChunkedMessage, EncodedSizeIsExactWithoutEncoding) {
+  ChunkGuard guard;
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{1024}}) {
+    set_wire_chunk_bytes(chunk);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{255}, std::size_t{9000}}) {
+      Message m;
+      m.codec = GetParam();
+      m.payload = sparse_floats(n, 31 + n);
+      m.metadata["k"] = 2.0;
+      EXPECT_EQ(m.encoded_size(), m.encode().size())
+          << GetParam() << " n=" << n << " chunk=" << chunk;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, ChunkedMessage,
+                         ::testing::Values("", "rle0", "lzss"));
+
+TEST(Message, PayloadViewEncodesIdenticallyToOwnedPayload) {
+  const auto data = sparse_floats(5000, 41);
+  Message owned, borrowed;
+  owned.codec = borrowed.codec = "rle0";
+  owned.round = borrowed.round = 9;
+  owned.payload = data;
+  borrowed.payload_view = data;  // no copy
+  EXPECT_TRUE(borrowed.payload.empty());
+  const auto a = owned.encode();
+  const auto b = borrowed.encode();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(Message::decode(b).payload, data);
+}
+
+TEST(SimLink, ZeroCopyTransmitMatchesCopyingTransmit) {
+  const auto data = sparse_floats(4000, 47);
+  Message m;
+  m.codec = "rle0";
+  m.payload_view = data;
+  SimLink a("copying", 1.0), b("zero-copy", 1.0);
+  const Message via_copy = a.transmit(m);
+  Message via_reuse;
+  b.transmit(m, via_reuse);
+  b.transmit(m, via_reuse);  // reuse the scratch and payload buffers
+  EXPECT_EQ(via_copy.payload, data);
+  EXPECT_EQ(via_reuse.payload, data);
+  EXPECT_EQ(a.stats().wire_bytes * 2, b.stats().wire_bytes);
+  EXPECT_EQ(a.stats().payload_bytes * 2, b.stats().payload_bytes);
+}
+
+// Parallel collectives must match serial bit-for-bit, including when K does
+// not divide the buffer size (uneven ring chunks, uneven shards).
+TEST(CollectiveMean, ParallelMatchesSerialBitExactly) {
+  ThreadPool pool(4);
+  const kernels::KernelContext par(&pool, 4, /*grain=*/1);
+  const kernels::KernelContext ser;
+  for (const int k : {2, 3, 7, 8}) {
+    const std::size_t n = 1013;  // prime: k never divides it
+    std::vector<std::vector<float>> base(static_cast<std::size_t>(k));
+    Rng rng(1000 + static_cast<std::uint64_t>(k));
+    for (auto& b : base) {
+      b.resize(n);
+      for (auto& x : b) x = rng.gaussian(0.0f, 1.0f);
+    }
+    for (const Topology topo :
+         {Topology::kParameterServer, Topology::kAllReduce,
+          Topology::kRingAllReduce}) {
+      auto serial = base;
+      auto parallel = base;
+      auto spans_of = [](std::vector<std::vector<float>>& v) {
+        std::vector<std::span<float>> s;
+        for (auto& b : v) s.emplace_back(b);
+        return s;
+      };
+      const auto rs = collective_mean(topo, spans_of(serial), 100.0, ser);
+      const auto rp = collective_mean(topo, spans_of(parallel), 100.0, par);
+      EXPECT_EQ(rs.total_bytes, rp.total_bytes);
+      for (int w = 0; w < k; ++w) {
+        ASSERT_EQ(0, std::memcmp(serial[static_cast<std::size_t>(w)].data(),
+                                 parallel[static_cast<std::size_t>(w)].data(),
+                                 n * sizeof(float)))
+            << "k=" << k << " topo=" << static_cast<int>(topo) << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(SecureAgg, ParallelSumIntoMatchesSerialBitExactly) {
+  ThreadPool pool(4);
+  const kernels::KernelContext par(&pool, 4, /*grain=*/1);
+  const kernels::KernelContext ser;
+  const std::size_t n = 997;
+  std::vector<std::vector<float>> updates(5);
+  Rng rng(77);
+  for (auto& u : updates) {
+    u.resize(n);
+    for (auto& x : u) x = rng.gaussian(0.0f, 2.0f);
+  }
+  std::vector<std::span<const float>> views(updates.begin(), updates.end());
+  std::vector<float> serial(n), parallel(n);
+  SecureAggregator::sum_into(views, serial, ser);
+  SecureAggregator::sum_into(views, parallel, par);
+  EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(), n * sizeof(float)));
 }
 
 }  // namespace

@@ -11,8 +11,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "comm/collective.hpp"
+#include "comm/link.hpp"
+#include "comm/message.hpp"
+#include "comm/secure_agg.hpp"
 #include "tensor/kernel_context.hpp"
 #include "tensor/kernels.hpp"
 #include "util/threadpool.hpp"
@@ -155,6 +161,93 @@ bool kernels_race_free(ThreadPool& pool) {
   return true;
 }
 
+// Chunked message encode/decode on the pool must be race-free and produce
+// the same bytes as the serial path; concurrent SimLink transmits (the
+// parallel client fan-out) must each round-trip exactly.
+bool comm_race_free(ThreadPool& pool) {
+  photon::set_wire_chunk_bytes(1024);  // many chunks -> many pool tasks
+  const auto payload = randvec(20000);
+
+  photon::Message m;
+  m.codec = "rle0";
+  m.payload = payload;
+  photon::WireScratch ser_scratch, par_scratch;
+  const auto ser = m.encode_into(ser_scratch, nullptr);
+  const auto par = m.encode_into(par_scratch, &pool);
+  if (ser.size() != par.size() ||
+      std::memcmp(ser.data(), par.data(), ser.size()) != 0) {
+    std::fprintf(stderr, "FAIL parallel encode bytes differ\n");
+    return false;
+  }
+  photon::Message out;
+  photon::Message::decode_into(par, out, &pool);
+  if (out.payload != payload) {
+    std::fprintf(stderr, "FAIL parallel decode payload\n");
+    return false;
+  }
+
+  // Concurrent transmits across distinct links, like the client fan-out.
+  std::vector<photon::SimLink> links;
+  for (int i = 0; i < 4; ++i) links.emplace_back("l" + std::to_string(i), 10.0);
+  std::vector<photon::Message> rx(links.size());
+  std::atomic<bool> ok{true};
+  photon::Message broadcast;
+  broadcast.codec = "";
+  broadcast.payload_view = payload;  // one shared buffer, all links
+  for (int rep = 0; rep < 5; ++rep) {
+    pool.parallel_for(links.size(), [&](std::size_t i) {
+      links[i].transmit(broadcast, rx[i]);
+      if (rx[i].payload != payload) ok.store(false);
+    });
+  }
+  if (!ok.load()) {
+    std::fprintf(stderr, "FAIL concurrent transmit round-trip\n");
+    return false;
+  }
+  return true;
+}
+
+// Parallel collectives and masked sums must match the serial context
+// bit-for-bit while TSan watches the sharded element ranges.
+bool collectives_race_free(ThreadPool& pool) {
+  const k::KernelContext par(&pool, 4, /*grain=*/1);
+  const k::KernelContext ser;
+  for (const int workers : {3, 4}) {
+    const std::size_t n = 4099;
+    std::vector<std::vector<float>> base(workers);
+    for (auto& b : base) b = randvec(n);
+    for (const auto topo :
+         {photon::Topology::kParameterServer, photon::Topology::kAllReduce,
+          photon::Topology::kRingAllReduce}) {
+      auto s = base;
+      auto p = base;
+      auto spans = [](std::vector<std::vector<float>>& v) {
+        std::vector<std::span<float>> out;
+        for (auto& b : v) out.emplace_back(b);
+        return out;
+      };
+      photon::collective_mean(topo, spans(s), 100.0, ser);
+      photon::collective_mean(topo, spans(p), 100.0, par);
+      for (int w = 0; w < workers; ++w) {
+        if (std::memcmp(s[w].data(), p[w].data(), n * sizeof(float)) != 0) {
+          std::fprintf(stderr, "FAIL collective topo=%d w=%d\n",
+                       static_cast<int>(topo), w);
+          return false;
+        }
+      }
+    }
+    std::vector<std::span<const float>> views(base.begin(), base.end());
+    std::vector<float> sum_s(n), sum_p(n);
+    photon::SecureAggregator::sum_into(views, sum_s, ser);
+    photon::SecureAggregator::sum_into(views, sum_p, par);
+    if (std::memcmp(sum_s.data(), sum_p.data(), n * sizeof(float)) != 0) {
+      std::fprintf(stderr, "FAIL sum_into\n");
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -162,6 +255,8 @@ int main() {
   bool ok = true;
   ok = nested_parallel_for(pool) && ok;
   for (int rep = 0; rep < 5; ++rep) ok = kernels_race_free(pool) && ok;
+  for (int rep = 0; rep < 5; ++rep) ok = comm_race_free(pool) && ok;
+  for (int rep = 0; rep < 5; ++rep) ok = collectives_race_free(pool) && ok;
   if (!ok) return 1;
   std::printf("tsan stress ok\n");
   return 0;

@@ -1,11 +1,21 @@
 #!/usr/bin/env python3
-"""Replace per-bench sections of bench_output.txt with rerun output.
+"""Splice rerun bench results into the main results file.
 
-Each section is delimited by '### RUN <path>' ... '### EXIT <code> <path>'.
-Usage: splice_bench_output.py <main_log> <rerun_log>
-Sections present in the rerun log replace their counterparts in the main
-log in place.
+Two modes, chosen by file extension:
+
+Text logs (default): each section of bench_output.txt is delimited by
+'### RUN <path>' ... '### EXIT <code> <path>'.  Sections present in the
+rerun log replace their counterparts in the main log in place; new
+sections are appended.
+
+JSON (both paths end in .json, e.g. BENCH_round.json): top-level keys of
+the rerun object replace their counterparts in the main object; other
+keys are preserved.  Lets a partial bench rerun (one sweep) refresh just
+its own section of the committed results.
+
+Usage: splice_bench_output.py <main_file> <rerun_file>
 """
+import json
 import re
 import sys
 
@@ -19,8 +29,7 @@ def parse_sections(text):
     return sections
 
 
-def main():
-    main_path, rerun_path = sys.argv[1], sys.argv[2]
+def splice_text(main_path, rerun_path):
     with open(main_path) as f:
         main_text = f.read()
     with open(rerun_path) as f:
@@ -37,6 +46,36 @@ def main():
             print(f"appended {name}")
     with open(main_path, "w") as f:
         f.write(main_text)
+
+
+def splice_json(main_path, rerun_path):
+    try:
+        with open(main_path) as f:
+            main_obj = json.load(f)
+    except FileNotFoundError:
+        main_obj = {}
+    if not isinstance(main_obj, dict):
+        sys.exit(f"{main_path}: top level must be a JSON object")
+    with open(rerun_path) as f:
+        rerun_obj = json.load(f)
+    if not isinstance(rerun_obj, dict):
+        sys.exit(f"{rerun_path}: top level must be a JSON object")
+    for key, value in rerun_obj.items():
+        print(f"{'spliced' if key in main_obj else 'appended'} {key}")
+        main_obj[key] = value
+    with open(main_path, "w") as f:
+        json.dump(main_obj, f, indent=2)
+        f.write("\n")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    main_path, rerun_path = sys.argv[1], sys.argv[2]
+    if main_path.endswith(".json") and rerun_path.endswith(".json"):
+        splice_json(main_path, rerun_path)
+    else:
+        splice_text(main_path, rerun_path)
 
 
 if __name__ == "__main__":
