@@ -1,13 +1,18 @@
-// Fault tolerance and intermittent availability (paper SS3.1 checkpointing,
-// Appendix A "intermittent client availability", Appendix B.2 cleanup):
+// Fault tolerance end to end (paper SS3.1 checkpointing, Appendix A
+// "intermittent client availability", DESIGN.md SS8 failure model):
 //
-//  1. clients drop in and out of the federation between rounds — the
-//     sampler only draws available clients, and stateless local optimizers
-//     make rejoining seamless;
-//  2. the aggregator crashes mid-run and restarts from its latest
-//     round checkpoint, reproducing the exact global model.
+//  1. a seeded FaultInjector subjects every round to client crashes,
+//     stragglers, link drops, and wire corruption; the aggregator cuts
+//     stragglers at the round deadline, retries/retransmits at the link
+//     layer, aggregates at quorum over the survivors, and resamples a
+//     fresh cohort when quorum is lost;
+//  2. the server process "crashes" mid-run and a fresh process restores
+//     from the write-ahead journal + checkpoint — under the SAME live
+//     fault plan — finishing with a global model bit-identical to a
+//     reference run that never crashed.
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 
@@ -16,14 +21,18 @@
 #include "core/server_opt.hpp"
 #include "data/corpus.hpp"
 #include "data/stream.hpp"
-#include "util/rng.hpp"
+#include "sim/faults.hpp"
 
 using namespace photon;
 
 namespace {
 
-std::vector<std::unique_ptr<LLMClient>> make_clients(const ModelConfig& model,
-                                                     int population) {
+constexpr int kPopulation = 8;
+constexpr int kCohort = 4;
+constexpr int kRounds = 10;
+constexpr int kCrashAfter = 5;  // server dies after this many rounds
+
+std::vector<std::unique_ptr<LLMClient>> make_clients(const ModelConfig& model) {
   CorpusConfig cc;
   cc.vocab_size = model.vocab_size;
   auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
@@ -33,9 +42,8 @@ std::vector<std::unique_ptr<LLMClient>> make_clients(const ModelConfig& model,
   ctc.schedule.max_lr = 1e-2f;
   ctc.schedule.warmup_steps = 16;
   ctc.schedule.total_steps = 2000;
-  ctc.stateless_optimizer = true;  // what makes drop-in/drop-out harmless
   std::vector<std::unique_ptr<LLMClient>> clients;
-  for (int i = 0; i < population; ++i) {
+  for (int i = 0; i < kPopulation; ++i) {
     clients.push_back(std::make_unique<LLMClient>(
         i, ctc,
         std::make_unique<CorpusStreamSource>(corpus,
@@ -45,74 +53,92 @@ std::vector<std::unique_ptr<LLMClient>> make_clients(const ModelConfig& model,
   return clients;
 }
 
+std::unique_ptr<Aggregator> make_aggregator(const ModelConfig& model,
+                                            const std::filesystem::path& dir) {
+  AggregatorConfig ac;
+  ac.clients_per_round = kCohort;
+  ac.local_steps = 8;
+  ac.topology = Topology::kRingAllReduce;  // falls back to PS on failures
+  ac.round_deadline_s = 2.5 * ac.local_steps;  // stragglers >2.5x are cut
+  ac.min_cohort_fraction = 0.5;                // quorum: 2 of 4
+  ac.max_cohort_retries = 4;
+  ac.retry.max_attempts = 4;  // link-level retransmission budget
+  ac.checkpoint_dir = dir;
+  ac.seed = 11;
+  return std::make_unique<Aggregator>(model, ac,
+                                      make_server_opt("nesterov", 0.7f, 0.9f),
+                                      make_clients(model), /*init_seed=*/42);
+}
+
+void print_round(const RoundRecord& rec) {
+  std::string cohort;
+  for (int id : rec.participants) cohort += std::to_string(id) + " ";
+  std::printf(
+      "%5u  {%-8s} %4d/%d  crash=%d straggle=%d link=%d retries=%llu "
+      "corrupt=%llu resample=%u %s loss=%.4f\n",
+      rec.round, cohort.c_str(), rec.survivors,
+      static_cast<int>(rec.participants.size()), rec.crashed_clients,
+      rec.straggler_drops, rec.link_failed_clients,
+      static_cast<unsigned long long>(rec.link_retries),
+      static_cast<unsigned long long>(rec.corrupt_chunks), rec.cohort_retries,
+      rec.topology_fallback ? "PS-fallback" : "ring       ",
+      rec.mean_train_loss);
+}
+
 }  // namespace
 
 int main() {
   const ModelConfig model = ModelConfig::nano();
-  const auto ckpt_dir =
-      std::filesystem::temp_directory_path() / "photon_example_ckpts";
-  std::filesystem::remove_all(ckpt_dir);
+  const auto base = std::filesystem::temp_directory_path() / "photon_example_ft";
+  std::filesystem::remove_all(base);
 
-  AggregatorConfig ac;
-  ac.clients_per_round = 4;  // sample 4 of 8 each round
-  ac.local_steps = 12;
-  ac.checkpoint_dir = ckpt_dir;
-  ac.seed = 11;
+  // One deterministic chaos plan shared by every process in this example.
+  FaultPlan plan;
+  plan.seed = 0xFA017;
+  plan.crash_prob = 0.10;
+  plan.straggle_prob = 0.20;
+  plan.straggle_factor_min = 2.0;
+  plan.straggle_factor_max = 8.0;
+  plan.link_drop_prob = 0.05;
+  plan.corrupt_prob = 0.05;
+  const FaultInjector injector(plan);
 
-  Aggregator agg(model, ac, make_server_opt("fedavg", 1.0f, 0.0f),
-                 make_clients(model, 8), /*init_seed=*/42);
+  // Reference: survives all kRounds in one process.
+  auto ref = make_aggregator(model, base / "ref");
+  injector.install(*ref);
+  std::printf("reference run under chaos (%d rounds):\n", kRounds);
+  std::printf("round  cohort     agg'd  failures\n");
+  for (int r = 0; r < kRounds; ++r) print_round(ref->run_round());
 
-  // Phase 1: churn — before each round, every client flips availability
-  // with probability 0.3 (at least two stay up).
-  Rng churn(2025);
-  std::printf("phase 1: training under availability churn\n");
-  std::printf("round  available  cohort                loss\n");
-  for (int round = 0; round < 10; ++round) {
-    for (int c = 0; c < agg.population(); ++c) {
-      if (churn.next_bool(0.3)) {
-        agg.sampler().set_available(c, !agg.sampler().is_available(c));
-      }
-    }
-    if (agg.sampler().num_available() < 2) {
-      agg.sampler().set_available(0, true);
-      agg.sampler().set_available(1, true);
-    }
-    const RoundRecord rec = agg.run_round();
-    std::string cohort;
-    for (int id : rec.participants) cohort += std::to_string(id) + " ";
-    std::printf("%5u  %9d  {%-18s}  %.4f\n", rec.round,
-                agg.sampler().num_available(), cohort.c_str(),
-                rec.mean_train_loss);
+  // Crashing run: same plan, server process dies after kCrashAfter rounds.
+  std::printf("\ncrashing run: server dies after round %d\n", kCrashAfter - 1);
+  {
+    auto doomed = make_aggregator(model, base / "crash");
+    injector.install(*doomed);
+    for (int r = 0; r < kCrashAfter; ++r) doomed->run_round();
+  }  // destructor = power loss; only the journal + checkpoints survive
+
+  // Fresh process: restore from disk and finish the schedule.
+  auto recovered = make_aggregator(model, base / "crash");
+  injector.install(*recovered);
+  if (!recovered->restore_latest_checkpoint()) {
+    std::printf("restore failed\n");
+    return 1;
   }
+  std::printf("recovered at round %u (journal: \"%s\"), resuming:\n",
+              recovered->round(),
+              recovered->checkpoints().journal().back().c_str());
+  for (int r = kCrashAfter; r < kRounds; ++r) print_round(recovered->run_round());
 
-  // Phase 2: crash and recover.  A second aggregator process starts from
-  // the on-disk checkpoints and must hold the identical global model.
-  const std::vector<float> before_crash(agg.global_params().begin(),
-                                        agg.global_params().end());
-  const auto resumed_round = agg.round();
-
-  AggregatorConfig ac2 = ac;
-  Aggregator recovered(model, ac2, make_server_opt("fedavg", 1.0f, 0.0f),
-                       make_clients(model, 8), /*init_seed=*/999);
-  // Fresh process: global params differ until we restore.
-  recovered.checkpoints().save(0, before_crash);  // simulate shared disk
-  const bool restored = recovered.restore_latest_checkpoint();
-
-  double max_diff = 0.0;
-  for (std::size_t i = 0; i < before_crash.size(); ++i) {
-    max_diff = std::max(max_diff,
-                        static_cast<double>(std::abs(
-                            recovered.global_params()[i] - before_crash[i])));
-  }
+  const bool exact =
+      ref->global_params().size() == recovered->global_params().size() &&
+      std::memcmp(ref->global_params().data(),
+                  recovered->global_params().data(),
+                  ref->global_params().size() * sizeof(float)) == 0;
   std::printf(
-      "\nphase 2: crash recovery -> restored=%s, resumed at round %u, "
-      "max param diff vs pre-crash: %.1e\n",
-      restored ? "yes" : "no", resumed_round, max_diff);
+      "\ncrash-recovered model bit-identical to never-crashed reference: %s\n",
+      exact ? "yes" : "NO");
 
-  recovered.run_round();
-  std::printf("post-recovery round completed, loss %.4f\n",
-              recovered.history().records().back().mean_train_loss);
-
-  std::filesystem::remove_all(ckpt_dir);
-  return max_diff == 0.0 && restored ? 0 : 1;
+  std::filesystem::remove_all(base);
+  return exact ? 0 : 1;
 }

@@ -1,9 +1,28 @@
 #include "comm/link.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace photon {
+
+namespace {
+
+// Deterministic jitter in [-1, 1): a pure function of the policy seed and
+// the (round, sender, attempt) identity of the retry, so replays never
+// depend on wall clock or thread interleaving.
+double jitter_unit(const RetryPolicy& policy, const Message& message,
+                   int attempt) {
+  const std::uint64_t h = hash_combine(
+      policy.jitter_seed,
+      hash_combine(hash_combine(message.round, message.sender),
+                   static_cast<std::uint64_t>(attempt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+}  // namespace
 
 SimLink::SimLink(std::string name, double bandwidth_gbps, double latency_ms)
     : name_(std::move(name)),
@@ -29,12 +48,68 @@ Message SimLink::transmit(const Message& message) {
 }
 
 void SimLink::transmit(const Message& message, Message& out) {
-  const auto wire = message.encode_into(scratch_, pool_);
+  const int max_attempts = std::max(1, retry_.max_attempts);
   ++stats_.messages;
   stats_.payload_bytes += message.view().size() * sizeof(float);
-  stats_.wire_bytes += wire.size();
-  stats_.transfer_seconds += transfer_time(wire.size());
-  Message::decode_into(wire, out, pool_);
+
+  double spent = 0.0;  // simulated seconds consumed by this message
+  for (int attempt = 1;; ++attempt) {
+    const LinkFault fault =
+        fault_hook_ ? fault_hook_(message, attempt) : LinkFault{};
+    bool delivered = false;
+    if (fault.drop) {
+      // Transient send failure: nothing reaches the peer, but noticing the
+      // failure still burns the propagation delay.
+      ++stats_.send_failures;
+      stats_.transfer_seconds += latency_s_;
+      spent += latency_s_;
+    } else {
+      const auto wire = message.encode_into(scratch_, pool_);
+      if (fault.corrupt != 0 && !scratch_.wire.empty()) {
+        // Flip one bit inside the CRC-protected region (chunk bytes + CRC
+        // field) — the receiver is guaranteed to be able to detect it.
+        const std::size_t lo =
+            std::min(scratch_.payload_offset, scratch_.wire.size() - 1);
+        const std::size_t span = scratch_.wire.size() - lo;
+        const std::size_t byte = lo + fault.corrupt % span;
+        scratch_.wire[byte] ^=
+            static_cast<std::uint8_t>(1u << ((fault.corrupt >> 32) % 8));
+      }
+      stats_.wire_bytes += wire.size();
+      const double t = transfer_time(wire.size());
+      stats_.transfer_seconds += t;
+      spent += t;
+      try {
+        Message::decode_into(wire, out, pool_);
+        delivered = true;
+      } catch (const std::exception&) {
+        // Corrupted on the wire; every injected flip lands in CRC-covered
+        // bytes, so decode always rejects rather than returning garbage.
+        ++stats_.corrupt_chunks;
+      }
+    }
+    if (delivered) return;
+
+    if (attempt >= max_attempts) {
+      ++stats_.aborted_messages;
+      throw TransmitError(name_ + ": message abandoned after " +
+                          std::to_string(attempt) + " attempts");
+    }
+    double backoff = retry_.backoff_base_s *
+                     std::pow(retry_.backoff_multiplier, attempt - 1);
+    backoff = std::min(backoff, retry_.backoff_max_s);
+    backoff *= 1.0 + retry_.jitter_frac * jitter_unit(retry_, message, attempt);
+    backoff = std::max(backoff, 0.0);
+    if (retry_.message_deadline_s > 0.0 &&
+        spent + backoff > retry_.message_deadline_s) {
+      ++stats_.aborted_messages;
+      throw TransmitError(name_ + ": message deadline exceeded after " +
+                          std::to_string(attempt) + " attempts");
+    }
+    spent += backoff;
+    stats_.backoff_seconds += backoff;
+    ++stats_.retries;
+  }
 }
 
 double SimLink::account_raw(std::uint64_t bytes) {

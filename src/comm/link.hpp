@@ -7,7 +7,9 @@
 // time over a simulated network link with finite bandwidth and latency.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,54 @@ struct LinkStats {
   std::uint64_t payload_bytes = 0;   // uncompressed payload volume
   std::uint64_t wire_bytes = 0;      // bytes actually on the wire
   double transfer_seconds = 0.0;     // simulated time spent transferring
+  // --- fault-tolerance telemetry ---
+  std::uint64_t retries = 0;           // retransmissions beyond first attempt
+  std::uint64_t send_failures = 0;     // transient send faults hit
+  std::uint64_t corrupt_chunks = 0;    // CRC/codec-rejected receptions
+  std::uint64_t aborted_messages = 0;  // gave up (attempts/deadline exhausted)
+  double backoff_seconds = 0.0;        // simulated time spent backing off
+};
+
+/// Retry/backoff policy for SimLink::transmit.  A failed attempt (transient
+/// send fault or CRC-rejected reception) is retransmitted after an
+/// exponential backoff with deterministic jitter, up to `max_attempts`
+/// total attempts and an optional per-message simulated-time deadline.
+struct RetryPolicy {
+  int max_attempts = 3;             // total attempts; 1 = no retry
+  double backoff_base_s = 0.05;     // backoff before the 2nd attempt
+  double backoff_multiplier = 2.0;  // exponential growth per retry
+  double backoff_max_s = 1.0;       // cap on a single backoff
+  /// Relative jitter in [-jitter_frac, +jitter_frac], derived statelessly
+  /// from (jitter_seed, round, sender, attempt) so replays are bit-exact
+  /// at any thread count.
+  double jitter_frac = 0.1;
+  std::uint64_t jitter_seed = 0x4C696E6BULL;  // "Link"
+  /// Simulated seconds (transfer + backoff) a single message may consume
+  /// before the link gives up; 0 = no deadline.
+  double message_deadline_s = 0.0;
+};
+
+/// A fault injected into one transmit attempt (see sim/faults.hpp for the
+/// deterministic scheduler that produces these).
+struct LinkFault {
+  /// Transient send failure: the attempt never reaches the peer.
+  bool drop = false;
+  /// != 0: flip one bit of the CRC-protected wire region (chunk bytes +
+  /// CRC field); the value seeds the (byte, bit) choice.  The receiver must
+  /// detect it and the link retransmits.
+  std::uint64_t corrupt = 0;
+};
+
+/// Per-attempt fault decision hook; must be a pure function of
+/// (message identity, attempt) for deterministic replay.
+using LinkFaultHook = std::function<LinkFault(const Message&, int attempt)>;
+
+/// Thrown when a message could not be delivered within the retry policy's
+/// attempt/deadline budget.  Round engines treat this as a failed client,
+/// not a fatal error.
+class TransmitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class SimLink {
@@ -42,10 +92,26 @@ class SimLink {
   /// across rounds and decodes into `out`, reusing its payload capacity.
   /// Chunked codec/CRC work runs on the pool set via set_thread_pool.
   /// Stats and received bits are identical to transmit(message).
+  ///
+  /// Fault tolerance: each attempt consults the fault hook (if any); a
+  /// transient send failure or a CRC-rejected (corrupted) reception is
+  /// retransmitted under the RetryPolicy — exponential backoff with
+  /// deterministic jitter, bounded attempts, optional per-message simulated
+  /// deadline.  Exhausting the budget throws TransmitError and counts an
+  /// aborted message; with no hook and no faults the path and stats are
+  /// bit-identical to the pre-fault-engine transmit.
   void transmit(const Message& message, Message& out);
 
   /// Pool for per-chunk encode/decode work (nullptr = inline).  Not owned.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Retry/backoff policy applied by transmit (default: 3 attempts).
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Per-attempt fault injection hook (empty = fault-free).  Not owned by
+  /// the link; the closure must outlive it.
+  void set_fault_hook(LinkFaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Account a raw transfer without message framing (e.g. data streaming).
   double account_raw(std::uint64_t bytes);
@@ -60,6 +126,8 @@ class SimLink {
   LinkStats stats_;
   ThreadPool* pool_ = nullptr;
   WireScratch scratch_;
+  RetryPolicy retry_;
+  LinkFaultHook fault_hook_;
 };
 
 /// Directed bandwidth matrix between named sites, used to model the

@@ -1,8 +1,6 @@
 #include "comm/message.hpp"
 
-#include <atomic>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 #include "comm/compression.hpp"
@@ -42,27 +40,17 @@ ChunkPlan plan_chunks(std::size_t raw_bytes, std::size_t chunk_bytes) {
 }
 
 // Run fn(c) for each chunk, on the pool when one is given and there is more
-// than one chunk.  Exceptions (malformed codec input, CRC problems) are
-// captured per task and rethrown on the caller after every task has finished,
-// so no task can outlive the locals it references.
+// than one chunk.  ThreadPool::parallel_for traps per-chunk exceptions
+// (malformed codec input, CRC problems), joins every task, and rethrows the
+// lowest-index one, so no task can outlive the locals it references and the
+// surfaced error is deterministic.
 void for_chunks(ThreadPool* pool, std::size_t n,
                 const std::function<void(std::size_t)>& fn) {
   if (pool == nullptr || n <= 1) {
     for (std::size_t c = 0; c < n; ++c) fn(c);
     return;
   }
-  std::atomic<bool> failed{false};
-  std::mutex err_mu;
-  std::string err;
-  pool->parallel_for(n, [&](std::size_t c) {
-    try {
-      fn(c);
-    } catch (const std::exception& e) {
-      std::scoped_lock lock(err_mu);
-      if (!failed.exchange(true)) err = e.what();
-    }
-  });
-  if (failed.load()) throw std::runtime_error(err);
+  pool->parallel_for(n, fn);
 }
 
 std::uint32_t fold_crcs(const std::vector<std::uint32_t>& crcs,
@@ -129,6 +117,7 @@ std::span<const std::uint8_t> Message::encode_into(WireScratch& scratch,
     }
     auto buf = w.take();
     const std::size_t data_off = buf.size();
+    scratch.payload_offset = data_off;
     buf.resize(data_off + plan.raw_bytes);
     for_chunks(pool, plan.n_chunks, [&](std::size_t c) {
       const std::size_t off = plan.raw_off(c);
@@ -159,6 +148,7 @@ std::span<const std::uint8_t> Message::encode_into(WireScratch& scratch,
     w.write(lens[c]);
   }
   auto buf = w.take();
+  scratch.payload_offset = buf.size();
   buf.reserve(buf.size() + total + sizeof(std::uint32_t));
   for (std::size_t c = 0; c < plan.n_chunks; ++c) {
     buf.insert(buf.end(), scratch.chunks[c].begin(), scratch.chunks[c].end());

@@ -56,6 +56,13 @@ enum class MessageType : std::uint8_t {
 struct WireScratch {
   std::vector<std::uint8_t> wire;
   std::vector<std::vector<std::uint8_t>> chunks;
+  /// Byte offset (set by encode_into) where the CRC-protected region of
+  /// `wire` begins: the concatenated chunk bytes followed by the CRC field.
+  /// Fault injectors flip bits at/after this offset so every injected
+  /// corruption is guaranteed to be detectable by the per-chunk CRCs
+  /// (header and metadata bytes before it are validated structurally, not
+  /// by checksum).
+  std::size_t payload_offset = 0;
 };
 
 /// Raw payload bytes per wire chunk (default 256 KiB; 0 = one chunk for

@@ -1,6 +1,9 @@
 #include "core/aggregator.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "comm/collective.hpp"
@@ -8,6 +11,7 @@
 #include "comm/secure_agg.hpp"
 #include "tensor/kernels.hpp"
 #include "util/logging.hpp"
+#include "util/serialization.hpp"
 #include "util/threadpool.hpp"
 
 namespace photon {
@@ -34,6 +38,16 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
   if (config_.checkpoint_every < 0) {
     throw std::invalid_argument("Aggregator: checkpoint_every must be >= 0");
   }
+  if (config_.round_deadline_s < 0.0) {
+    throw std::invalid_argument("Aggregator: round_deadline_s must be >= 0");
+  }
+  if (config_.min_cohort_fraction < 0.0 || config_.min_cohort_fraction > 1.0) {
+    throw std::invalid_argument(
+        "Aggregator: min_cohort_fraction must be in [0, 1]");
+  }
+  if (config_.max_cohort_retries < 0) {
+    throw std::invalid_argument("Aggregator: max_cohort_retries must be >= 0");
+  }
   for (const auto& c : clients_) {
     if (c->config().model.num_params() != model_config_.num_params()) {
       throw std::invalid_argument("Aggregator: client/global model mismatch");
@@ -47,7 +61,9 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
     // already fanned out across it, transmits degrade to inline (nesting
     // policy) and the bits are identical either way.
     links_.back().set_thread_pool(&global_pool());
+    links_.back().set_retry_policy(config_.retry);
   }
+  client_rounds_.assign(clients_.size(), 0);
 
   // InitModel (Alg. 1 L2): the server initializes the global parameters.
   GptModel init(model_config_, init_seed);
@@ -59,139 +75,294 @@ RoundRecord Aggregator::run_round() {
   const int k = config_.clients_per_round > 0
                     ? config_.clients_per_round
                     : static_cast<int>(clients_.size());
-  const std::vector<int> cohort = sampler_.sample(k, round_);
-  if (cohort.empty()) {
-    throw std::runtime_error("Aggregator::run_round: no available clients");
+
+  LinkStats agg_before;  // summed link stats at round start, for deltas
+  for (const auto& link : links_) {
+    const LinkStats& s = link.stats();
+    agg_before.wire_bytes += s.wire_bytes;
+    agg_before.retries += s.retries;
+    agg_before.corrupt_chunks += s.corrupt_chunks;
+    agg_before.backoff_seconds += s.backoff_seconds;
   }
-  std::uint64_t link_bytes_before = 0;
-  for (const auto& link : links_) link_bytes_before += link.stats().wire_bytes;
 
   RoundRecord record;
   record.round = round_;
-  record.participants = cohort;
 
-  if (rx_.size() < cohort.size()) rx_.resize(cohort.size());
-  if (updates_.size() < cohort.size()) updates_.resize(cohort.size());
+  // Per-slot outcome of one cohort attempt.  kOk slots are the survivors
+  // whose updates aggregate; everything else is dropped from the round.
+  enum class SlotStatus { kOk, kCrashed, kLinkFailed, kLate };
 
-  // One broadcast message borrows the global parameters; every client link
-  // encodes straight from that buffer, so broadcasting to K clients makes
-  // zero copies of the model beyond the wire itself.
-  Message broadcast;
-  broadcast.type = MessageType::kModelBroadcast;
-  broadcast.round = round_;
-  broadcast.sender = 0;
-  broadcast.payload_view = global_params_;
-  broadcast.metadata["local_steps"] = config_.local_steps;
+  std::vector<int> cohort;
+  std::vector<SlotStatus> status;
+  std::vector<char> trained;           // local training ran (data consumed)
+  std::vector<double> train_seconds;   // measured wall time in training
+  std::vector<double> sim_seconds;     // simulated per-client round time
+  std::vector<std::size_t> survivors;  // cohort slots with status kOk
 
-  // Broadcast + local training + update return (Alg. 1 L5-7), clients in
-  // parallel.  The update's serialization/compression rides the same
-  // fan-out instead of a serial post-pass, and borrows the client's delta.
-  std::vector<double> train_seconds(cohort.size(), 0.0);
-  auto run_client = [&](std::size_t i) {
-    const int id = cohort[i];
-    SimLink& link = links_[static_cast<std::size_t>(id)];
-    Message& rx = rx_[i];
-    link.transmit(broadcast, rx);
-    const auto t_train = std::chrono::steady_clock::now();
-    clients_[static_cast<std::size_t>(id)]->run_round(
-        rx.payload, round_, config_.local_steps, schedule_step_base_,
-        updates_[i]);
-    train_seconds[i] =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_train)
-            .count();
-    Message up;
-    up.type = MessageType::kClientUpdate;
-    up.round = round_;
-    up.sender = static_cast<std::uint32_t>(id);
-    up.codec = updates_[i].post.codec;
-    up.payload_view = updates_[i].delta;
-    up.metadata = updates_[i].metrics;
-    link.transmit(up, rx);  // rx now holds the received update
-  };
-  if (config_.parallel_clients && cohort.size() > 1) {
-    global_pool().parallel_for(cohort.size(), run_client);
-  } else {
-    for (std::size_t i = 0; i < cohort.size(); ++i) run_client(i);
+  // Cohort-attempt loop: a round that loses quorum is retried with a
+  // freshly salted cohort (Alg. 1's sampling, salted by the attempt index)
+  // rather than aborting the run.
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    cohort = sampler_.sample(k, round_, attempt);
+    if (cohort.empty()) {
+      throw std::runtime_error("Aggregator::run_round: no available clients");
+    }
+    if (rx_.size() < cohort.size()) rx_.resize(cohort.size());
+    if (updates_.size() < cohort.size()) updates_.resize(cohort.size());
+    status.assign(cohort.size(), SlotStatus::kOk);
+    trained.assign(cohort.size(), 0);
+    train_seconds.assign(cohort.size(), 0.0);
+    sim_seconds.assign(cohort.size(), 0.0);
+
+    // One broadcast message borrows the global parameters; every client
+    // link encodes straight from that buffer, so broadcasting to K clients
+    // makes zero copies of the model beyond the wire itself.
+    Message broadcast;
+    broadcast.type = MessageType::kModelBroadcast;
+    broadcast.round = round_;
+    broadcast.sender = 0;
+    broadcast.payload_view = global_params_;
+    broadcast.metadata["local_steps"] = config_.local_steps;
+
+    // Broadcast + local training + update return (Alg. 1 L5-7), clients in
+    // parallel.  Every fault decision is a pure function of
+    // (round, client, attempt), and failures only write this slot's state,
+    // so the fan-out is bit-identical serial vs parallel.
+    auto run_client = [&](std::size_t i) {
+      const int id = cohort[i];
+      SimLink& link = links_[static_cast<std::size_t>(id)];
+      Message& rx = rx_[i];
+      const LinkStats before = link.stats();
+      ClientRoundFault fault;
+      if (fault_hook_) fault = fault_hook_(round_, id, attempt);
+      const double straggle = std::max(1.0, fault.straggle_factor);
+      const double train_sim = straggle *
+                               static_cast<double>(config_.local_steps) /
+                               config_.sim_throughput_bps;
+      // Simulated seconds this client has spent on its link since the slot
+      // started (transfers + retry backoff).
+      const auto sim_elapsed = [&]() {
+        const LinkStats& now = link.stats();
+        return (now.transfer_seconds - before.transfer_seconds) +
+               (now.backoff_seconds - before.backoff_seconds);
+      };
+      try {
+        link.transmit(broadcast, rx);
+      } catch (const TransmitError&) {
+        status[i] = SlotStatus::kLinkFailed;
+        sim_seconds[i] = sim_elapsed();
+        return;
+      }
+      if (fault.crash) {
+        // Client dies holding the broadcast, before training starts: its
+        // data stream does not advance and no update comes back.
+        status[i] = SlotStatus::kCrashed;
+        sim_seconds[i] = sim_elapsed();
+        return;
+      }
+      if (config_.round_deadline_s > 0.0 &&
+          sim_elapsed() + train_sim > config_.round_deadline_s) {
+        // Known-too-slow straggler is cut before training (no data used).
+        status[i] = SlotStatus::kLate;
+        sim_seconds[i] = sim_elapsed() + train_sim;
+        return;
+      }
+      const auto t_train = std::chrono::steady_clock::now();
+      clients_[static_cast<std::size_t>(id)]->run_round(
+          rx.payload, round_, config_.local_steps, schedule_step_base_,
+          updates_[i]);
+      trained[i] = 1;
+      train_seconds[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t_train)
+              .count();
+      Message up;
+      up.type = MessageType::kClientUpdate;
+      up.round = round_;
+      up.sender = static_cast<std::uint32_t>(id);
+      up.codec = updates_[i].post.codec;
+      up.payload_view = updates_[i].delta;
+      up.metadata = updates_[i].metrics;
+      try {
+        link.transmit(up, rx);  // rx now holds the received update
+      } catch (const TransmitError&) {
+        status[i] = SlotStatus::kLinkFailed;
+        sim_seconds[i] = sim_elapsed() + train_sim;
+        return;
+      }
+      sim_seconds[i] = sim_elapsed() + train_sim;
+      if (config_.round_deadline_s > 0.0 &&
+          sim_seconds[i] > config_.round_deadline_s) {
+        status[i] = SlotStatus::kLate;  // update arrived past the deadline
+      }
+    };
+    if (config_.parallel_clients && cohort.size() > 1) {
+      global_pool().parallel_for(cohort.size(), run_client);
+    } else {
+      for (std::size_t i = 0; i < cohort.size(); ++i) run_client(i);
+    }
+
+    // Serial bookkeeping in cohort order keeps everything deterministic.
+    survivors.clear();
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      // Data-stream position advances whenever training ran, even if the
+      // update was then dropped — recovery must replay the same reads.
+      if (trained[i]) ++client_rounds_[static_cast<std::size_t>(cohort[i])];
+      switch (status[i]) {
+        case SlotStatus::kOk: survivors.push_back(i); break;
+        case SlotStatus::kCrashed: ++record.crashed_clients; break;
+        case SlotStatus::kLinkFailed: ++record.link_failed_clients; break;
+        case SlotStatus::kLate: ++record.straggler_drops; break;
+      }
+    }
+
+    const auto quorum = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               config_.min_cohort_fraction *
+               static_cast<double>(cohort.size()))));
+    if (survivors.size() >= quorum) break;
+    if (static_cast<int>(attempt) >= config_.max_cohort_retries) {
+      throw std::runtime_error(
+          "Aggregator::run_round: quorum lost in round " +
+          std::to_string(round_) + " after " + std::to_string(attempt + 1) +
+          " cohort attempt(s)");
+    }
+    ++record.cohort_retries;
+    PHOTON_LOG_WARN("aggregator",
+                    "round %u attempt %u: %zu/%zu survivors below quorum "
+                    "%zu; resampling cohort",
+                    round_, attempt, survivors.size(), cohort.size(), quorum);
   }
 
-  // Ordered (cohort-index) combine keeps metrics and losses bit-identical
-  // between the serial and parallel fan-outs.
-  std::vector<MetricDict> client_metrics(cohort.size());
-  std::vector<double> weights(cohort.size());
+  record.participants = cohort;
+  record.survivors = static_cast<int>(survivors.size());
   for (std::size_t i = 0; i < cohort.size(); ++i) {
-    client_metrics[i] = rx_[i].metadata;
-    weights[i] = static_cast<double>(updates_[i].tokens);
+    if (status[i] != SlotStatus::kOk) {
+      record.dropped_clients.push_back(cohort[i]);
+    }
+    record.sim_slowest_client_seconds =
+        std::max(record.sim_slowest_client_seconds, sim_seconds[i]);
+  }
+
+  // Ordered (cohort-index) combine over the SURVIVING cohort keeps metrics
+  // and losses bit-identical between the serial and parallel fan-outs; the
+  // mean is reweighted to the survivors (1/|S| instead of 1/K).
+  const std::size_t n_agg = survivors.size();
+  std::vector<MetricDict> client_metrics(n_agg);
+  std::vector<double> weights(n_agg);
+  for (std::size_t j = 0; j < n_agg; ++j) {
+    const std::size_t i = survivors[j];
+    client_metrics[j] = rx_[i].metadata;
+    weights[j] = static_cast<double>(updates_[i].tokens);
     record.tokens_this_round += updates_[i].tokens;
     record.mean_train_loss +=
-        updates_[i].mean_train_loss / static_cast<double>(cohort.size());
+        updates_[i].mean_train_loss / static_cast<double>(n_agg);
   }
 
-  // Aggregate (Alg. 1 L8): element-wise mean of pseudo-gradients through
-  // the configured topology; secure aggregation masks first and forces PS.
-  // The mean is computed in place over the received payloads, and
+  // A partial cohort breaks the static ring schedule AR/RAR assume (a dead
+  // peer would stall the ring), so those topologies degrade to PS
+  // accounting for the round.  Secure aggregation already forces PS.
+  Topology topology = config_.topology;
+  if (n_agg < cohort.size() && !config_.secure_aggregation &&
+      topology != Topology::kParameterServer) {
+    topology = Topology::kParameterServer;
+    record.topology_fallback = true;
+  }
+
+  // Aggregate (Alg. 1 L8): element-wise mean of surviving pseudo-gradients
+  // through the (possibly degraded) topology; secure aggregation masks
+  // first.  The mean is computed in place over the received payloads, and
   // `pseudo_grad` is a view — no full-model copy on this path.
   std::span<const float> pseudo_grad;
   double sim_comm_seconds = 0.0;
   std::uint64_t collective_bytes = 0;
-  if (config_.secure_aggregation && cohort.size() > 1) {
-    SecureAggregator sec(static_cast<int>(cohort.size()),
+  if (config_.secure_aggregation && n_agg > 1) {
+    SecureAggregator sec(static_cast<int>(n_agg),
                          hash_combine(config_.seed, round_));
-    auto mask_client = [&](std::size_t i) {
-      sec.mask_in_place(static_cast<int>(i), rx_[i].payload);
+    auto mask_client = [&](std::size_t j) {
+      sec.mask_in_place(static_cast<int>(j), rx_[survivors[j]].payload);
     };
-    if (config_.parallel_clients && cohort.size() > 1) {
-      global_pool().parallel_for(cohort.size(), mask_client);
+    if (config_.parallel_clients && n_agg > 1) {
+      global_pool().parallel_for(n_agg, mask_client);
     } else {
-      for (std::size_t i = 0; i < cohort.size(); ++i) mask_client(i);
+      for (std::size_t j = 0; j < n_agg; ++j) mask_client(j);
     }
-    std::vector<std::span<const float>> masked(cohort.size());
-    for (std::size_t i = 0; i < cohort.size(); ++i) masked[i] = rx_[i].payload;
+    std::vector<std::span<const float>> masked(n_agg);
+    for (std::size_t j = 0; j < n_agg; ++j) {
+      masked[j] = rx_[survivors[j]].payload;
+    }
     pseudo_grad_.resize(masked.front().size());
     SecureAggregator::sum_into(masked, pseudo_grad_);
-    const float inv = 1.0f / static_cast<float>(cohort.size());
+    const float inv = 1.0f / static_cast<float>(n_agg);
     kernels::scale_inplace(pseudo_grad_.data(), inv, pseudo_grad_.size());
     pseudo_grad = pseudo_grad_;
     const auto report = CollectiveReport{
-        Topology::kParameterServer, static_cast<int>(cohort.size()),
-        static_cast<std::uint64_t>(cohort.size()) * pseudo_grad_.size() *
+        Topology::kParameterServer, static_cast<int>(n_agg),
+        static_cast<std::uint64_t>(n_agg) * pseudo_grad_.size() *
             sizeof(float),
-        2ull * cohort.size() * pseudo_grad_.size() * sizeof(float), 0.0};
+        2ull * n_agg * pseudo_grad_.size() * sizeof(float), 0.0};
     collective_bytes = report.total_bytes;
     sim_comm_seconds = static_cast<double>(report.bottleneck_bytes) /
                        (config_.bandwidth_mbps * 1024.0 * 1024.0);
-  } else if (cohort.size() > 1) {
+  } else if (n_agg > 1) {
     std::vector<std::span<float>> spans;
-    spans.reserve(cohort.size());
-    for (std::size_t i = 0; i < cohort.size(); ++i) {
-      spans.emplace_back(rx_[i].payload);
+    spans.reserve(n_agg);
+    for (std::size_t j = 0; j < n_agg; ++j) {
+      spans.emplace_back(rx_[survivors[j]].payload);
     }
     const CollectiveReport report =
-        collective_mean(config_.topology, spans, config_.bandwidth_mbps);
-    pseudo_grad = rx_.front().payload;  // every buffer now holds the mean
+        collective_mean(topology, spans, config_.bandwidth_mbps);
+    pseudo_grad = rx_[survivors.front()].payload;  // buffers hold the mean
     sim_comm_seconds = report.seconds;
     collective_bytes = report.total_bytes;
   } else {
-    pseudo_grad = rx_.front().payload;
+    pseudo_grad = rx_[survivors.front()].payload;
   }
 
-  // ServerOpt (Alg. 1 L9).
   record.update_norm =
       kernels::l2_norm(pseudo_grad.data(), pseudo_grad.size());
+
+  // ServerOpt (Alg. 1 L9), bracketed by the write-ahead journal: `begin` is
+  // durable before the global model mutates, `commit` only once this
+  // round's checkpoint is.  A crash between the two leaves a dangling
+  // begin, and recovery restarts from the last commit — so ServerOpt is
+  // applied exactly once per round of the final timeline.
+  checkpoints_.journal_begin(round_);
   server_opt_->apply(global_params_, pseudo_grad);
 
-  // AggMetrics (L10) and Checkpoint (L11).
+  // AggMetrics (L10) and Checkpoint (L11) with recovery metadata.
   record.client_metrics = aggregate_metrics(client_metrics, weights);
   if (config_.checkpoint_every > 0 &&
       round_ % static_cast<std::uint32_t>(config_.checkpoint_every) == 0) {
-    checkpoints_.save(round_, global_params_);
+    Checkpoint ckpt;
+    ckpt.round = round_;
+    ckpt.params = global_params_;
+    ckpt.schedule_step_base = schedule_step_base_ + config_.local_steps;
+    ckpt.client_trained_rounds = client_rounds_;
+    BinaryWriter w;
+    server_opt_->save_state(w);
+    ckpt.server_opt_state = w.take();
+    checkpoints_.save(std::move(ckpt));
+    checkpoints_.journal_commit(round_);
   }
 
-  // Wire bytes: broadcast + update message bytes through Agg links plus the
-  // aggregation collective's fabric traffic.
-  std::uint64_t link_bytes_after = 0;
-  for (const auto& link : links_) link_bytes_after += link.stats().wire_bytes;
-  record.comm_bytes = (link_bytes_after - link_bytes_before) + collective_bytes;
+  // Wire bytes: broadcast + update message bytes through Agg links (all
+  // attempts, including retransmissions) plus the collective's fabric
+  // traffic; the other deltas surface the round's fault telemetry.
+  LinkStats agg_after;
+  for (const auto& link : links_) {
+    const LinkStats& s = link.stats();
+    agg_after.wire_bytes += s.wire_bytes;
+    agg_after.retries += s.retries;
+    agg_after.corrupt_chunks += s.corrupt_chunks;
+    agg_after.backoff_seconds += s.backoff_seconds;
+  }
+  record.comm_bytes =
+      (agg_after.wire_bytes - agg_before.wire_bytes) + collective_bytes;
+  record.link_retries = agg_after.retries - agg_before.retries;
+  record.corrupt_chunks = agg_after.corrupt_chunks - agg_before.corrupt_chunks;
+  record.backoff_seconds =
+      agg_after.backoff_seconds - agg_before.backoff_seconds;
 
   record.sim_comm_seconds = sim_comm_seconds;
   record.sim_local_seconds =
@@ -202,9 +373,9 @@ RoundRecord Aggregator::run_round() {
           .count();
 
   PHOTON_LOG_INFO("aggregator",
-                  "round %u: K=%zu loss %.4f update-norm %.4f",
-                  round_, cohort.size(), record.mean_train_loss,
-                  record.update_norm);
+                  "round %u: K=%zu survivors=%zu loss %.4f update-norm %.4f",
+                  round_, cohort.size(), survivors.size(),
+                  record.mean_train_loss, record.update_norm);
 
   history_.add(record);
   ++round_;
@@ -220,11 +391,48 @@ void Aggregator::record_eval(double perplexity) {
 }
 
 bool Aggregator::restore_latest_checkpoint() {
-  const auto ckpt = checkpoints_.latest();
+  // Prefer the journal's last committed round: a higher-numbered ckpt file
+  // could exist from a crash mid-save, but only a committed round is known
+  // durable and consistent.
+  std::optional<Checkpoint> ckpt;
+  const std::int64_t committed = checkpoints_.journal_last_committed();
+  if (committed >= 0) {
+    ckpt = checkpoints_.at_round(static_cast<std::uint32_t>(committed));
+  }
+  if (!ckpt.has_value()) ckpt = checkpoints_.latest();
   if (!ckpt.has_value()) return false;
   if (ckpt->params.size() != global_params_.size()) return false;
+
   global_params_ = ckpt->params;
   round_ = ckpt->round + 1;
+  // Legacy checkpoints (no metadata) ran with this fixed cadence, so the
+  // fallback reconstruction is exact for them.
+  schedule_step_base_ =
+      ckpt->schedule_step_base >= 0
+          ? ckpt->schedule_step_base
+          : static_cast<std::int64_t>(round_) * config_.local_steps;
+  server_opt_->reset();
+  if (!ckpt->server_opt_state.empty()) {
+    BinaryReader r(ckpt->server_opt_state);
+    server_opt_->load_state(r);
+  }
+  // Fast-forward fresh client data streams to their recorded positions so
+  // post-recovery rounds read the exact tokens an uninterrupted run would.
+  // Streams cannot rewind, so only positive deltas apply (an in-process
+  // restore that already advanced past the checkpoint keeps its position).
+  if (ckpt->client_trained_rounds.size() == clients_.size()) {
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      const std::uint32_t target = ckpt->client_trained_rounds[c];
+      if (target > client_rounds_[c]) {
+        clients_[c]->fast_forward(target - client_rounds_[c],
+                                  config_.local_steps);
+        client_rounds_[c] = target;
+      }
+    }
+  }
+  checkpoints_.journal_recovered(round_);
+  PHOTON_LOG_INFO("aggregator", "recovered at round %u (ckpt %u)", round_,
+                  ckpt->round);
   return true;
 }
 

@@ -6,9 +6,21 @@
 // clients' local pipelines in parallel, aggregates pseudo-gradients with the
 // configured topology (PS / AR / RAR, optionally under secure aggregation),
 // applies ServerOpt, aggregates metrics, and checkpoints.
+//
+// Fault-tolerant round engine (DESIGN.md §8): clients may crash mid-round,
+// straggle past a simulated round deadline, or lose their link (transient
+// send failures and wire corruption are retried by SimLink itself).  Failed
+// and late clients are dropped from the cohort; aggregation proceeds over
+// the surviving cohort (mean reweighted to the survivors, AR/RAR falling
+// back to PS accounting when a ring peer died mid-round) as long as a
+// configurable quorum survives, and the round is retried with a fresh
+// cohort when quorum is lost.  A write-ahead round journal plus checkpoint
+// metadata make crash recovery exact: ServerOpt is applied exactly once per
+// completed round and the LR schedule resumes bit-identically.
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -48,7 +60,37 @@ struct AggregatorConfig {
   /// 0 = never.  Large models make per-round checkpointing the dominant
   /// non-training cost, so runs that only need crash recovery can thin it.
   int checkpoint_every = 1;
+
+  // --- fault tolerance ---------------------------------------------------
+  /// Simulated wall-clock budget for one round; a client whose simulated
+  /// broadcast + local-train + update-return time exceeds it is cut off as
+  /// a straggler.  0 = no deadline.
+  double round_deadline_s = 0.0;
+  /// Quorum: the fraction of the sampled cohort that must survive for the
+  /// round to aggregate (at least one client always required).  Below it
+  /// the round is retried with a freshly sampled cohort.
+  double min_cohort_fraction = 0.0;
+  /// Fresh-cohort retries after quorum loss before run_round throws.
+  int max_cohort_retries = 2;
+  /// Link-level retry/backoff policy installed on every client link.
+  RetryPolicy retry;
 };
+
+/// Per-(round, client, attempt) fault decision for one client's local
+/// round, produced by a deterministic scheduler (sim/faults.hpp).
+struct ClientRoundFault {
+  /// Client dies after receiving the broadcast, before returning an update.
+  bool crash = false;
+  /// Multiplies the client's simulated local training time (>= 1 slows it
+  /// down); with a round deadline this is what turns into a straggler drop.
+  double straggle_factor = 1.0;
+};
+
+/// Hook consulted once per sampled client per cohort attempt; must be a
+/// pure function of its arguments so replays are bit-exact at any thread
+/// count.
+using ClientFaultHook = std::function<ClientRoundFault(
+    std::uint32_t round, int client, std::uint32_t attempt)>;
 
 class Aggregator {
  public:
@@ -71,8 +113,21 @@ class Aggregator {
   TrainingHistory& history() { return history_; }
   const TrainingHistory& history() const { return history_; }
   LLMClient& client(int id) { return *clients_.at(static_cast<std::size_t>(id)); }
+  SimLink& link(int id) { return links_.at(static_cast<std::size_t>(id)); }
   const LinkStats& link_stats(int id) const {
     return links_.at(static_cast<std::size_t>(id)).stats();
+  }
+
+  /// LR-schedule offset the NEXT round's local steps start from.
+  std::int64_t schedule_step_base() const { return schedule_step_base_; }
+  /// Rounds each client has actually trained (data-stream position).
+  const std::vector<std::uint32_t>& client_trained_rounds() const {
+    return client_rounds_;
+  }
+
+  /// Install the deterministic per-client fault schedule (nullptr = none).
+  void set_client_fault_hook(ClientFaultHook hook) {
+    fault_hook_ = std::move(hook);
   }
 
   /// Annotate the most recent round's record with an eval result.
@@ -93,6 +148,11 @@ class Aggregator {
   std::vector<float> global_params_;
   std::uint32_t round_ = 0;
   std::int64_t schedule_step_base_ = 0;
+  ClientFaultHook fault_hook_;
+  /// Rounds of local training each client has run (== its data-stream
+  /// position in rounds); persisted in checkpoints so recovery can fast-
+  /// forward every client's stream to the exact token it would have read.
+  std::vector<std::uint32_t> client_rounds_;
 
   // Per-cohort-slot buffers reused across rounds: received messages (their
   // payload capacity persists), client updates (delta buffers persist), and

@@ -7,11 +7,23 @@
 #include "util/serialization.hpp"
 
 namespace photon {
+namespace {
+
+// v2 on-disk checkpoint magic ("PCK2"); legacy files (no magic) start with
+// the raw round counter, which for any plausible run is far below this.
+constexpr std::uint32_t kCkptMagic = 0x324B4350;
+
+constexpr const char* kJournalFile = "round.journal";
+
+}  // namespace
 
 CheckpointStore::CheckpointStore(std::filesystem::path dir,
                                  std::size_t keep_last)
     : dir_(std::move(dir)), keep_last_(std::max<std::size_t>(1, keep_last)) {
-  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+  if (!dir_.empty()) {
+    std::filesystem::create_directories(dir_);
+    replay_journal();
+  }
 }
 
 void CheckpointStore::save(std::uint32_t round, std::span<const float> params,
@@ -20,6 +32,10 @@ void CheckpointStore::save(std::uint32_t round, std::span<const float> params,
   ckpt.round = round;
   ckpt.params.assign(params.begin(), params.end());
   ckpt.eval_perplexity = eval_perplexity;
+  save(std::move(ckpt));
+}
+
+void CheckpointStore::save(Checkpoint ckpt) {
   if (!dir_.empty()) write_to_disk(ckpt);
   memory_.push_back(std::move(ckpt));
   if (memory_.size() > keep_last_) {
@@ -30,8 +46,23 @@ void CheckpointStore::save(std::uint32_t round, std::span<const float> params,
 }
 
 std::optional<Checkpoint> CheckpointStore::latest() const {
-  if (memory_.empty()) return std::nullopt;
-  return memory_.back();
+  if (!memory_.empty()) return memory_.back();
+  // Fresh process after a crash: scan the directory for the newest round.
+  if (dir_.empty() || !std::filesystem::exists(dir_)) return std::nullopt;
+  std::int64_t best = -1;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt_", 0) != 0 || entry.path().extension() != ".bin") {
+      continue;
+    }
+    try {
+      best = std::max<std::int64_t>(best, std::stoll(name.substr(5)));
+    } catch (const std::exception&) {
+      continue;  // not one of ours
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return read_from_disk(static_cast<std::uint32_t>(best));
 }
 
 std::optional<Checkpoint> CheckpointStore::at_round(std::uint32_t round) const {
@@ -42,11 +73,64 @@ std::optional<Checkpoint> CheckpointStore::at_round(std::uint32_t round) const {
   return std::nullopt;
 }
 
+void CheckpointStore::journal_append(char tag, std::uint32_t round) {
+  std::string entry;
+  entry += tag;
+  entry += ' ';
+  entry += std::to_string(round);
+  journal_.push_back(entry);
+  if (!dir_.empty()) {
+    std::ofstream os(dir_ / kJournalFile, std::ios::app);
+    if (!os) {
+      throw std::runtime_error("CheckpointStore: cannot append journal in " +
+                               dir_.string());
+    }
+    os << entry << '\n' << std::flush;
+  }
+}
+
+void CheckpointStore::journal_begin(std::uint32_t round) {
+  journal_append('B', round);
+  last_begun_ = std::max<std::int64_t>(last_begun_, round);
+}
+
+void CheckpointStore::journal_commit(std::uint32_t round) {
+  journal_append('C', round);
+  last_committed_ = std::max<std::int64_t>(last_committed_, round);
+}
+
+void CheckpointStore::journal_recovered(std::uint32_t round) {
+  journal_append('R', round);
+}
+
+void CheckpointStore::replay_journal() {
+  std::ifstream is(dir_ / kJournalFile);
+  if (!is) return;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.size() < 3 || line[1] != ' ') continue;  // torn tail line
+    std::int64_t round = -1;
+    try {
+      round = std::stoll(line.substr(2));
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (round < 0) continue;
+    journal_.push_back(line);
+    if (line[0] == 'B') last_begun_ = std::max(last_begun_, round);
+    if (line[0] == 'C') last_committed_ = std::max(last_committed_, round);
+  }
+}
+
 void CheckpointStore::write_to_disk(const Checkpoint& ckpt) const {
   BinaryWriter w;
+  w.write(kCkptMagic);
   w.write(ckpt.round);
   w.write(ckpt.eval_perplexity);
+  w.write(ckpt.schedule_step_base);
   w.write_vector(ckpt.params);
+  w.write_vector(ckpt.client_trained_rounds);
+  w.write_vector(ckpt.server_opt_state);
   const auto path = dir_ / ("ckpt_" + std::to_string(ckpt.round) + ".bin");
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("CheckpointStore: cannot write " + path.string());
@@ -63,9 +147,20 @@ std::optional<Checkpoint> CheckpointStore::read_from_disk(
                                   std::istreambuf_iterator<char>());
   BinaryReader r(bytes);
   Checkpoint ckpt;
-  ckpt.round = r.read<std::uint32_t>();
-  ckpt.eval_perplexity = r.read<double>();
-  ckpt.params = r.read_vector<float>();
+  const auto first = r.read<std::uint32_t>();
+  if (first == kCkptMagic) {
+    ckpt.round = r.read<std::uint32_t>();
+    ckpt.eval_perplexity = r.read<double>();
+    ckpt.schedule_step_base = r.read<std::int64_t>();
+    ckpt.params = r.read_vector<float>();
+    ckpt.client_trained_rounds = r.read_vector<std::uint32_t>();
+    ckpt.server_opt_state = r.read_vector<std::uint8_t>();
+  } else {
+    // Legacy (pre-journal) layout: round, perplexity, params.
+    ckpt.round = first;
+    ckpt.eval_perplexity = r.read<double>();
+    ckpt.params = r.read_vector<float>();
+  }
   return ckpt;
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 // Checkpointing (paper Alg. 1 L11 server-side, L27 client-side): global
 // model snapshots each round for fast recovery, with optional persistence
-// to disk.
+// to disk, recovery metadata, and a write-ahead round journal that makes
+// aggregator crash-recovery exact (ServerOpt applied exactly once per
+// completed round; LR schedule state restored bit-identically).
 
 #include <cstdint>
 #include <filesystem>
@@ -16,19 +18,35 @@ struct Checkpoint {
   std::uint32_t round = 0;
   std::vector<float> params;
   double eval_perplexity = -1.0;
+
+  // --- recovery metadata (defaults = "not recorded", for legacy saves) ---
+  /// Cumulative schedule step count *after* completing `round`; restoring
+  /// it makes the post-recovery cosine LR schedule identical to an
+  /// uninterrupted run.
+  std::int64_t schedule_step_base = -1;
+  /// Per-client count of rounds whose local training actually ran, used to
+  /// fast-forward fresh client data streams to their pre-crash positions.
+  std::vector<std::uint32_t> client_trained_rounds;
+  /// Serialized ServerOpt state (momentum / moment buffers) captured after
+  /// this round's apply; empty for stateless optimizers.
+  std::vector<std::uint8_t> server_opt_state;
 };
 
 class CheckpointStore {
  public:
   /// `dir` empty = memory-only store (tests, sweeps); otherwise snapshots
-  /// are also written as <dir>/ckpt_<round>.bin.
+  /// are also written as <dir>/ckpt_<round>.bin and the round journal as
+  /// <dir>/round.journal (replayed on construction for crash recovery).
   explicit CheckpointStore(std::filesystem::path dir = {},
                            std::size_t keep_last = 3);
 
   void save(std::uint32_t round, std::span<const float> params,
             double eval_perplexity = -1.0);
+  /// Full save including recovery metadata.
+  void save(Checkpoint ckpt);
 
-  /// Most recent checkpoint, if any.
+  /// Most recent checkpoint: the newest in memory, else (fresh process) the
+  /// highest-round ckpt_*.bin on disk.
   std::optional<Checkpoint> latest() const;
 
   /// Checkpoint for an exact round (memory first, then disk).
@@ -37,13 +55,40 @@ class CheckpointStore {
   std::size_t num_in_memory() const { return memory_.size(); }
   const std::filesystem::path& dir() const { return dir_; }
 
+  // --- write-ahead round journal ---------------------------------------
+  // Protocol per round r: `begin r` is appended (and flushed) BEFORE the
+  // ServerOpt apply; `commit r` AFTER the round's checkpoint is durable.
+  // On recovery the last committed round is the restore point: a round
+  // with a dangling `begin` may have mutated the in-memory model but never
+  // produced a durable checkpoint, so re-running it from the last commit
+  // applies ServerOpt exactly once per round of the final timeline.
+
+  void journal_begin(std::uint32_t round);
+  void journal_commit(std::uint32_t round);
+  /// Record that a recovery restarted the run at `round` (audit trail).
+  void journal_recovered(std::uint32_t round);
+
+  /// Highest round with a durable checkpoint per the journal; -1 if the
+  /// journal has no commits (fall back to latest()).
+  std::int64_t journal_last_committed() const { return last_committed_; }
+  /// Highest round that began applying; -1 if none.
+  std::int64_t journal_last_begun() const { return last_begun_; }
+  /// In-order journal entries ("B <r>" / "C <r>" / "R <r>"), replayed from
+  /// disk on construction when persistent.
+  const std::vector<std::string>& journal() const { return journal_; }
+
  private:
+  void journal_append(char tag, std::uint32_t round);
+  void replay_journal();
   void write_to_disk(const Checkpoint& ckpt) const;
   std::optional<Checkpoint> read_from_disk(std::uint32_t round) const;
 
   std::filesystem::path dir_;
   std::size_t keep_last_;
   std::vector<Checkpoint> memory_;  // ring of the last keep_last_ snapshots
+  std::vector<std::string> journal_;
+  std::int64_t last_begun_ = -1;
+  std::int64_t last_committed_ = -1;
 };
 
 }  // namespace photon

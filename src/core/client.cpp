@@ -62,6 +62,25 @@ std::pair<double, std::uint64_t> LLMClient::train_replica(
   return {local_steps > 0 ? loss_sum / local_steps : 0.0, tokens};
 }
 
+void LLMClient::fast_forward(std::uint32_t rounds, int local_steps) {
+  if (rounds == 0) return;
+  if (local_steps <= 0) {
+    throw std::invalid_argument("LLMClient::fast_forward: local_steps <= 0");
+  }
+  // Each local step draws `local_batch` rows of seq_len + 1 tokens (see
+  // DataSource::next_batch); sub-federated clients draw that per node.
+  const std::size_t row = static_cast<std::size_t>(config_.model.seq_len) + 1;
+  const std::uint64_t row_draws = static_cast<std::uint64_t>(rounds) *
+                                  static_cast<std::uint64_t>(local_steps) *
+                                  static_cast<std::uint64_t>(config_.sub_nodes) *
+                                  static_cast<std::uint64_t>(config_.local_batch);
+  std::vector<int> window;
+  for (std::uint64_t i = 0; i < row_draws; ++i) {
+    window.clear();
+    data_->next_tokens(row, window);
+  }
+}
+
 ClientUpdate LLMClient::run_round(std::span<const float> global_params,
                                   std::uint32_t round, int local_steps,
                                   std::int64_t schedule_step_base) {

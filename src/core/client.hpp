@@ -80,6 +80,14 @@ class LLMClient {
   /// recovery; empty before the first round.
   std::span<const float> local_checkpoint() const { return checkpoint_; }
 
+  /// Crash recovery: advance the data stream past `rounds` already-trained
+  /// rounds of `local_steps` each, drawing tokens in exactly the pattern
+  /// local training would have, so a freshly constructed client in a
+  /// recovered process sees the same next batches as its uninterrupted
+  /// twin.  Model and optimizer state are untouched (the global broadcast
+  /// overwrites params; the stateless default resets the optimizer).
+  void fast_forward(std::uint32_t rounds, int local_steps);
+
  private:
   /// Train one replica for `local_steps` from the model's current params.
   /// Returns (mean loss, tokens).

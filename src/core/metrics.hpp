@@ -31,6 +31,22 @@ struct RoundRecord {
   double wall_train_seconds = 0.0; // measured wall time inside client training
   MetricDict client_metrics;      // aggregated client metric dict
   double eval_perplexity = -1.0;  // < 0 = not evaluated this round
+
+  // --- failure telemetry (fault-tolerant round engine) ---
+  /// Sampled clients of the final cohort whose updates were NOT aggregated.
+  std::vector<int> dropped_clients;
+  int survivors = 0;              // cohort members actually aggregated
+  int crashed_clients = 0;        // injected/observed client crashes
+  int link_failed_clients = 0;    // transmit gave up (attempts/deadline)
+  int straggler_drops = 0;        // cut off by the round deadline
+  std::uint32_t cohort_retries = 0;  // fresh cohorts sampled after quorum loss
+  std::uint64_t link_retries = 0;    // link-level retransmissions this round
+  std::uint64_t corrupt_chunks = 0;  // CRC-detected wire corruptions
+  double backoff_seconds = 0.0;      // simulated link backoff this round
+  bool topology_fallback = false;    // AR/RAR degraded to PS mid-round
+  /// Simulated (transfer + backoff + local train) seconds of the slowest
+  /// surviving client; what a round deadline is compared against.
+  double sim_slowest_client_seconds = 0.0;
 };
 
 /// Full training history with convenience queries used by benches.

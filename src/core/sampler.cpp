@@ -32,7 +32,8 @@ int ClientSampler::num_available() const {
       std::count(available_.begin(), available_.end(), true));
 }
 
-std::vector<int> ClientSampler::sample(int k, std::uint32_t round) {
+std::vector<int> ClientSampler::sample(int k, std::uint32_t round,
+                                       std::uint32_t salt) {
   if (k <= 0) throw std::invalid_argument("ClientSampler::sample: k <= 0");
   std::vector<int> pool;
   pool.reserve(static_cast<std::size_t>(population_));
@@ -40,7 +41,9 @@ std::vector<int> ClientSampler::sample(int k, std::uint32_t round) {
     if (available_[static_cast<std::size_t>(c)]) pool.push_back(c);
   }
   if (pool.empty()) return {};
-  Rng rng(hash_combine(seed_, round));
+  std::uint64_t key = hash_combine(seed_, round);
+  if (salt != 0) key = hash_combine(key, salt);
+  Rng rng(key);
   const auto take = std::min<std::size_t>(static_cast<std::size_t>(k), pool.size());
   const auto idx = rng.sample_without_replacement(pool.size(), take);
   std::vector<int> out;

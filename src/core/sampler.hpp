@@ -26,8 +26,11 @@ class ClientSampler {
   int num_available() const;
 
   /// Sample min(k, available) distinct available clients for `round`.
-  /// Deterministic given (seed, round, availability).
-  std::vector<int> sample(int k, std::uint32_t round);
+  /// Deterministic given (seed, round, availability).  `salt` draws an
+  /// independent cohort for the same round — used when a round loses
+  /// quorum and must be retried with fresh participants; salt 0 reproduces
+  /// the historical (pre-salt) cohort bit-exactly.
+  std::vector<int> sample(int k, std::uint32_t round, std::uint32_t salt = 0);
 
  private:
   int population_;

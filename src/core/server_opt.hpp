@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialization.hpp"
+
 namespace photon {
 
 class ServerOpt {
@@ -31,6 +33,14 @@ class ServerOpt {
                      std::span<const float> pseudo_grad) = 0;
 
   virtual void reset() = 0;
+
+  /// (De)serialize optimizer state (momentum / moment buffers) for exact
+  /// crash recovery: a restored aggregator must continue the run as if it
+  /// were never interrupted, so stateful server optimizers checkpoint
+  /// their buffers alongside the global params.  Stateless optimizers
+  /// write nothing.
+  virtual void save_state(BinaryWriter&) const {}
+  virtual void load_state(BinaryReader&) {}
 };
 
 class FedAvgOpt final : public ServerOpt {
@@ -52,6 +62,8 @@ class FedMomOpt final : public ServerOpt {
   void apply(std::span<float> params,
              std::span<const float> pseudo_grad) override;
   void reset() override;
+  void save_state(BinaryWriter& w) const override { w.write_vector(buf_); }
+  void load_state(BinaryReader& r) override { buf_ = r.read_vector<float>(); }
 
  private:
   float lr_;
@@ -66,6 +78,8 @@ class NesterovOpt final : public ServerOpt {
   void apply(std::span<float> params,
              std::span<const float> pseudo_grad) override;
   void reset() override;
+  void save_state(BinaryWriter& w) const override { w.write_vector(buf_); }
+  void load_state(BinaryReader& r) override { buf_ = r.read_vector<float>(); }
 
  private:
   float lr_;
@@ -82,6 +96,16 @@ class FedAdamOpt final : public ServerOpt {
   void apply(std::span<float> params,
              std::span<const float> pseudo_grad) override;
   void reset() override;
+  void save_state(BinaryWriter& w) const override {
+    w.write(static_cast<std::uint64_t>(t_));
+    w.write_vector(m_);
+    w.write_vector(v_);
+  }
+  void load_state(BinaryReader& r) override {
+    t_ = static_cast<std::size_t>(r.read<std::uint64_t>());
+    m_ = r.read_vector<float>();
+    v_ = r.read_vector<float>();
+  }
 
  private:
   float lr_;

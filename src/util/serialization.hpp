@@ -97,7 +97,9 @@ class BinaryReader {
     const auto n = read<std::uint64_t>();
     require(n * sizeof(T));
     std::vector<T> v(n);
-    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    if (n != 0) {  // empty vector's data() is null; memcpy requires nonnull
+      std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    }
     pos_ += n * sizeof(T);
     return v;
   }

@@ -64,19 +64,36 @@ void ThreadPool::parallel_for(
   }
   const std::size_t base = n / chunks;
   const std::size_t rem = n % chunks;
+  // Exception safety: every chunk (worker or caller) traps into its own
+  // slot, all chunks are joined before returning — no task may outlive the
+  // locals it references — and the lowest-index exception is rethrown, so
+  // "which error wins" never depends on thread scheduling.
+  std::vector<std::exception_ptr> errors(chunks);
+  const auto guarded = [&fn, &errors](std::size_t c, std::size_t chunk_begin,
+                                      std::size_t chunk_end) {
+    try {
+      fn(chunk_begin, chunk_end);
+    } catch (...) {
+      errors[c] = std::current_exception();
+    }
+  };
   std::vector<std::future<void>> futures;
   futures.reserve(chunks - 1);
   std::size_t begin = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t end = begin + base + (c < rem ? 1 : 0);
     if (c + 1 == chunks) {
-      fn(begin, end);  // the caller thread works the last chunk itself
+      guarded(c, begin, end);  // the caller thread works the last chunk itself
     } else {
-      futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+      futures.push_back(
+          submit([&guarded, c, begin, end] { guarded(c, begin, end); }));
     }
     begin = end;
   }
   for (auto& f : futures) f.get();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 ThreadPool& global_pool() {

@@ -53,7 +53,10 @@ class ThreadPool {
   /// Run fn(i) for i in [0, n) across the pool and wait for all to finish.
   /// Indices are batched into at most size() contiguous chunks (one task per
   /// chunk, not one per index).  Safe to call from a worker thread: runs
-  /// inline instead of deadlocking.
+  /// inline instead of deadlocking.  An exception thrown by fn is captured,
+  /// every other chunk still runs to completion (joined before returning),
+  /// and the exception of the lowest-index failing chunk is rethrown on the
+  /// caller — deterministic at any thread count.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Chunked overload: partitions [0, n) into at most size() contiguous

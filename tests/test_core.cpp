@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "core/checkpoint.hpp"
@@ -54,6 +55,19 @@ TEST(ClientSampler, FullParticipationIsEveryone) {
   ClientSampler sampler(5, 9);
   const auto s = sampler.sample(5, 0);
   EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ClientSampler, SaltDrawsIndependentCohortsForTheSameRound) {
+  ClientSampler sampler(32, 7);
+  const auto base = sampler.sample(4, 5);
+  // Salt 0 is the historical cohort, bit-exactly.
+  EXPECT_EQ(sampler.sample(4, 5, 0), base);
+  // Non-zero salts (quorum-loss retries) draw fresh deterministic cohorts.
+  const auto retry1 = sampler.sample(4, 5, 1);
+  const auto retry2 = sampler.sample(4, 5, 2);
+  EXPECT_NE(retry1, base);
+  EXPECT_NE(retry2, retry1);
+  EXPECT_EQ(sampler.sample(4, 5, 1), retry1);
 }
 
 TEST(ClientSampler, Validation) {
@@ -237,6 +251,110 @@ TEST(CheckpointStore, DiskRoundTrip) {
   EXPECT_DOUBLE_EQ(ckpt->eval_perplexity, 33.0);
   EXPECT_FALSE(reader.at_round(3).has_value());
   std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStore, RecoveryMetadataRoundTripsThroughDisk) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "photon_ckpt_meta_test";
+  std::filesystem::remove_all(dir);
+  Checkpoint ckpt;
+  ckpt.round = 4;
+  ckpt.params = {0.5f, 1.5f, 2.5f};
+  ckpt.eval_perplexity = 12.0;
+  ckpt.schedule_step_base = 40;
+  ckpt.client_trained_rounds = {5, 0, 4, 5};
+  ckpt.server_opt_state = {0xAB, 0xCD, 0x01};
+  {
+    CheckpointStore store(dir, 1);
+    store.save(ckpt);
+  }
+  CheckpointStore reader(dir, 1);
+  const auto back = reader.latest();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->round, 4u);
+  EXPECT_EQ(back->params, ckpt.params);
+  EXPECT_EQ(back->schedule_step_base, 40);
+  EXPECT_EQ(back->client_trained_rounds, ckpt.client_trained_rounds);
+  EXPECT_EQ(back->server_opt_state, ckpt.server_opt_state);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStore, LegacyDiskFormatStillReadable) {
+  // Pre-journal checkpoints were (round, perplexity, params) with no magic;
+  // a store must read them with "not recorded" metadata defaults.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "photon_ckpt_legacy_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    BinaryWriter w;
+    w.write(static_cast<std::uint32_t>(6));  // round, far below the magic
+    w.write(17.5);
+    w.write_vector(std::vector<float>{3.0f, 4.0f});
+    std::ofstream os(dir / "ckpt_6.bin", std::ios::binary);
+    os.write(reinterpret_cast<const char*>(w.bytes().data()),
+             static_cast<std::streamsize>(w.size()));
+  }
+  CheckpointStore reader(dir, 1);
+  const auto ckpt = reader.latest();
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->round, 6u);
+  EXPECT_DOUBLE_EQ(ckpt->eval_perplexity, 17.5);
+  EXPECT_EQ(ckpt->params, (std::vector<float>{3.0f, 4.0f}));
+  EXPECT_EQ(ckpt->schedule_step_base, -1);
+  EXPECT_TRUE(ckpt->client_trained_rounds.empty());
+  EXPECT_TRUE(ckpt->server_opt_state.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointStore, JournalTracksBeginAndCommitAcrossProcesses) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "photon_journal_test";
+  std::filesystem::remove_all(dir);
+  {
+    CheckpointStore store(dir, 2);
+    EXPECT_EQ(store.journal_last_committed(), -1);
+    store.journal_begin(0);
+    store.save(0, std::vector<float>{1.0f});
+    store.journal_commit(0);
+    store.journal_begin(1);
+    store.save(1, std::vector<float>{2.0f});
+    store.journal_commit(1);
+    store.journal_begin(2);  // crash before round 2's commit
+  }
+  // A fresh store (fresh process) replays the journal: round 2 began but
+  // never committed, so the recovery point is round 1.
+  CheckpointStore recovered(dir, 2);
+  EXPECT_EQ(recovered.journal_last_begun(), 2);
+  EXPECT_EQ(recovered.journal_last_committed(), 1);
+  const auto ckpt = recovered.at_round(1);
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->params, (std::vector<float>{2.0f}));
+  recovered.journal_recovered(2);
+  EXPECT_EQ(recovered.journal().back(), "R 2");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerOpt, StateSaveLoadRestoresMomentumExactly) {
+  // A restored stateful optimizer must continue bit-identically: serialize
+  // `a`'s momentum after one apply, load it into fresh `b`, then drive both
+  // through the same gradient sequence on identical params.
+  for (const char* name : {"fedmom", "nesterov", "fedadam"}) {
+    auto a = make_server_opt(name, 0.5f, 0.9f);
+    auto b = make_server_opt(name, 0.5f, 0.9f);
+    const std::vector<float> g1{0.1f, -0.2f}, g2{0.3f, 0.4f};
+    std::vector<float> warmup{1.0f, 2.0f};
+    a->apply(warmup, g1);
+    BinaryWriter w;
+    a->save_state(w);
+    BinaryReader r(w.bytes());
+    b->load_state(r);
+    std::vector<float> pa{5.0f, 6.0f}, pb{5.0f, 6.0f};
+    a->apply(pa, g2);
+    b->apply(pb, g2);
+    EXPECT_EQ(pa, pb) << name;
+    EXPECT_NE(pa, (std::vector<float>{5.0f, 6.0f})) << name;
+  }
 }
 
 }  // namespace

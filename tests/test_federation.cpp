@@ -6,10 +6,13 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 
 #include "comm/message.hpp"
 #include "core/aggregator.hpp"
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
 #include "core/client.hpp"
 #include "core/runner.hpp"
 #include "data/corpus.hpp"
@@ -337,6 +340,307 @@ TEST(Aggregator, CheckpointCadenceIsConfigurable) {
   never->run_round();
   EXPECT_EQ(never->checkpoints().num_in_memory(), 0u);
   EXPECT_FALSE(never->restore_latest_checkpoint());
+}
+
+// ------------------------------------------------------- fault tolerance --
+
+std::unique_ptr<Aggregator> build_fault_aggregator(
+    AggregatorConfig ac, const std::string& opt = "fedavg",
+    int population = 3) {
+  std::vector<std::unique_ptr<LLMClient>> clients;
+  for (int i = 0; i < population; ++i) {
+    clients.push_back(std::make_unique<LLMClient>(
+        i, tiny_client_config(),
+        tiny_stream(100 + static_cast<std::uint64_t>(i)), 7));
+  }
+  ac.seed = 33;
+  return std::make_unique<Aggregator>(tiny_model(), ac,
+                                      make_server_opt(opt, 0.5f, 0.9f),
+                                      std::move(clients), 55);
+}
+
+TEST(FaultEngine, CrashedClientIsDroppedAndMeanReweightedToSurvivors) {
+  AggregatorConfig ac;
+  ac.local_steps = 2;
+  ac.parallel_clients = false;
+  auto agg = build_fault_aggregator(ac, "fedavg");
+  agg->set_client_fault_hook([](std::uint32_t round, int client,
+                                std::uint32_t) {
+    ClientRoundFault f;
+    f.crash = round == 0 && client == 1;
+    return f;
+  });
+  const RoundRecord rec = agg->run_round();
+  EXPECT_EQ(rec.survivors, 2);
+  EXPECT_EQ(rec.dropped_clients, (std::vector<int>{1}));
+  EXPECT_EQ(rec.crashed_clients, 1);
+  EXPECT_TRUE(rec.topology_fallback);  // default AR ring lost a peer
+  // The crashed client consumed no data and the mean is over survivors.
+  EXPECT_EQ(agg->client_trained_rounds(), (std::vector<std::uint32_t>{1, 0, 1}));
+  EXPECT_EQ(rec.tokens_this_round, 2u * 2u * 2u * 16u);
+  // Round 1 with no faults: everyone participates again.
+  const RoundRecord rec1 = agg->run_round();
+  EXPECT_EQ(rec1.survivors, 3);
+  EXPECT_TRUE(rec1.dropped_clients.empty());
+  EXPECT_FALSE(rec1.topology_fallback);
+}
+
+TEST(FaultEngine, StragglerPastDeadlineIsCutWithoutConsumingData) {
+  AggregatorConfig ac;
+  ac.local_steps = 2;  // 2.0 simulated seconds at throughput 1
+  ac.parallel_clients = false;
+  ac.round_deadline_s = 3.0;
+  auto agg = build_fault_aggregator(ac);
+  agg->set_client_fault_hook([](std::uint32_t, int client, std::uint32_t) {
+    ClientRoundFault f;
+    if (client == 0) f.straggle_factor = 10.0;  // 20 s >> 3 s budget
+    return f;
+  });
+  const RoundRecord rec = agg->run_round();
+  EXPECT_EQ(rec.straggler_drops, 1);
+  EXPECT_EQ(rec.survivors, 2);
+  EXPECT_EQ(rec.dropped_clients, (std::vector<int>{0}));
+  // Cut before training: its data stream must not advance.
+  EXPECT_EQ(agg->client_trained_rounds(), (std::vector<std::uint32_t>{0, 1, 1}));
+  // Survivors' simulated time stays within the deadline.
+  EXPECT_GT(rec.sim_slowest_client_seconds, 3.0);  // includes the cut one
+}
+
+TEST(FaultEngine, DeadLinkDropsClientAfterRetries) {
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.retry.max_attempts = 3;
+  auto agg = build_fault_aggregator(ac);
+  agg->link(2).set_fault_hook([](const Message&, int) {
+    LinkFault f;
+    f.drop = true;  // client 2's link is dead
+    return f;
+  });
+  const RoundRecord rec = agg->run_round();
+  EXPECT_EQ(rec.link_failed_clients, 1);
+  EXPECT_EQ(rec.dropped_clients, (std::vector<int>{2}));
+  EXPECT_EQ(rec.link_retries, 2u);  // 3 attempts = 2 retries
+  EXPECT_GT(rec.backoff_seconds, 0.0);
+  EXPECT_EQ(agg->link_stats(2).aborted_messages, 1u);
+}
+
+TEST(FaultEngine, QuorumLossResamplesAFreshCohort) {
+  AggregatorConfig ac;
+  ac.clients_per_round = 2;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.min_cohort_fraction = 1.0;
+  ac.max_cohort_retries = 3;
+  auto agg = build_fault_aggregator(ac, "fedavg", /*population=*/8);
+  agg->set_client_fault_hook([](std::uint32_t, int, std::uint32_t attempt) {
+    ClientRoundFault f;
+    f.crash = attempt == 0;  // the whole first cohort dies
+    return f;
+  });
+  const RoundRecord rec = agg->run_round();
+  EXPECT_EQ(rec.cohort_retries, 1u);
+  EXPECT_EQ(rec.survivors, 2);
+  EXPECT_EQ(rec.crashed_clients, 2);  // the first cohort, counted
+  // The final cohort is the salted resample, not the round's base cohort.
+  ClientSampler reference(8, 33);
+  EXPECT_EQ(rec.participants, reference.sample(2, 0, 1));
+  EXPECT_NE(rec.participants, reference.sample(2, 0, 0));
+}
+
+TEST(FaultEngine, QuorumExhaustionThrows) {
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.min_cohort_fraction = 0.5;
+  ac.max_cohort_retries = 1;
+  auto agg = build_fault_aggregator(ac);
+  agg->set_client_fault_hook([](std::uint32_t, int, std::uint32_t) {
+    ClientRoundFault f;
+    f.crash = true;  // nobody ever survives
+    return f;
+  });
+  EXPECT_THROW(agg->run_round(), std::runtime_error);
+}
+
+TEST(FaultEngine, RetriedCorruptionLeavesParamsBitIdentical) {
+  // A corrupted-then-retransmitted wire must not change a single parameter
+  // bit relative to a clean run — CRC detection plus retry is lossless.
+  AggregatorConfig ac;
+  ac.local_steps = 2;
+  ac.parallel_clients = false;
+  auto clean = build_fault_aggregator(ac);
+  auto faulty = build_fault_aggregator(ac);
+  for (int id = 0; id < faulty->population(); ++id) {
+    faulty->link(id).set_fault_hook([id](const Message& m, int attempt) {
+      LinkFault f;
+      if (attempt == 1) {
+        f.corrupt = hash_combine(m.round, static_cast<std::uint64_t>(id)) | 1;
+      }
+      return f;
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    clean->run_round();
+    const RoundRecord rec = faulty->run_round();
+    EXPECT_GT(rec.corrupt_chunks, 0u);
+    EXPECT_GT(rec.link_retries, 0u);
+    EXPECT_TRUE(rec.dropped_clients.empty());
+  }
+  EXPECT_EQ(0, std::memcmp(clean->global_params().data(),
+                           faulty->global_params().data(),
+                           clean->global_params().size() * sizeof(float)));
+}
+
+TEST(FaultEngine, CrashRecoveryIsBitExactWithStatefulServerOpt) {
+  // An aggregator killed after round 2 and rebuilt from disk must finish
+  // the run with parameters bit-identical to one that never crashed:
+  // global params, Nesterov momentum, LR schedule position, and every
+  // client's data-stream position all restore exactly.
+  const auto base = std::filesystem::temp_directory_path() /
+                    "photon_recovery_test";
+  std::filesystem::remove_all(base);
+  auto config_for = [&](const char* leaf) {
+    AggregatorConfig ac;
+    ac.clients_per_round = 2;  // partial participation: streams desync
+    ac.local_steps = 2;
+    ac.parallel_clients = false;
+    ac.checkpoint_dir = base / leaf;
+    return ac;
+  };
+
+  auto ref = build_fault_aggregator(config_for("ref"), "nesterov");
+  for (int r = 0; r < 5; ++r) ref->run_round();
+
+  {
+    auto crashed = build_fault_aggregator(config_for("crash"), "nesterov");
+    for (int r = 0; r < 3; ++r) crashed->run_round();
+    // process dies here
+  }
+  auto recovered = build_fault_aggregator(config_for("crash"), "nesterov");
+  ASSERT_TRUE(recovered->restore_latest_checkpoint());
+  EXPECT_EQ(recovered->round(), 3u);
+  EXPECT_EQ(recovered->schedule_step_base(), 3 * 2);
+  for (int r = 3; r < 5; ++r) recovered->run_round();
+
+  ASSERT_EQ(ref->global_params().size(), recovered->global_params().size());
+  EXPECT_EQ(0, std::memcmp(ref->global_params().data(),
+                           recovered->global_params().data(),
+                           ref->global_params().size() * sizeof(float)));
+  EXPECT_EQ(ref->client_trained_rounds(), recovered->client_trained_rounds());
+  EXPECT_EQ(ref->schedule_step_base(), recovered->schedule_step_base());
+  // Per-round telemetry of the replayed rounds matches too.
+  for (int r = 3; r < 5; ++r) {
+    const auto& a = ref->history().records()[static_cast<std::size_t>(r)];
+    const auto& b = recovered->history()
+                        .records()[static_cast<std::size_t>(r - 3)];
+    EXPECT_EQ(a.participants, b.participants);
+    EXPECT_DOUBLE_EQ(a.mean_train_loss, b.mean_train_loss);
+    EXPECT_DOUBLE_EQ(a.update_norm, b.update_norm);
+  }
+  std::filesystem::remove_all(base);
+}
+
+TEST(FaultEngine, RecoveryIsBitExactUnderActiveFaultInjection) {
+  // Same crash/rebuild drill, but with the chaos injector live the whole
+  // time: fault decisions are pure functions of (round, client, attempt),
+  // so the post-recovery rounds replay the same crashes, stragglers, and
+  // retransmissions and land on identical bits.
+  const auto base = std::filesystem::temp_directory_path() /
+                    "photon_chaos_recovery_test";
+  std::filesystem::remove_all(base);
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.crash_prob = 0.2;
+  plan.straggle_prob = 0.2;
+  plan.link_drop_prob = 0.05;
+  plan.corrupt_prob = 0.1;
+  const FaultInjector injector(plan);
+  auto config_for = [&](const char* leaf) {
+    AggregatorConfig ac;
+    ac.local_steps = 2;
+    ac.parallel_clients = false;
+    ac.round_deadline_s = 3.0;
+    ac.min_cohort_fraction = 0.25;
+    ac.max_cohort_retries = 4;
+    ac.checkpoint_dir = base / leaf;
+    return ac;
+  };
+
+  auto ref = build_fault_aggregator(config_for("ref"), "nesterov", 4);
+  injector.install(*ref);
+  for (int r = 0; r < 5; ++r) ref->run_round();
+
+  {
+    auto crashed = build_fault_aggregator(config_for("crash"), "nesterov", 4);
+    injector.install(*crashed);
+    for (int r = 0; r < 3; ++r) crashed->run_round();
+  }
+  auto recovered = build_fault_aggregator(config_for("crash"), "nesterov", 4);
+  injector.install(*recovered);
+  ASSERT_TRUE(recovered->restore_latest_checkpoint());
+  EXPECT_EQ(recovered->round(), 3u);
+  for (int r = 3; r < 5; ++r) recovered->run_round();
+
+  EXPECT_EQ(0, std::memcmp(ref->global_params().data(),
+                           recovered->global_params().data(),
+                           ref->global_params().size() * sizeof(float)));
+  EXPECT_EQ(ref->client_trained_rounds(), recovered->client_trained_rounds());
+  std::filesystem::remove_all(base);
+}
+
+TEST(FaultEngine, FaultedRunIsBitIdenticalAcrossThreadCounts) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.crash_prob = 0.25;
+  plan.straggle_prob = 0.25;
+  plan.corrupt_prob = 0.15;
+  const FaultInjector injector(plan);
+  auto config_for = [&](bool parallel) {
+    AggregatorConfig ac;
+    ac.local_steps = 2;
+    ac.parallel_clients = parallel;
+    ac.round_deadline_s = 4.0;
+    ac.min_cohort_fraction = 0.25;
+    ac.max_cohort_retries = 4;
+    return ac;
+  };
+  auto serial = build_fault_aggregator(config_for(false), "fedavg", 4);
+  auto parallel = build_fault_aggregator(config_for(true), "fedavg", 4);
+  injector.install(*serial);
+  injector.install(*parallel);
+  for (int r = 0; r < 3; ++r) {
+    const RoundRecord a = serial->run_round();
+    const RoundRecord b = parallel->run_round();
+    EXPECT_EQ(a.participants, b.participants);
+    EXPECT_EQ(a.dropped_clients, b.dropped_clients);
+    EXPECT_EQ(a.survivors, b.survivors);
+    EXPECT_EQ(a.crashed_clients, b.crashed_clients);
+    EXPECT_EQ(a.straggler_drops, b.straggler_drops);
+    EXPECT_EQ(a.link_retries, b.link_retries);
+    EXPECT_EQ(a.corrupt_chunks, b.corrupt_chunks);
+  }
+  EXPECT_EQ(0, std::memcmp(serial->global_params().data(),
+                           parallel->global_params().data(),
+                           serial->global_params().size() * sizeof(float)));
+}
+
+TEST(FaultEngine, JournalRecordsTheRoundLifecycle) {
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  auto agg = build_fault_aggregator(ac);
+  agg->run_round();
+  agg->run_round();
+  const auto& journal = agg->checkpoints().journal();
+  ASSERT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal[0], "B 0");
+  EXPECT_EQ(journal[1], "C 0");
+  EXPECT_EQ(journal[2], "B 1");
+  EXPECT_EQ(journal[3], "C 1");
+  EXPECT_EQ(agg->checkpoints().journal_last_committed(), 1);
+  EXPECT_TRUE(agg->restore_latest_checkpoint());
+  EXPECT_EQ(agg->checkpoints().journal().back(), "R 2");
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include "comm/message.hpp"
 #include "nn/config.hpp"
 #include "sim/autotuner.hpp"
 #include "sim/cluster.hpp"
+#include "sim/faults.hpp"
 #include "sim/hardware.hpp"
 #include "sim/mfu.hpp"
 #include "sim/strategy.hpp"
@@ -183,6 +185,108 @@ TEST(TrainingMemory, ScalesWithParamsAndBatch) {
   EXPECT_GT(big, small);
   const double bigger_batch = training_memory_gb(125000000, 64, 2048, 768, 12);
   EXPECT_GT(bigger_batch, small);
+}
+
+// --------------------------------------------------------- fault injector --
+TEST(FaultInjector, DecisionsArePureFunctionsOfThePlan) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.crash_prob = 0.3;
+  plan.straggle_prob = 0.4;
+  plan.link_drop_prob = 0.2;
+  plan.corrupt_prob = 0.2;
+  const FaultInjector a(plan), b(plan);
+  Message m;
+  m.round = 7;
+  m.sender = 0;
+  for (std::uint32_t round = 0; round < 20; ++round) {
+    for (int client = 0; client < 6; ++client) {
+      const auto fa = a.client_fault(round, client, 0);
+      const auto fb = b.client_fault(round, client, 0);
+      EXPECT_EQ(fa.crash, fb.crash);
+      EXPECT_EQ(fa.straggle_factor, fb.straggle_factor);  // bit-equal
+      m.round = round;
+      for (int attempt = 1; attempt <= 3; ++attempt) {
+        const auto la = a.link_fault(client, m, attempt);
+        const auto lb = b.link_fault(client, m, attempt);
+        EXPECT_EQ(la.drop, lb.drop);
+        EXPECT_EQ(la.corrupt, lb.corrupt);
+      }
+    }
+  }
+}
+
+TEST(FaultInjector, ProbabilitiesHitTheirTargets) {
+  FaultPlan plan;
+  plan.crash_prob = 0.25;
+  plan.straggle_prob = 0.5;
+  plan.straggle_factor_min = 2.0;
+  plan.straggle_factor_max = 4.0;
+  const FaultInjector inj(plan);
+  int crashes = 0, stragglers = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto f = inj.client_fault(static_cast<std::uint32_t>(t), t % 13, 0);
+    crashes += f.crash ? 1 : 0;
+    if (f.straggle_factor > 1.0) {
+      ++stragglers;
+      EXPECT_GE(f.straggle_factor, 2.0);
+      EXPECT_LE(f.straggle_factor, 4.0);
+    }
+  }
+  EXPECT_NEAR(crashes, trials * 0.25, 120);
+  EXPECT_NEAR(stragglers, trials * 0.5, 140);
+}
+
+TEST(FaultInjector, RoundWindowGatesAllFaults) {
+  FaultPlan plan;
+  plan.crash_prob = 1.0;
+  plan.link_drop_prob = 1.0;
+  plan.first_round = 5;
+  plan.last_round = 6;
+  const FaultInjector inj(plan);
+  Message m;
+  for (std::uint32_t round : {0u, 4u, 7u, 100u}) {
+    EXPECT_FALSE(inj.client_fault(round, 0, 0).crash);
+    m.round = round;
+    EXPECT_FALSE(inj.link_fault(0, m, 1).drop);
+  }
+  for (std::uint32_t round : {5u, 6u}) {
+    EXPECT_TRUE(inj.client_fault(round, 0, 0).crash);
+    m.round = round;
+    EXPECT_TRUE(inj.link_fault(0, m, 1).drop);
+  }
+}
+
+TEST(FaultInjector, BroadcastFaultsDecorrelateAcrossClients) {
+  // The model broadcast has sender 0 for every client; link faults must
+  // still be keyed per client, not per message, or every cohort member
+  // would fail together.
+  FaultPlan plan;
+  plan.link_drop_prob = 0.5;
+  const FaultInjector inj(plan);
+  Message broadcast;
+  broadcast.round = 3;
+  broadcast.sender = 0;
+  bool any_drop = false, any_clean = false;
+  for (int client = 0; client < 32; ++client) {
+    (inj.link_fault(client, broadcast, 1).drop ? any_drop : any_clean) = true;
+  }
+  EXPECT_TRUE(any_drop);
+  EXPECT_TRUE(any_clean);
+}
+
+TEST(FaultInjector, ValidatesThePlan) {
+  FaultPlan bad;
+  bad.crash_prob = 1.5;
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+  FaultPlan factors;
+  factors.straggle_factor_min = 0.5;  // would *speed up* a straggler
+  EXPECT_THROW(FaultInjector{factors}, std::invalid_argument);
+  FaultPlan inverted;
+  inverted.straggle_factor_min = 4.0;
+  inverted.straggle_factor_max = 2.0;
+  EXPECT_THROW(FaultInjector{inverted}, std::invalid_argument);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 #include "util/serialization.hpp"
@@ -220,6 +222,59 @@ TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
   f.get();
   EXPECT_FALSE(ThreadPool::on_worker_thread());
   EXPECT_EQ(count.load(), 9 * 16);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  // Two failing indices: the lowest one must win regardless of which worker
+  // finishes first, and the pool must not terminate the process.
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      if (i == 37 || i == 73) {
+        throw std::runtime_error("boom at " + std::to_string(i));
+      }
+      hits[i]++;
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 37");
+  }
+  // Chunks other than the failing ones ran to completion before the rethrow.
+  int covered = 0;
+  for (const auto& h : hits) covered += h.load();
+  EXPECT_GE(covered, 100 - 2 - 2 * 25);  // at most two partial chunks lost
+  // The pool survives and is reusable after an exception.
+  std::atomic<int> after{0};
+  pool.parallel_for(64, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForCallerChunkExceptionJoinsWorkers) {
+  ThreadPool pool(4);
+  // The caller thread runs the LAST chunk itself; throwing there must not
+  // abandon in-flight worker tasks (they reference stack locals).
+  std::vector<std::atomic<int>> hits(100);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 99) throw std::logic_error("tail");
+                                   hits[i]++;
+                                 }),
+               std::logic_error);
+  for (std::size_t i = 0; i + 1 < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkedParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100, 8,
+                                 [&](std::size_t begin, std::size_t) {
+                                   if (begin == 0) {
+                                     throw std::invalid_argument("chunk 0");
+                                   }
+                                 }),
+               std::invalid_argument);
 }
 
 TEST(ThreadPool, NestedParallelForStress) {

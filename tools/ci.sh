@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate plus a hardened sanitizer pass.
+#
+#   tools/ci.sh            # tier-1 (Release) + ASan/UBSan build, both ctest'd
+#   tools/ci.sh --fast     # tier-1 only
+#   tools/ci.sh --soak N   # additionally run an N-round chaos soak (default 200)
+#
+# Every ctest invocation carries a hard --timeout so a hang under injected
+# faults (the failure mode the fault engine exists to prevent) fails the
+# pipeline instead of wedging it.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+PER_TEST_TIMEOUT=300   # seconds; generous for the sanitized build
+FAST=0
+SOAK_ROUNDS=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) FAST=1; shift ;;
+    --soak) SOAK_ROUNDS="${2:-200}"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+run_suite() {
+  local build_dir="$1"; shift
+  local label="$1"; shift
+  echo "==> [$label] configure + build ($build_dir)"
+  cmake -S "$ROOT" -B "$build_dir" "$@" >/dev/null
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "==> [$label] ctest (per-test timeout ${PER_TEST_TIMEOUT}s)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" \
+        --timeout "$PER_TEST_TIMEOUT"
+}
+
+# Tier-1: the gate every PR must keep green.
+run_suite "$ROOT/build" "tier-1" -DCMAKE_BUILD_TYPE=Release
+
+if [[ "$FAST" -eq 0 ]]; then
+  # Hardened pass: whole tree under ASan+UBSan.  halt_on_error makes any
+  # UBSan report a test failure rather than a log line.
+  export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  run_suite "$ROOT/build-sanitize" "asan+ubsan" \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DPHOTON_SANITIZE=address,undefined
+fi
+
+if [[ "$SOAK_ROUNDS" -gt 0 ]]; then
+  echo "==> chaos soak: $SOAK_ROUNDS rounds"
+  "$ROOT/build/bench/bench_faults" --rounds="$SOAK_ROUNDS" \
+      --json="$ROOT/build/BENCH_faults_soak.json"
+fi
+
+echo "==> ci.sh: all green"
