@@ -47,10 +47,39 @@ Message SimLink::transmit(const Message& message) {
   return received;
 }
 
+void SimLink::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    counters_ = {};
+    return;
+  }
+  counters_.messages = registry->counter("link.messages");
+  counters_.payload_bytes = registry->counter("link.payload_bytes");
+  counters_.wire_bytes = registry->counter("link.wire_bytes");
+  counters_.retries = registry->counter("link.retries");
+  counters_.send_failures = registry->counter("link.send_failures");
+  counters_.corrupt_chunks = registry->counter("link.corrupt_chunks");
+  counters_.aborted_messages = registry->counter("link.aborted_messages");
+}
+
 void SimLink::transmit(const Message& message, Message& out) {
   const int max_attempts = std::max(1, retry_.max_attempts);
   ++stats_.messages;
-  stats_.payload_bytes += message.view().size() * sizeof(float);
+  counters_.messages.add();
+  const std::uint64_t payload_bytes = message.view().size() * sizeof(float);
+  stats_.payload_bytes += payload_bytes;
+  counters_.payload_bytes.add(payload_bytes);
+
+  // Tracing: spans walk a deterministic sim-time cursor from the context's
+  // base over the same transfer/backoff arithmetic the stats record, so
+  // the emitted timeline is bit-identical at any thread count.
+  const bool tracing =
+      trace_.tracer != nullptr && trace_.tracer->sampled(message.round);
+  double cursor = trace_.sim_base;
+  const auto mark = [&](obs::SpanKind kind, double begin, double end,
+                        int attempt, std::uint64_t real_ns) {
+    trace_.tracer->record({kind, message.round, trace_.actor, attempt, begin,
+                           end, real_ns});
+  };
 
   double spent = 0.0;  // simulated seconds consumed by this message
   for (int attempt = 1;; ++attempt) {
@@ -61,10 +90,17 @@ void SimLink::transmit(const Message& message, Message& out) {
       // Transient send failure: nothing reaches the peer, but noticing the
       // failure still burns the propagation delay.
       ++stats_.send_failures;
+      counters_.send_failures.add();
       stats_.transfer_seconds += latency_s_;
       spent += latency_s_;
+      cursor += latency_s_;
     } else {
+      const obs::RealTimer encode_timer(tracing);
       const auto wire = message.encode_into(scratch_, pool_);
+      if (tracing) {
+        mark(obs::SpanKind::kEncode, cursor, cursor, attempt,
+             encode_timer.ns());
+      }
       if (fault.corrupt != 0 && !scratch_.wire.empty()) {
         // Flip one bit inside the CRC-protected region (chunk bytes + CRC
         // field) — the receiver is guaranteed to be able to detect it.
@@ -76,9 +112,12 @@ void SimLink::transmit(const Message& message, Message& out) {
             static_cast<std::uint8_t>(1u << ((fault.corrupt >> 32) % 8));
       }
       stats_.wire_bytes += wire.size();
+      counters_.wire_bytes.add(wire.size());
       const double t = transfer_time(wire.size());
       stats_.transfer_seconds += t;
       spent += t;
+      cursor += t;
+      const obs::RealTimer decode_timer(tracing);
       try {
         Message::decode_into(wire, out, pool_);
         delivered = true;
@@ -86,12 +125,19 @@ void SimLink::transmit(const Message& message, Message& out) {
         // Corrupted on the wire; every injected flip lands in CRC-covered
         // bytes, so decode always rejects rather than returning garbage.
         ++stats_.corrupt_chunks;
+        counters_.corrupt_chunks.add();
+      }
+      if (tracing) {
+        mark(obs::SpanKind::kDecode, cursor, cursor, attempt,
+             decode_timer.ns());
       }
     }
     if (delivered) return;
 
     if (attempt >= max_attempts) {
       ++stats_.aborted_messages;
+      counters_.aborted_messages.add();
+      if (tracing) mark(obs::SpanKind::kLinkFail, cursor, cursor, attempt, 0);
       throw TransmitError(name_ + ": message abandoned after " +
                           std::to_string(attempt) + " attempts");
     }
@@ -103,12 +149,19 @@ void SimLink::transmit(const Message& message, Message& out) {
     if (retry_.message_deadline_s > 0.0 &&
         spent + backoff > retry_.message_deadline_s) {
       ++stats_.aborted_messages;
+      counters_.aborted_messages.add();
+      if (tracing) mark(obs::SpanKind::kLinkFail, cursor, cursor, attempt, 0);
       throw TransmitError(name_ + ": message deadline exceeded after " +
                           std::to_string(attempt) + " attempts");
     }
+    if (tracing) {
+      mark(obs::SpanKind::kRetryWait, cursor, cursor + backoff, attempt, 0);
+    }
     spent += backoff;
+    cursor += backoff;
     stats_.backoff_seconds += backoff;
     ++stats_.retries;
+    counters_.retries.add();
   }
 }
 

@@ -62,8 +62,23 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
     // policy) and the bits are identical either way.
     links_.back().set_thread_pool(&global_pool());
     links_.back().set_retry_policy(config_.retry);
+    links_.back().set_metrics(config_.metrics);
+    links_.back().set_trace_context(
+        {config_.tracer, static_cast<std::int32_t>(i), 0.0});
   }
   client_rounds_.assign(clients_.size(), 0);
+  if (config_.metrics != nullptr) {
+    obs_.straggler_cuts = config_.metrics->counter("round.straggler_cuts");
+    obs_.crashes = config_.metrics->counter("round.crashes");
+    obs_.link_failures = config_.metrics->counter("round.link_failures");
+    obs_.cohort_retries = config_.metrics->counter("round.cohort_retries");
+    obs_.tokens = config_.metrics->counter("round.tokens");
+    obs_.rounds = config_.metrics->counter("round.completed");
+    obs_.tokens_per_sim_second =
+        config_.metrics->gauge("round.tokens_per_sim_second");
+    obs_.client_sim_seconds =
+        config_.metrics->histogram("client.sim_round_seconds");
+  }
 
   // InitModel (Alg. 1 L2): the server initializes the global parameters.
   GptModel init(model_config_, init_seed);
@@ -72,6 +87,10 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
 
 RoundRecord Aggregator::run_round() {
   const auto t_round = std::chrono::steady_clock::now();
+  obs::Tracer* tracer = config_.tracer;
+  const bool tracing = tracer != nullptr && tracer->sampled(round_);
+  const obs::RealTimer round_timer(tracing);
+  const double t0 = sim_now_;  // sim timestamp this round starts at
   const int k = config_.clients_per_round > 0
                     ? config_.clients_per_round
                     : static_cast<int>(clients_.size());
@@ -146,28 +165,54 @@ RoundRecord Aggregator::run_round() {
         return (now.transfer_seconds - before.transfer_seconds) +
                (now.backoff_seconds - before.backoff_seconds);
       };
+      const auto mark = [&](obs::SpanKind kind, double begin, double end,
+                            std::uint64_t real_ns) {
+        tracer->record({kind, round_, id, static_cast<std::int32_t>(attempt),
+                        begin, end, real_ns});
+      };
+      link.set_trace_sim_base(t0);
+      const obs::RealTimer bcast_timer(tracing);
       try {
         link.transmit(broadcast, rx);
       } catch (const TransmitError&) {
         status[i] = SlotStatus::kLinkFailed;
         sim_seconds[i] = sim_elapsed();
+        if (tracing) {
+          mark(obs::SpanKind::kBroadcast, t0, t0 + sim_seconds[i],
+               bcast_timer.ns());
+        }
         return;
+      }
+      const double bcast_end = t0 + sim_elapsed();
+      if (tracing) {
+        mark(obs::SpanKind::kBroadcast, t0, bcast_end, bcast_timer.ns());
       }
       if (fault.crash) {
         // Client dies holding the broadcast, before training starts: its
         // data stream does not advance and no update comes back.
         status[i] = SlotStatus::kCrashed;
         sim_seconds[i] = sim_elapsed();
+        if (tracing) mark(obs::SpanKind::kCrash, bcast_end, bcast_end, 0);
         return;
       }
       if (config_.round_deadline_s > 0.0 &&
           sim_elapsed() + train_sim > config_.round_deadline_s) {
         // Known-too-slow straggler is cut before training (no data used).
+        // The span covers the sim interval the round still charges to the
+        // cut client, so trace attribution of round time stays complete.
         status[i] = SlotStatus::kLate;
         sim_seconds[i] = sim_elapsed() + train_sim;
+        if (tracing) {
+          mark(obs::SpanKind::kStragglerCut, bcast_end, t0 + sim_seconds[i],
+               0);
+        }
         return;
       }
+      clients_[static_cast<std::size_t>(id)]->set_trace(
+          {tracing ? tracer : nullptr, round_, bcast_end,
+           train_sim / static_cast<double>(config_.local_steps)});
       const auto t_train = std::chrono::steady_clock::now();
+      const obs::RealTimer train_timer(tracing);
       clients_[static_cast<std::size_t>(id)]->run_round(
           rx.payload, round_, config_.local_steps, schedule_step_base_,
           updates_[i]);
@@ -176,6 +221,11 @@ RoundRecord Aggregator::run_round() {
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         t_train)
               .count();
+      const double train_end = bcast_end + train_sim;
+      if (tracing) {
+        mark(obs::SpanKind::kLocalTrain, bcast_end, train_end,
+             train_timer.ns());
+      }
       Message up;
       up.type = MessageType::kClientUpdate;
       up.round = round_;
@@ -183,17 +233,31 @@ RoundRecord Aggregator::run_round() {
       up.codec = updates_[i].post.codec;
       up.payload_view = updates_[i].delta;
       up.metadata = updates_[i].metrics;
+      link.set_trace_sim_base(train_end);
+      const obs::RealTimer up_timer(tracing);
       try {
         link.transmit(up, rx);  // rx now holds the received update
       } catch (const TransmitError&) {
         status[i] = SlotStatus::kLinkFailed;
         sim_seconds[i] = sim_elapsed() + train_sim;
+        if (tracing) {
+          mark(obs::SpanKind::kUpdateReturn, train_end, t0 + sim_seconds[i],
+               up_timer.ns());
+        }
         return;
       }
       sim_seconds[i] = sim_elapsed() + train_sim;
+      if (tracing) {
+        mark(obs::SpanKind::kUpdateReturn, train_end, t0 + sim_seconds[i],
+             up_timer.ns());
+      }
       if (config_.round_deadline_s > 0.0 &&
           sim_seconds[i] > config_.round_deadline_s) {
         status[i] = SlotStatus::kLate;  // update arrived past the deadline
+        if (tracing) {
+          mark(obs::SpanKind::kStragglerCut, t0 + sim_seconds[i],
+               t0 + sim_seconds[i], 0);
+        }
       }
     };
     if (config_.parallel_clients && cohort.size() > 1) {
@@ -210,10 +274,20 @@ RoundRecord Aggregator::run_round() {
       if (trained[i]) ++client_rounds_[static_cast<std::size_t>(cohort[i])];
       switch (status[i]) {
         case SlotStatus::kOk: survivors.push_back(i); break;
-        case SlotStatus::kCrashed: ++record.crashed_clients; break;
-        case SlotStatus::kLinkFailed: ++record.link_failed_clients; break;
-        case SlotStatus::kLate: ++record.straggler_drops; break;
+        case SlotStatus::kCrashed:
+          ++record.crashed_clients;
+          obs_.crashes.add();
+          break;
+        case SlotStatus::kLinkFailed:
+          ++record.link_failed_clients;
+          obs_.link_failures.add();
+          break;
+        case SlotStatus::kLate:
+          ++record.straggler_drops;
+          obs_.straggler_cuts.add();
+          break;
       }
+      obs_.client_sim_seconds.observe(sim_seconds[i]);
     }
 
     const auto quorum = std::max<std::size_t>(
@@ -228,6 +302,7 @@ RoundRecord Aggregator::run_round() {
           " cohort attempt(s)");
     }
     ++record.cohort_retries;
+    obs_.cohort_retries.add();
     PHOTON_LOG_WARN("aggregator",
                     "round %u attempt %u: %zu/%zu survivors below quorum "
                     "%zu; resampling cohort",
@@ -276,6 +351,7 @@ RoundRecord Aggregator::run_round() {
   std::span<const float> pseudo_grad;
   double sim_comm_seconds = 0.0;
   std::uint64_t collective_bytes = 0;
+  const obs::RealTimer collective_timer(tracing);
   if (config_.secure_aggregation && n_agg > 1) {
     SecureAggregator sec(static_cast<int>(n_agg),
                          hash_combine(config_.seed, round_));
@@ -319,6 +395,19 @@ RoundRecord Aggregator::run_round() {
     pseudo_grad = rx_[survivors.front()].payload;
   }
 
+  const std::uint64_t collective_real_ns = collective_timer.ns();
+
+  // The collective starts once the slowest surviving client is in; the
+  // round's sim end is its completion.  The sim clock advances whether or
+  // not tracing is on — it is part of the deterministic round state.
+  const double t_collective = t0 + record.sim_slowest_client_seconds;
+  const double t_round_end = t_collective + sim_comm_seconds;
+  if (tracing) {
+    tracer->record({obs::SpanKind::kCollective, round_, obs::kAggregatorActor,
+                    static_cast<std::int32_t>(n_agg), t_collective,
+                    t_round_end, collective_real_ns});
+  }
+
   record.update_norm =
       kernels::l2_norm(pseudo_grad.data(), pseudo_grad.size());
 
@@ -327,13 +416,21 @@ RoundRecord Aggregator::run_round() {
   // round's checkpoint is.  A crash between the two leaves a dangling
   // begin, and recovery restarts from the last commit — so ServerOpt is
   // applied exactly once per round of the final timeline.
+  const obs::RealTimer server_opt_timer(tracing);
   checkpoints_.journal_begin(round_);
   server_opt_->apply(global_params_, pseudo_grad);
+  if (tracing) {
+    // Server-side compute is not simulated, so ServerOpt and Checkpoint are
+    // sim-zero-width marks at round end carrying measured real durations.
+    tracer->record({obs::SpanKind::kServerOpt, round_, obs::kAggregatorActor,
+                    -1, t_round_end, t_round_end, server_opt_timer.ns()});
+  }
 
   // AggMetrics (L10) and Checkpoint (L11) with recovery metadata.
   record.client_metrics = aggregate_metrics(client_metrics, weights);
   if (config_.checkpoint_every > 0 &&
       round_ % static_cast<std::uint32_t>(config_.checkpoint_every) == 0) {
+    const obs::RealTimer ckpt_timer(tracing);
     Checkpoint ckpt;
     ckpt.round = round_;
     ckpt.params = global_params_;
@@ -344,6 +441,11 @@ RoundRecord Aggregator::run_round() {
     ckpt.server_opt_state = w.take();
     checkpoints_.save(std::move(ckpt));
     checkpoints_.journal_commit(round_);
+    if (tracing) {
+      tracer->record({obs::SpanKind::kCheckpoint, round_,
+                      obs::kAggregatorActor, -1, t_round_end, t_round_end,
+                      ckpt_timer.ns()});
+    }
   }
 
   // Wire bytes: broadcast + update message bytes through Agg links (all
@@ -371,6 +473,19 @@ RoundRecord Aggregator::run_round() {
   record.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_round)
           .count();
+
+  if (tracing) {
+    tracer->record({obs::SpanKind::kRound, round_, obs::kAggregatorActor,
+                    static_cast<std::int32_t>(record.survivors), t0,
+                    t_round_end, round_timer.ns()});
+  }
+  obs_.rounds.add();
+  obs_.tokens.add(record.tokens_this_round);
+  if (t_round_end > t0) {
+    obs_.tokens_per_sim_second.set(
+        static_cast<double>(record.tokens_this_round) / (t_round_end - t0));
+  }
+  sim_now_ = t_round_end;
 
   PHOTON_LOG_INFO("aggregator",
                   "round %u: K=%zu survivors=%zu loss %.4f update-norm %.4f",

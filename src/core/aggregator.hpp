@@ -34,6 +34,8 @@
 #include "core/server_opt.hpp"
 #include "nn/config.hpp"
 #include "nn/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace photon {
 
@@ -74,6 +76,14 @@ struct AggregatorConfig {
   int max_cohort_retries = 2;
   /// Link-level retry/backoff policy installed on every client link.
   RetryPolicy retry;
+
+  // --- observability -----------------------------------------------------
+  /// Span sink for the round path (nullptr = no tracing).  Not owned; must
+  /// outlive the aggregator.  Every span's sim timestamps are pure functions
+  /// of (seed, config), so traces are byte-identical at any thread count.
+  obs::Tracer* tracer = nullptr;
+  /// Counter/gauge/histogram sink (nullptr = none).  Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-(round, client, attempt) fault decision for one client's local
@@ -120,6 +130,9 @@ class Aggregator {
 
   /// LR-schedule offset the NEXT round's local steps start from.
   std::int64_t schedule_step_base() const { return schedule_step_base_; }
+  /// Simulated wall-clock: the sim timestamp the NEXT round starts at
+  /// (sum of completed rounds' slowest-client + collective sim seconds).
+  double sim_now() const { return sim_now_; }
   /// Rounds each client has actually trained (data-stream position).
   const std::vector<std::uint32_t>& client_trained_rounds() const {
     return client_rounds_;
@@ -148,7 +161,20 @@ class Aggregator {
   std::vector<float> global_params_;
   std::uint32_t round_ = 0;
   std::int64_t schedule_step_base_ = 0;
+  double sim_now_ = 0.0;
   ClientFaultHook fault_hook_;
+  /// Typed metric handles resolved once at construction; null (no-op) when
+  /// config_.metrics is null, so hot-path increments cost one branch.
+  struct {
+    obs::CounterHandle straggler_cuts;
+    obs::CounterHandle crashes;
+    obs::CounterHandle link_failures;
+    obs::CounterHandle cohort_retries;
+    obs::CounterHandle tokens;
+    obs::CounterHandle rounds;
+    obs::GaugeHandle tokens_per_sim_second;
+    obs::HistogramHandle client_sim_seconds;
+  } obs_;
   /// Rounds of local training each client has run (== its data-stream
   /// position in rounds); persisted in checkpoints so recovery can fast-
   /// forward every client's stream to the exact token it would have read.

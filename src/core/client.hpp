@@ -21,8 +21,22 @@
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/scheduler.hpp"
+#include "obs/trace.hpp"
 
 namespace photon {
+
+/// Sim-time coordinates for the local_step spans a client emits while
+/// training.  The round engine installs it immediately before run_round:
+/// `sim_begin` is the absolute sim timestamp local training starts at and
+/// `sim_per_step` the deterministic simulated duration of one local step,
+/// so step k spans [begin + k*per_step, begin + (k+1)*per_step] regardless
+/// of which worker thread runs the client.
+struct ClientTraceContext {
+  obs::Tracer* tracer = nullptr;  // nullptr = no tracing (the default)
+  std::uint32_t round = 0;
+  double sim_begin = 0.0;
+  double sim_per_step = 0.0;
+};
 
 struct ClientTrainConfig {
   ModelConfig model;
@@ -88,6 +102,9 @@ class LLMClient {
   /// overwrites params; the stateless default resets the optimizer).
   void fast_forward(std::uint32_t rounds, int local_steps);
 
+  /// Install the tracing context for the next run_round (copy; cheap).
+  void set_trace(const ClientTraceContext& ctx) { trace_ = ctx; }
+
  private:
   /// Train one replica for `local_steps` from the model's current params.
   /// Returns (mean loss, tokens).
@@ -103,6 +120,7 @@ class LLMClient {
   PostProcessPipeline post_;
   std::vector<float> checkpoint_;
   double last_grad_norm_ = 0.0;
+  ClientTraceContext trace_;
 };
 
 }  // namespace photon

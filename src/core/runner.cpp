@@ -1,8 +1,11 @@
 #include "core/runner.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "core/server_opt.hpp"
+#include "obs/export.hpp"
 #include "data/corpus.hpp"
 #include "data/stream.hpp"
 #include "eval/perplexity.hpp"
@@ -92,6 +95,16 @@ PhotonRunner::PhotonRunner(RunnerConfig config) : config_(std::move(config)) {
   ac.sim_throughput_bps = config_.sim_throughput_bps;
   ac.seed = hash_combine(config_.seed, 0x5A3FULL);
 
+  // PHOTON_TRACE=1 opts a run into tracing with zero code changes.
+  if (config_.tracer == nullptr && config_.metrics == nullptr) {
+    if (obs::Tracer* env = obs::env_tracer(); env != nullptr) {
+      config_.tracer = env;
+      env_traced_ = true;
+    }
+  }
+  ac.tracer = config_.tracer;
+  ac.metrics = config_.metrics;
+
   aggregator_ = std::make_unique<Aggregator>(
       config_.model, ac,
       make_server_opt(config_.server_opt, config_.server_lr,
@@ -125,12 +138,22 @@ double PhotonRunner::evaluate_now() {
 }
 
 const TrainingHistory& PhotonRunner::run() {
+  obs::Tracer* tracer = config_.tracer;
   for (int r = 0; r < config_.rounds; ++r) {
-    aggregator_->run_round();
+    const RoundRecord record = aggregator_->run_round();
     const bool eval_round =
         (r + 1) % config_.eval_every == 0 || r + 1 == config_.rounds;
     if (eval_round) {
+      const bool tracing = tracer != nullptr && tracer->sampled(record.round);
+      const obs::RealTimer eval_timer(tracing);
       const double ppl = evaluate_now();
+      if (tracing) {
+        // Server-side eval is not simulated: a sim-zero-width mark at the
+        // round boundary carrying the measured real duration.
+        tracer->record({obs::SpanKind::kEval, record.round,
+                        obs::kAggregatorActor, -1, aggregator_->sim_now(),
+                        aggregator_->sim_now(), eval_timer.ns()});
+      }
       aggregator_->record_eval(ppl);
       PHOTON_LOG_INFO("runner", "round %d eval ppl %.3f", r, ppl);
       if (config_.target_perplexity > 0.0 &&
@@ -138,6 +161,16 @@ const TrainingHistory& PhotonRunner::run() {
         break;
       }
     }
+  }
+  // Env-opted tracing (PHOTON_TRACE=1): export everything the run recorded
+  // as a Perfetto-loadable Chrome trace plus a human-readable round table.
+  if (env_traced_ && tracer != nullptr) {
+    const std::vector<obs::TraceEvent> events = tracer->drain();
+    std::ofstream out("photon_trace.json");
+    out << obs::to_chrome_trace(events);
+    std::fputs(obs::render_round_table(events).c_str(), stderr);
+    PHOTON_LOG_INFO("runner", "wrote %zu trace events to photon_trace.json",
+                    events.size());
   }
   return aggregator_->history();
 }

@@ -63,6 +63,13 @@ struct RunnerConfig {
   double sim_throughput_bps = 1.0;  // nu for wall-time records
 
   std::uint64_t seed = 42;
+
+  // Observability (not owned; may be null).  When both are null and the
+  // PHOTON_TRACE environment variable is set, the runner falls back to the
+  // process-wide env tracer and writes photon_trace.json plus a per-round
+  // table at the end of run().
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class PhotonRunner {
@@ -88,6 +95,9 @@ class PhotonRunner {
   std::unique_ptr<Aggregator> aggregator_;
   std::unique_ptr<GptModel> eval_model_;
   TokenDataset eval_set_;
+  /// True when the tracer came from PHOTON_TRACE rather than the config;
+  /// run() then exports photon_trace.json + a round table on completion.
+  bool env_traced_ = false;
 };
 
 }  // namespace photon

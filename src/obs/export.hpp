@@ -1,0 +1,54 @@
+#pragma once
+// Trace and metrics exporters (DESIGN.md §9).
+//
+// Three output formats from one drained event stream:
+//
+//   * JSONL — one JSON object per event, one event per line.  The
+//     deterministic export (default) emits only sim-clock fields, so the
+//     byte stream is identical for identical (seed, config) at any thread
+//     count; include_real adds the nondeterministic steady-clock duration.
+//     from_jsonl() round-trips every exported field (property-tested).
+//   * Chrome trace_event — a {"traceEvents": [...]} document loadable in
+//     chrome://tracing and Perfetto.  Spans are complete ("ph":"X")
+//     events on the sim-time axis (microseconds); instant decisions
+//     (straggler cut, crash, link failure) are "ph":"i" marks.
+//   * Per-round table — human-readable sim-time attribution per phase via
+//     util/table, one row per round.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace photon::obs {
+
+struct JsonlOptions {
+  /// Emit the steady-clock real_ns field.  Off by default: real durations
+  /// are nondeterministic and would break byte-identical replays.
+  bool include_real = false;
+};
+
+/// Serialize events to JSONL (events are emitted in the given order; pass
+/// a drained stream for the deterministic ordering guarantee).
+std::string to_jsonl(const std::vector<TraceEvent>& events,
+                     const JsonlOptions& options = {});
+
+/// Parse a JSONL stream back into events; inverse of to_jsonl for every
+/// field it emitted (real_ns defaults to 0 when absent).  Throws
+/// std::runtime_error on malformed lines.
+std::vector<TraceEvent> from_jsonl(std::string_view text);
+
+/// Chrome trace_event JSON document (load in chrome://tracing / Perfetto).
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Aligned per-round table: sim seconds attributed to each phase, plus
+/// fault-event counts.  One row per round present in `events`.
+std::string render_round_table(const std::vector<TraceEvent>& events);
+
+/// Aligned dump of every registered counter, gauge, and histogram summary.
+std::string render_metrics_table(const MetricsRegistry& registry);
+
+}  // namespace photon::obs

@@ -19,6 +19,7 @@
 
 #include "comm/link.hpp"
 #include "core/aggregator.hpp"
+#include "obs/metrics.hpp"
 
 namespace photon {
 
@@ -73,12 +74,23 @@ class FaultInjector {
   /// Remove all hooks this injector installed on `agg`.
   static void uninstall(Aggregator& agg);
 
+  /// Count every injected fault on `registry` ("faults.injected.crash",
+  /// ".straggle", ".drop", ".corrupt"); nullptr disables.  The counters are
+  /// observability only — decisions stay pure functions of the plan.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   bool active_for(std::uint32_t round) const {
     return round >= plan_.first_round && round <= plan_.last_round;
   }
 
   FaultPlan plan_;
+  struct {
+    obs::CounterHandle crash;
+    obs::CounterHandle straggle;
+    obs::CounterHandle drop;
+    obs::CounterHandle corrupt;
+  } counters_;
 };
 
 }  // namespace photon

@@ -14,10 +14,31 @@ namespace {
 // hot in cache while every row of the shard streams over them.
 constexpr int kKBlock = 64;
 
+// Per-kernel FLOPs counters (set_kernel_metrics).  Null handles no-op, so
+// the un-wired cost is one branch per kernel call.
+struct {
+  obs::CounterHandle matmul;
+  obs::CounterHandle linear_fwd;
+  obs::CounterHandle linear_bwd;
+} g_flops;
+
 }  // namespace
+
+void set_kernel_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    g_flops = {};
+    return;
+  }
+  g_flops.matmul = registry->counter("kernels.flops.matmul");
+  g_flops.linear_fwd = registry->counter("kernels.flops.linear_fwd");
+  g_flops.linear_bwd = registry->counter("kernels.flops.linear_bwd");
+}
 
 void matmul(const KernelContext& ctx, float* out, const float* a,
             const float* b, int m, int k, int n) {
+  g_flops.matmul.add(2ull * static_cast<std::uint64_t>(m) *
+                     static_cast<std::uint64_t>(k) *
+                     static_cast<std::uint64_t>(n));
   const std::size_t row_cost =
       static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
   ctx.parallel_shards(
@@ -45,6 +66,9 @@ void matmul(const KernelContext& ctx, float* out, const float* a,
 void linear_forward(const KernelContext& ctx, float* out, const float* inp,
                     const float* weight, const float* bias, int bt, int c,
                     int oc) {
+  g_flops.linear_fwd.add(2ull * static_cast<std::uint64_t>(bt) *
+                         static_cast<std::uint64_t>(c) *
+                         static_cast<std::uint64_t>(oc));
   const std::size_t row_cost =
       static_cast<std::size_t>(c) * static_cast<std::size_t>(oc);
   ctx.parallel_shards(
@@ -66,6 +90,18 @@ void linear_forward(const KernelContext& ctx, float* out, const float* inp,
 void linear_backward(const KernelContext& ctx, float* dinp, float* dweight,
                      float* dbias, const float* dout, const float* inp,
                      const float* weight, int bt, int c, int oc) {
+  if (g_flops.linear_bwd) {
+    const std::uint64_t mm = 2ull * static_cast<std::uint64_t>(bt) *
+                             static_cast<std::uint64_t>(c) *
+                             static_cast<std::uint64_t>(oc);
+    std::uint64_t flops = 0;
+    if (dinp != nullptr) flops += mm;
+    if (dweight != nullptr) flops += mm;
+    if (dbias != nullptr) {
+      flops += static_cast<std::uint64_t>(bt) * static_cast<std::uint64_t>(oc);
+    }
+    g_flops.linear_bwd.add(flops);
+  }
   const std::size_t row_cost =
       static_cast<std::size_t>(c) * static_cast<std::size_t>(oc);
   if (dinp != nullptr) {

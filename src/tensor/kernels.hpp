@@ -22,9 +22,17 @@
 
 #include <cstddef>
 
+#include "obs/metrics.hpp"
 #include "tensor/kernel_context.hpp"
 
 namespace photon::kernels {
+
+/// Attribute per-kernel FLOPs to `registry` ("kernels.flops.matmul",
+/// "kernels.flops.linear_fwd", "kernels.flops.linear_bwd"); nullptr (the
+/// default) disables.  One relaxed atomic add per kernel *call* — never per
+/// element — so the enabled cost is invisible next to the kernel itself.
+/// Process-wide; call at startup, not while kernels are running.
+void set_kernel_metrics(obs::MetricsRegistry* registry);
 
 // ---------------------------------------------------------------- matmul --
 /// out(m,n) = a(m,k) @ b(k,n).  Cache-blocked over k; row-parallel over m.

@@ -324,6 +324,39 @@ TEST(CostModelHelpers, ModelSizeAndDdpTraffic) {
   EXPECT_DOUBLE_EQ(ddp_bytes_per_step_mb(4, 100.0), 150.0);
 }
 
+TEST(WallTimeModel, RejectsNonPositiveConfigAndThroughput) {
+  CostModelConfig bad_bw;
+  bad_bw.bandwidth_mbps = 0.0;
+  EXPECT_THROW(WallTimeModel{bad_bw}, std::invalid_argument);
+  CostModelConfig bad_tflops;
+  bad_tflops.server_tflops = -1.0;
+  EXPECT_THROW(WallTimeModel{bad_tflops}, std::invalid_argument);
+  const WallTimeModel model({1250.0, 5.0, 100});
+  EXPECT_THROW(model.local_time(16, 0.0), std::invalid_argument);
+  EXPECT_THROW(model.local_time(16, -2.0), std::invalid_argument);
+}
+
+TEST(WallTimeModel, AggregationTimeMatchesEq7) {
+  // Eq. 7: T_agg = K*S/zeta with zeta in MB/s-equivalent (TFLOPS * 1e6).
+  WallTimeModel model({1250.0, 5.0, 100});
+  EXPECT_DOUBLE_EQ(model.aggregation_time(8, 500.0),
+                   8.0 * 500.0 / (5.0 * 1e6));
+  EXPECT_DOUBLE_EQ(model.aggregation_time(1, 500.0), 500.0 / (5.0 * 1e6));
+}
+
+TEST(WallTimeModel, RoundTimeComposesLocalPlusComm) {
+  WallTimeModel model({1250.0, 5.0, 100});
+  const double s = 500.0;
+  for (const Topology t : {Topology::kParameterServer, Topology::kAllReduce,
+                           Topology::kRingAllReduce}) {
+    EXPECT_DOUBLE_EQ(model.round_time(t, 8, s, 512, 2.0),
+                     model.local_time(512, 2.0) + model.comm_time(t, 8, s));
+    // Single-client rounds have no communication term (paper excludes N=1).
+    EXPECT_DOUBLE_EQ(model.round_time(t, 1, s, 512, 2.0),
+                     model.local_time(512, 2.0));
+  }
+}
+
 // ------------------------------------------- chunked wire / parallel path --
 
 /// Restores the process-wide chunk size after a test that changes it.

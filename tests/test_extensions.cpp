@@ -128,6 +128,56 @@ TEST(Int8Quantizer, ZeroAndHugeValuesSurvive) {
   EXPECT_NEAR(back[3], -1e6f, 1e6f / 127.0f);
 }
 
+TEST(Int8Quantizer, PartialFinalChunkRoundTripsWithinBound) {
+  // 1000 elements over chunk_size 256 leaves a 232-element final chunk;
+  // its scale and codes must cover exactly the remainder.
+  Rng rng(21);
+  std::vector<float> update(1000);
+  for (auto& x : update) x = rng.gaussian(0.0f, 0.5f);
+  Int8Quantizer quant(256);
+  const QuantizedUpdate q = quant.quantize(update);
+  EXPECT_EQ(q.count, update.size());
+  EXPECT_EQ(q.scales.size(), 4u);  // ceil(1000/256)
+  EXPECT_EQ(q.codes.size(), update.size());
+  const auto back = quant.dequantize(q);
+  ASSERT_EQ(back.size(), update.size());
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    const float scale = q.scales[i / q.chunk_size];
+    EXPECT_LE(std::abs(back[i] - update[i]),
+              Int8Quantizer::max_error(scale) + 1e-7f);
+  }
+}
+
+TEST(Int8Quantizer, StochasticErrorStaysWithinOneGridStep) {
+  // Stochastic rounding moves to one of the two adjacent grid points, so
+  // the per-element bound is the same scale/127 as deterministic rounding.
+  Rng rng(22);
+  std::vector<float> update(2048);
+  for (auto& x : update) x = rng.gaussian(0.0f, 0.01f);
+  Int8Quantizer quant(512, /*stochastic=*/true, 77);
+  const QuantizedUpdate q = quant.quantize(update);
+  const auto back = quant.dequantize(q);
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    const float scale = q.scales[i / q.chunk_size];
+    EXPECT_LE(std::abs(back[i] - update[i]),
+              Int8Quantizer::max_error(scale) + 1e-7f);
+  }
+}
+
+TEST(Int8Quantizer, DeterministicModeIsReproducibleAcrossInstances) {
+  Rng rng(23);
+  std::vector<float> update(700);
+  for (auto& x : update) x = rng.gaussian(0.0f, 1.0f);
+  Int8Quantizer a(128), b(128);
+  const QuantizedUpdate qa = a.quantize(update);
+  const QuantizedUpdate qb = b.quantize(update);
+  EXPECT_EQ(qa.scales, qb.scales);
+  EXPECT_EQ(qa.codes, qb.codes);
+  // Same-seed stochastic quantizers also agree (the rng is the only state).
+  Int8Quantizer s1(128, true, 5), s2(128, true, 5);
+  EXPECT_EQ(s1.quantize(update).codes, s2.quantize(update).codes);
+}
+
 TEST(Int8Quantizer, ValidatesInput) {
   EXPECT_THROW(Int8Quantizer(0), std::invalid_argument);
   Int8Quantizer quant(8);

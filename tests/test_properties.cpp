@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <numeric>
 
@@ -14,7 +15,11 @@
 #include "data/corpus.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/scheduler.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace photon {
 namespace {
@@ -286,6 +291,147 @@ TEST(ClipProperty, IdempotentAndDirectionPreserving) {
   }
   EXPECT_NEAR(first_norm, 1.0, 1e-5);
 }
+
+// --------------------------------------------- observability properties --
+obs::HistogramData random_histogram(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  obs::HistogramData h;
+  for (int i = 0; i < n; ++i) {
+    // Mix magnitudes across many buckets, plus zeros and negatives.
+    const double mag = std::exp(rng.gaussian(0.0, 8.0));
+    const double pick = rng.next_double();
+    h.observe(pick < 0.1 ? 0.0 : pick < 0.3 ? -mag : mag);
+  }
+  return h;
+}
+
+class HistogramMergeProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramMergeProperty, MergeIsAssociative) {
+  const std::uint64_t seed = GetParam();
+  const auto a = random_histogram(seed * 3 + 1, 200);
+  const auto b = random_histogram(seed * 3 + 2, 150);
+  const auto c = random_histogram(seed * 3 + 3, 50);
+  auto left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  auto bc = b;     // a + (b + c)
+  bc.merge(c);
+  auto right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.counts, right.counts);
+  EXPECT_EQ(left.total, right.total);
+  EXPECT_EQ(left.min, right.min);
+  EXPECT_EQ(left.max, right.max);
+  // `sum` may differ by one float rounding per merge order.
+  EXPECT_NEAR(left.sum, right.sum,
+              1e-12 * std::max(1.0, std::abs(left.sum)));
+}
+
+TEST_P(HistogramMergeProperty, MergeIsCommutativeBitExact) {
+  const std::uint64_t seed = GetParam();
+  const auto a = random_histogram(seed * 5 + 1, 120);
+  const auto b = random_histogram(seed * 5 + 2, 180);
+  auto ab = a;
+  ab.merge(b);
+  auto ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);  // counts, total, min, max, AND sum (x+y == y+x)
+}
+
+TEST_P(HistogramMergeProperty, MergeEqualsSerialObservationStream) {
+  // N per-thread histograms merged in any order must summarize the same
+  // stream as one serial histogram (the per-thread-ring contract).
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  std::vector<double> values(400);
+  for (auto& v : values) v = rng.gaussian(0.0, 100.0);
+  obs::HistogramData serial;
+  for (double v : values) serial.observe(v);
+  std::array<obs::HistogramData, 4> shards;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    shards[i % shards.size()].observe(values[i]);
+  }
+  obs::HistogramData merged = shards[3];  // deliberately out of order
+  merged.merge(shards[1]);
+  merged.merge(shards[0]);
+  merged.merge(shards[2]);
+  EXPECT_EQ(merged.counts, serial.counts);
+  EXPECT_EQ(merged.total, serial.total);
+  EXPECT_EQ(merged.min, serial.min);
+  EXPECT_EQ(merged.max, serial.max);
+  EXPECT_NEAR(merged.sum, serial.sum,
+              1e-9 * std::max(1.0, std::abs(serial.sum)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMergeProperty,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL));
+
+class CounterConcurrencyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterConcurrencyProperty, ThreadedTotalEqualsSerialSum) {
+  const int workers = GetParam();
+  obs::MetricsRegistry reg;
+  auto counter = reg.counter("prop.count");
+  auto hist = reg.histogram("prop.hist");
+  std::uint64_t expected = 0;
+  for (int w = 0; w < workers; ++w) {
+    expected += static_cast<std::uint64_t>(w + 1) * 100;
+  }
+  global_pool().parallel_for(static_cast<std::size_t>(workers),
+                             [&](std::size_t w) {
+                               for (int i = 0; i < 100; ++i) {
+                                 counter.add(w + 1);
+                                 hist.observe(static_cast<double>(w + 1));
+                               }
+                             });
+  EXPECT_EQ(reg.counter_value("prop.count"), expected);
+  const auto snap = reg.histogram_snapshot("prop.hist");
+  EXPECT_EQ(snap.total, static_cast<std::uint64_t>(workers) * 100);
+  EXPECT_EQ(snap.min, 1.0);
+  EXPECT_EQ(snap.max, static_cast<double>(workers));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, CounterConcurrencyProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+class JsonlRoundTripProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonlRoundTripProperty, EveryFieldSurvivesExportImport) {
+  Rng rng(GetParam());
+  std::vector<obs::TraceEvent> events(64);
+  for (auto& e : events) {
+    e.kind = static_cast<obs::SpanKind>(rng.next_below(obs::kNumSpanKinds));
+    e.round = static_cast<std::uint32_t>(rng.next_below(1000));
+    e.actor = static_cast<std::int32_t>(rng.next_below(64)) - 1;  // incl. -1
+    e.detail = static_cast<std::int32_t>(rng.next_below(100)) - 1;
+    e.sim_begin = rng.next_double() * 1e4;
+    e.sim_end = e.sim_begin + rng.next_double() * 100.0;
+    e.real_ns = rng.next_u64() >> 12;
+  }
+  obs::JsonlOptions opt;
+  opt.include_real = true;
+  const auto parsed = obs::from_jsonl(obs::to_jsonl(events, opt));
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, events[i].kind);
+    EXPECT_EQ(parsed[i].round, events[i].round);
+    EXPECT_EQ(parsed[i].actor, events[i].actor);
+    EXPECT_EQ(parsed[i].detail, events[i].detail);
+    EXPECT_EQ(parsed[i].sim_begin, events[i].sim_begin);  // bit-exact
+    EXPECT_EQ(parsed[i].sim_end, events[i].sim_end);
+    EXPECT_EQ(parsed[i].real_ns, events[i].real_ns);
+  }
+  // The deterministic export drops real_ns (defaults to 0 on import).
+  const auto lean = obs::from_jsonl(obs::to_jsonl(events));
+  ASSERT_EQ(lean.size(), events.size());
+  for (const auto& e : lean) EXPECT_EQ(e.real_ns, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonlRoundTripProperty,
+                         ::testing::Values(11ULL, 12ULL, 13ULL));
 
 }  // namespace
 }  // namespace photon

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate plus a hardened sanitizer pass.
 #
-#   tools/ci.sh            # tier-1 (Release) + ASan/UBSan build, both ctest'd
-#   tools/ci.sh --fast     # tier-1 only
-#   tools/ci.sh --soak N   # additionally run an N-round chaos soak (default 200)
+#   tools/ci.sh             # tier-1 (Release) + ASan/UBSan build + obs gate
+#   tools/ci.sh --fast      # tier-1 only
+#   tools/ci.sh --soak N    # additionally run an N-round chaos soak (default 200)
+#   tools/ci.sh --coverage  # additionally build with gcov instrumentation,
+#                           # ctest it, and summarize via gcovr if installed
+#
+# The obs gate (DESIGN.md §9) builds a PHOTON_TRACE=OFF comparison tree and
+# fails the pipeline if the default build's trace-DISABLED round time is
+# more than 2% slower than the compiled-out round time — i.e. the
+# instrumentation sites must be free when not in use.
 #
 # Every ctest invocation carries a hard --timeout so a hang under injected
 # faults (the failure mode the fault engine exists to prevent) fails the
@@ -16,11 +23,13 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 PER_TEST_TIMEOUT=300   # seconds; generous for the sanitized build
 FAST=0
 SOAK_ROUNDS=0
+COVERAGE=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) FAST=1; shift ;;
     --soak) SOAK_ROUNDS="${2:-200}"; shift 2 ;;
+    --coverage) COVERAGE=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -47,6 +56,48 @@ if [[ "$FAST" -eq 0 ]]; then
   run_suite "$ROOT/build-sanitize" "asan+ubsan" \
             -DCMAKE_BUILD_TYPE=RelWithDebInfo \
             -DPHOTON_SANITIZE=address,undefined
+
+  # Obs overhead gate: trace-disabled round time (default build) vs the
+  # compiled-out round time (PHOTON_TRACE=OFF build), medians over
+  # identical deterministic federations.
+  echo "==> [obs-gate] PHOTON_TRACE=OFF comparison build"
+  cmake -S "$ROOT" -B "$ROOT/build-notrace" -DCMAKE_BUILD_TYPE=Release \
+        -DPHOTON_TRACE=OFF >/dev/null
+  cmake --build "$ROOT/build-notrace" -j "$JOBS" --target bench_obs_overhead
+  cmake --build "$ROOT/build" -j "$JOBS" --target bench_obs_overhead
+  echo "==> [obs-gate] measuring (rounds=16, samples=5 per config)"
+  "$ROOT/build/bench/bench_obs_overhead" --rounds=16 --samples=5 \
+      --json="$ROOT/build/BENCH_obs_on.json"
+  "$ROOT/build-notrace/bench/bench_obs_overhead" --rounds=16 --samples=5 \
+      --json="$ROOT/build-notrace/BENCH_obs_off.json"
+  ON_S="$(sed -n 's/.*"disabled_round_s": \([0-9.e+-]*\).*/\1/p' \
+          "$ROOT/build/BENCH_obs_on.json")"
+  OFF_S="$(sed -n 's/.*"disabled_round_s": \([0-9.e+-]*\).*/\1/p' \
+           "$ROOT/build-notrace/BENCH_obs_off.json")"
+  awk -v on="$ON_S" -v off="$OFF_S" 'BEGIN {
+    ratio = on / off
+    printf "==> [obs-gate] disabled %.6fs/round vs compiled-out %.6fs/round (%.4fx)\n", on, off, ratio
+    if (ratio > 1.02) {
+      print "==> [obs-gate] FAILED: trace-disabled round path regressed >2% vs PHOTON_TRACE=OFF"
+      exit 1
+    }
+  }'
+fi
+
+if [[ "$COVERAGE" -eq 1 ]]; then
+  echo "==> [coverage] gcov-instrumented build"
+  run_suite "$ROOT/build-coverage" "coverage" \
+            -DCMAKE_BUILD_TYPE=Debug -DPHOTON_COVERAGE=ON
+  if command -v gcovr >/dev/null 2>&1; then
+    echo "==> [coverage] gcovr summary (src/ only)"
+    gcovr --root "$ROOT" --filter "$ROOT/src/" \
+          --object-directory "$ROOT/build-coverage" --print-summary \
+          --txt "$ROOT/build-coverage/coverage.txt"
+    echo "==> [coverage] full report: build-coverage/coverage.txt"
+  else
+    echo "==> [coverage] gcovr not installed; skipping the summary" \
+         "(.gcda files are under build-coverage/ for manual gcov runs)"
+  fi
 fi
 
 if [[ "$SOAK_ROUNDS" -gt 0 ]]; then
