@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appc_small_batch_high_lr.dir/bench_appc_small_batch_high_lr.cpp.o"
+  "CMakeFiles/bench_appc_small_batch_high_lr.dir/bench_appc_small_batch_high_lr.cpp.o.d"
+  "bench_appc_small_batch_high_lr"
+  "bench_appc_small_batch_high_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appc_small_batch_high_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_appc_small_batch_high_lr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_volume.dir/bench_comm_volume.cpp.o"
+  "CMakeFiles/bench_comm_volume.dir/bench_comm_volume.cpp.o.d"
+  "bench_comm_volume"
+  "bench_comm_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

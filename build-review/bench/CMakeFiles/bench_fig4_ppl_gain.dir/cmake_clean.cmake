@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ppl_gain.dir/bench_fig4_ppl_gain.cpp.o"
+  "CMakeFiles/bench_fig4_ppl_gain.dir/bench_fig4_ppl_gain.cpp.o.d"
+  "bench_fig4_ppl_gain"
+  "bench_fig4_ppl_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ppl_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_ppl_gain.
+# This may be replaced when dependencies are built.

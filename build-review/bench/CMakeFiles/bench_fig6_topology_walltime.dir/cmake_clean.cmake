@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_topology_walltime.dir/bench_fig6_topology_walltime.cpp.o"
+  "CMakeFiles/bench_fig6_topology_walltime.dir/bench_fig6_topology_walltime.cpp.o.d"
+  "bench_fig6_topology_walltime"
+  "bench_fig6_topology_walltime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_topology_walltime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_heterogeneity.dir/bench_fig7_heterogeneity.cpp.o"
+  "CMakeFiles/bench_fig7_heterogeneity.dir/bench_fig7_heterogeneity.cpp.o.d"
+  "bench_fig7_heterogeneity"
+  "bench_fig7_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

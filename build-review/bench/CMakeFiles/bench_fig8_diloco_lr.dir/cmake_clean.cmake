@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_diloco_lr.dir/bench_fig8_diloco_lr.cpp.o"
+  "CMakeFiles/bench_fig8_diloco_lr.dir/bench_fig8_diloco_lr.cpp.o.d"
+  "bench_fig8_diloco_lr"
+  "bench_fig8_diloco_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_diloco_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

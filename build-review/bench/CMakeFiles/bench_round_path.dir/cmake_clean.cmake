@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_round_path.dir/bench_round_path.cpp.o"
+  "CMakeFiles/bench_round_path.dir/bench_round_path.cpp.o.d"
+  "bench_round_path"
+  "bench_round_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_round_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

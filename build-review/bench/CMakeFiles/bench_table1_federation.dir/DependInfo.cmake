@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_federation.cpp" "bench/CMakeFiles/bench_table1_federation.dir/bench_table1_federation.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_federation.dir/bench_table1_federation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench/CMakeFiles/photon_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/photon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/photon_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/photon_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/comm/CMakeFiles/photon_comm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/eval/CMakeFiles/photon_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/photon_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/photon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/photon_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/photon_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_federation.dir/bench_table1_federation.cpp.o"
+  "CMakeFiles/bench_table1_federation.dir/bench_table1_federation.cpp.o.d"
+  "bench_table1_federation"
+  "bench_table1_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

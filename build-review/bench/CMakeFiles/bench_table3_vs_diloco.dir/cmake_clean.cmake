@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_vs_diloco.dir/bench_table3_vs_diloco.cpp.o"
+  "CMakeFiles/bench_table3_vs_diloco.dir/bench_table3_vs_diloco.cpp.o.d"
+  "bench_table3_vs_diloco"
+  "bench_table3_vs_diloco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_vs_diloco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

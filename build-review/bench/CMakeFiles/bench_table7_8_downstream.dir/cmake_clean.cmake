@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_8_downstream.dir/bench_table7_8_downstream.cpp.o"
+  "CMakeFiles/bench_table7_8_downstream.dir/bench_table7_8_downstream.cpp.o.d"
+  "bench_table7_8_downstream"
+  "bench_table7_8_downstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_8_downstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

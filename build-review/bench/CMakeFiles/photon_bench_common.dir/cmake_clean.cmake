@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_bench_common.dir/topology_walltime.cpp.o"
+  "CMakeFiles/photon_bench_common.dir/topology_walltime.cpp.o.d"
+  "libphoton_bench_common.a"
+  "libphoton_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_fed_vs_cent.dir/fed_vs_cent.cpp.o"
+  "CMakeFiles/photon_fed_vs_cent.dir/fed_vs_cent.cpp.o.d"
+  "libphoton_fed_vs_cent.a"
+  "libphoton_fed_vs_cent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_fed_vs_cent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

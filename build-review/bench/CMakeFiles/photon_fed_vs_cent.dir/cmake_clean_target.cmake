@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphoton_fed_vs_cent.a"
+)

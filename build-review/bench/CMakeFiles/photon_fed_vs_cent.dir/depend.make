@@ -1,0 +1,2 @@
+# Empty dependencies file for photon_fed_vs_cent.
+# This may be replaced when dependencies are built.

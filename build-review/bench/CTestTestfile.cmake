@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[bench_round_path_smoke]=] "/root/repo/build-review/bench/bench_round_path" "--smoke" "--json=BENCH_round_smoke.json")
+set_tests_properties([=[bench_round_path_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_faults_smoke]=] "/root/repo/build-review/bench/bench_faults" "--smoke" "--json=BENCH_faults_smoke.json")
+set_tests_properties([=[bench_faults_smoke]=] PROPERTIES  LABELS "slow" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_obs_overhead_smoke]=] "/root/repo/build-review/bench/bench_obs_overhead" "--smoke" "--json=BENCH_obs_smoke.json")
+set_tests_properties([=[bench_obs_overhead_smoke]=] PROPERTIES  LABELS "obs" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;51;add_test;/root/repo/bench/CMakeLists.txt;0;")

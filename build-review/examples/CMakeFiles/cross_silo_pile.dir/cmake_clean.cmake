@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_silo_pile.dir/cross_silo_pile.cpp.o"
+  "CMakeFiles/cross_silo_pile.dir/cross_silo_pile.cpp.o.d"
+  "cross_silo_pile"
+  "cross_silo_pile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_silo_pile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

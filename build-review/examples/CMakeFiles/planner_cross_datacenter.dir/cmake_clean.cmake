@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_cross_datacenter.dir/planner_cross_datacenter.cpp.o"
+  "CMakeFiles/planner_cross_datacenter.dir/planner_cross_datacenter.cpp.o.d"
+  "planner_cross_datacenter"
+  "planner_cross_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_cross_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

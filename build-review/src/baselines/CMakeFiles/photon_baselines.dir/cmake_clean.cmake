@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_baselines.dir/centralized.cpp.o"
+  "CMakeFiles/photon_baselines.dir/centralized.cpp.o.d"
+  "CMakeFiles/photon_baselines.dir/ddp.cpp.o"
+  "CMakeFiles/photon_baselines.dir/ddp.cpp.o.d"
+  "CMakeFiles/photon_baselines.dir/diloco.cpp.o"
+  "CMakeFiles/photon_baselines.dir/diloco.cpp.o.d"
+  "libphoton_baselines.a"
+  "libphoton_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collective.cpp" "src/comm/CMakeFiles/photon_comm.dir/collective.cpp.o" "gcc" "src/comm/CMakeFiles/photon_comm.dir/collective.cpp.o.d"
+  "/root/repo/src/comm/compression.cpp" "src/comm/CMakeFiles/photon_comm.dir/compression.cpp.o" "gcc" "src/comm/CMakeFiles/photon_comm.dir/compression.cpp.o.d"
+  "/root/repo/src/comm/cost_model.cpp" "src/comm/CMakeFiles/photon_comm.dir/cost_model.cpp.o" "gcc" "src/comm/CMakeFiles/photon_comm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/comm/link.cpp" "src/comm/CMakeFiles/photon_comm.dir/link.cpp.o" "gcc" "src/comm/CMakeFiles/photon_comm.dir/link.cpp.o.d"
+  "/root/repo/src/comm/message.cpp" "src/comm/CMakeFiles/photon_comm.dir/message.cpp.o" "gcc" "src/comm/CMakeFiles/photon_comm.dir/message.cpp.o.d"
+  "/root/repo/src/comm/quantization.cpp" "src/comm/CMakeFiles/photon_comm.dir/quantization.cpp.o" "gcc" "src/comm/CMakeFiles/photon_comm.dir/quantization.cpp.o.d"
+  "/root/repo/src/comm/secure_agg.cpp" "src/comm/CMakeFiles/photon_comm.dir/secure_agg.cpp.o" "gcc" "src/comm/CMakeFiles/photon_comm.dir/secure_agg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/photon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/photon_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

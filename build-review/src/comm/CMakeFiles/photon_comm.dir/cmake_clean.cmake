@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_comm.dir/collective.cpp.o"
+  "CMakeFiles/photon_comm.dir/collective.cpp.o.d"
+  "CMakeFiles/photon_comm.dir/compression.cpp.o"
+  "CMakeFiles/photon_comm.dir/compression.cpp.o.d"
+  "CMakeFiles/photon_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/photon_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/photon_comm.dir/link.cpp.o"
+  "CMakeFiles/photon_comm.dir/link.cpp.o.d"
+  "CMakeFiles/photon_comm.dir/message.cpp.o"
+  "CMakeFiles/photon_comm.dir/message.cpp.o.d"
+  "CMakeFiles/photon_comm.dir/quantization.cpp.o"
+  "CMakeFiles/photon_comm.dir/quantization.cpp.o.d"
+  "CMakeFiles/photon_comm.dir/secure_agg.cpp.o"
+  "CMakeFiles/photon_comm.dir/secure_agg.cpp.o.d"
+  "libphoton_comm.a"
+  "libphoton_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

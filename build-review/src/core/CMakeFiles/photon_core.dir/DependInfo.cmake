@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregator.cpp" "src/core/CMakeFiles/photon_core.dir/aggregator.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/aggregator.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/photon_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/photon_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/photon_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/postprocess.cpp" "src/core/CMakeFiles/photon_core.dir/postprocess.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/postprocess.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/photon_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/photon_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/photon_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/server_opt.cpp" "src/core/CMakeFiles/photon_core.dir/server_opt.cpp.o" "gcc" "src/core/CMakeFiles/photon_core.dir/server_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/photon_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/photon_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/comm/CMakeFiles/photon_comm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/eval/CMakeFiles/photon_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/photon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/photon_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

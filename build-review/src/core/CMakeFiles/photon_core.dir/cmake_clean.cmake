@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_core.dir/aggregator.cpp.o"
+  "CMakeFiles/photon_core.dir/aggregator.cpp.o.d"
+  "CMakeFiles/photon_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/photon_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/photon_core.dir/client.cpp.o"
+  "CMakeFiles/photon_core.dir/client.cpp.o.d"
+  "CMakeFiles/photon_core.dir/metrics.cpp.o"
+  "CMakeFiles/photon_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/photon_core.dir/postprocess.cpp.o"
+  "CMakeFiles/photon_core.dir/postprocess.cpp.o.d"
+  "CMakeFiles/photon_core.dir/runner.cpp.o"
+  "CMakeFiles/photon_core.dir/runner.cpp.o.d"
+  "CMakeFiles/photon_core.dir/sampler.cpp.o"
+  "CMakeFiles/photon_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/photon_core.dir/selection.cpp.o"
+  "CMakeFiles/photon_core.dir/selection.cpp.o.d"
+  "CMakeFiles/photon_core.dir/server_opt.cpp.o"
+  "CMakeFiles/photon_core.dir/server_opt.cpp.o.d"
+  "libphoton_core.a"
+  "libphoton_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/photon_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/photon_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/photon_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/photon_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/stream.cpp" "src/data/CMakeFiles/photon_data.dir/stream.cpp.o" "gcc" "src/data/CMakeFiles/photon_data.dir/stream.cpp.o.d"
+  "/root/repo/src/data/tokenizer.cpp" "src/data/CMakeFiles/photon_data.dir/tokenizer.cpp.o" "gcc" "src/data/CMakeFiles/photon_data.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

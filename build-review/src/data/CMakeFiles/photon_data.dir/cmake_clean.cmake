@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_data.dir/corpus.cpp.o"
+  "CMakeFiles/photon_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/photon_data.dir/dataset.cpp.o"
+  "CMakeFiles/photon_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/photon_data.dir/stream.cpp.o"
+  "CMakeFiles/photon_data.dir/stream.cpp.o.d"
+  "CMakeFiles/photon_data.dir/tokenizer.cpp.o"
+  "CMakeFiles/photon_data.dir/tokenizer.cpp.o.d"
+  "libphoton_data.a"
+  "libphoton_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

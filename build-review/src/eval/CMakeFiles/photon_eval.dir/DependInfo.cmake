@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/perplexity.cpp" "src/eval/CMakeFiles/photon_eval.dir/perplexity.cpp.o" "gcc" "src/eval/CMakeFiles/photon_eval.dir/perplexity.cpp.o.d"
+  "/root/repo/src/eval/probes.cpp" "src/eval/CMakeFiles/photon_eval.dir/probes.cpp.o" "gcc" "src/eval/CMakeFiles/photon_eval.dir/probes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/photon_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/photon_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/photon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/photon_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

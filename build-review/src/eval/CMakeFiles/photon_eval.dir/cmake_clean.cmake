@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_eval.dir/perplexity.cpp.o"
+  "CMakeFiles/photon_eval.dir/perplexity.cpp.o.d"
+  "CMakeFiles/photon_eval.dir/probes.cpp.o"
+  "CMakeFiles/photon_eval.dir/probes.cpp.o.d"
+  "libphoton_eval.a"
+  "libphoton_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_nn.dir/config.cpp.o"
+  "CMakeFiles/photon_nn.dir/config.cpp.o.d"
+  "CMakeFiles/photon_nn.dir/generation.cpp.o"
+  "CMakeFiles/photon_nn.dir/generation.cpp.o.d"
+  "CMakeFiles/photon_nn.dir/model.cpp.o"
+  "CMakeFiles/photon_nn.dir/model.cpp.o.d"
+  "CMakeFiles/photon_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/photon_nn.dir/optimizer.cpp.o.d"
+  "libphoton_nn.a"
+  "libphoton_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_obs.dir/export.cpp.o"
+  "CMakeFiles/photon_obs.dir/export.cpp.o.d"
+  "CMakeFiles/photon_obs.dir/json.cpp.o"
+  "CMakeFiles/photon_obs.dir/json.cpp.o.d"
+  "CMakeFiles/photon_obs.dir/metrics.cpp.o"
+  "CMakeFiles/photon_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/photon_obs.dir/trace.cpp.o"
+  "CMakeFiles/photon_obs.dir/trace.cpp.o.d"
+  "libphoton_obs.a"
+  "libphoton_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

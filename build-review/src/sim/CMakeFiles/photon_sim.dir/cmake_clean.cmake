@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_sim.dir/autotuner.cpp.o"
+  "CMakeFiles/photon_sim.dir/autotuner.cpp.o.d"
+  "CMakeFiles/photon_sim.dir/cluster.cpp.o"
+  "CMakeFiles/photon_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/photon_sim.dir/faults.cpp.o"
+  "CMakeFiles/photon_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/photon_sim.dir/hardware.cpp.o"
+  "CMakeFiles/photon_sim.dir/hardware.cpp.o.d"
+  "CMakeFiles/photon_sim.dir/mfu.cpp.o"
+  "CMakeFiles/photon_sim.dir/mfu.cpp.o.d"
+  "CMakeFiles/photon_sim.dir/strategy.cpp.o"
+  "CMakeFiles/photon_sim.dir/strategy.cpp.o.d"
+  "libphoton_sim.a"
+  "libphoton_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

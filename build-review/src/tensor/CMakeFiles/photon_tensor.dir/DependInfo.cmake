@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/kernel_context.cpp" "src/tensor/CMakeFiles/photon_tensor.dir/kernel_context.cpp.o" "gcc" "src/tensor/CMakeFiles/photon_tensor.dir/kernel_context.cpp.o.d"
+  "/root/repo/src/tensor/kernels.cpp" "src/tensor/CMakeFiles/photon_tensor.dir/kernels.cpp.o" "gcc" "src/tensor/CMakeFiles/photon_tensor.dir/kernels.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/photon_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/photon_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/photon_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_tensor.dir/kernel_context.cpp.o"
+  "CMakeFiles/photon_tensor.dir/kernel_context.cpp.o.d"
+  "CMakeFiles/photon_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/photon_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/photon_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/photon_tensor.dir/tensor.cpp.o.d"
+  "libphoton_tensor.a"
+  "libphoton_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

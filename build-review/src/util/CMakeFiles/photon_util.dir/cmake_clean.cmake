@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_util.dir/rng.cpp.o"
+  "CMakeFiles/photon_util.dir/rng.cpp.o.d"
+  "CMakeFiles/photon_util.dir/serialization.cpp.o"
+  "CMakeFiles/photon_util.dir/serialization.cpp.o.d"
+  "CMakeFiles/photon_util.dir/table.cpp.o"
+  "CMakeFiles/photon_util.dir/table.cpp.o.d"
+  "CMakeFiles/photon_util.dir/threadpool.cpp.o"
+  "CMakeFiles/photon_util.dir/threadpool.cpp.o.d"
+  "libphoton_util.a"
+  "libphoton_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_obs_tests.dir/test_obs.cpp.o"
+  "CMakeFiles/photon_obs_tests.dir/test_obs.cpp.o.d"
+  "photon_obs_tests"
+  "photon_obs_tests.pdb"
+  "photon_obs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_obs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/photon_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/photon_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/photon_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/photon_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/photon_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_federation.cpp" "tests/CMakeFiles/photon_tests.dir/test_federation.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_federation.cpp.o.d"
+  "/root/repo/tests/test_generation.cpp" "tests/CMakeFiles/photon_tests.dir/test_generation.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_generation.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/photon_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/photon_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/photon_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/photon_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_runner_baselines.cpp" "tests/CMakeFiles/photon_tests.dir/test_runner_baselines.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_runner_baselines.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/photon_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_system_integration.cpp" "tests/CMakeFiles/photon_tests.dir/test_system_integration.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_system_integration.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/photon_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/photon_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/photon_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/photon_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/photon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/photon_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/eval/CMakeFiles/photon_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/photon_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/photon_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/comm/CMakeFiles/photon_comm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/photon_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/photon_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/photon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

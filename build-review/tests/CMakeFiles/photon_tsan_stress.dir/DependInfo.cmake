@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collective.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/collective.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/collective.cpp.o.d"
+  "/root/repo/src/comm/compression.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/compression.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/compression.cpp.o.d"
+  "/root/repo/src/comm/link.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/link.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/link.cpp.o.d"
+  "/root/repo/src/comm/message.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/message.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/message.cpp.o.d"
+  "/root/repo/src/comm/secure_agg.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/secure_agg.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/comm/secure_agg.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/obs/metrics.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/obs/trace.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/obs/trace.cpp.o.d"
+  "/root/repo/src/tensor/kernel_context.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/tensor/kernel_context.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/tensor/kernel_context.cpp.o.d"
+  "/root/repo/src/tensor/kernels.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/tensor/kernels.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/tensor/kernels.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/util/rng.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/serialization.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/util/serialization.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/util/serialization.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/util/threadpool.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/__/src/util/threadpool.cpp.o.d"
+  "/root/repo/tests/tsan_stress.cpp" "tests/CMakeFiles/photon_tsan_stress.dir/tsan_stress.cpp.o" "gcc" "tests/CMakeFiles/photon_tsan_stress.dir/tsan_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

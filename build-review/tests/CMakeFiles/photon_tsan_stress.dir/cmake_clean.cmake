@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/collective.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/collective.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/compression.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/compression.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/link.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/link.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/message.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/message.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/secure_agg.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/comm/secure_agg.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/obs/metrics.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/obs/metrics.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/obs/trace.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/obs/trace.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/tensor/kernel_context.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/tensor/kernel_context.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/tensor/kernels.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/tensor/kernels.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/util/rng.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/util/rng.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/util/serialization.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/util/serialization.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/util/threadpool.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/__/src/util/threadpool.cpp.o.d"
+  "CMakeFiles/photon_tsan_stress.dir/tsan_stress.cpp.o"
+  "CMakeFiles/photon_tsan_stress.dir/tsan_stress.cpp.o.d"
+  "photon_tsan_stress"
+  "photon_tsan_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_tsan_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/photon_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/photon_obs_tests[1]_include.cmake")
+add_test([=[tsan_kernel_threadpool_stress]=] "/root/repo/build-review/tests/photon_tsan_stress")
+set_tests_properties([=[tsan_kernel_threadpool_stress]=] PROPERTIES  LABELS "slow" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
