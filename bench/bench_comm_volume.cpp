@@ -58,10 +58,12 @@ int main() {
       x = rng.next_bool(0.2) ? 0.0f : rng.gaussian(0.0f, 1e-3f);
     }
     const double payload_kb = m.payload.size() * sizeof(float) / 1024.0;
-    for (const char* codec : {"", "rle0", "lzss"}) {
+    // Only wire-enabled codecs (lzss is demoted to diagnostic-only; see
+    // enabled_wire_codecs()).
+    for (const std::string& codec : enabled_wire_codecs()) {
       m.codec = codec;
       const double wire_kb = static_cast<double>(m.encoded_size()) / 1024.0;
-      t.add_row({codec[0] == '\0' ? "(none)" : codec,
+      t.add_row({codec.empty() ? "(none)" : codec,
                  TablePrinter::fmt(payload_kb, 1),
                  TablePrinter::fmt(wire_kb, 1),
                  TablePrinter::fmt(100.0 * (wire_kb - payload_kb) / payload_kb,

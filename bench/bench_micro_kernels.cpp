@@ -28,6 +28,8 @@
 #include "comm/compression.hpp"
 #include "comm/message.hpp"
 #include "data/corpus.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/simd.hpp"
 #include "data/stream.hpp"
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
@@ -256,18 +258,113 @@ std::vector<KernelReport> run_kernel_scaling(ThreadPool& pool) {
           benchmark::DoNotOptimize(k::l2_norm(ctx, a.data(), n));
         }));
   }
+  {  // fused clip + AdamW step (the optimizer hot path)
+    const std::size_t n = 1 << 21;
+    Rng r2(23);
+    const auto grads = gaussian(r2, n, 0.02f);
+    auto params = gaussian(r2, n);
+    AdamW opt(n);
+    // ~2n for the global norm + ~14n for the moment/step arithmetic.
+    reports.push_back(run_scaling(
+        pool, "adamw_step_clipped", "n=2097152", 16.0 * static_cast<double>(n),
+        [&](const k::KernelContext& ctx) {
+          opt.step_clipped(ctx, params, grads, 1e-4f, 1.0);
+        }));
+  }
   return reports;
 }
 
+// ------------------------------------------------------ MFU before/after --
+
+// Model-FLOPs utilization of a full train step (forward/backward + fused
+// clip+AdamW), with FLOPs counted by the kernel-attribution counters rather
+// than estimated, against the measured dense-matmul rate as the peak proxy.
+// Run once with the SIMD dispatch pinned to scalar ("before" — the
+// pre-SIMD arithmetic) and once with the best supported variant ("after").
+struct MfuPoint {
+  std::string variant;
+  double seconds_per_step = 0.0;
+  double gflops = 0.0;
+  double mfu = 0.0;
+};
+
+MfuPoint measure_train_mfu(ThreadPool& pool, simd::Variant v,
+                           double peak_gflops, double* flops_per_step_out) {
+  const simd::Variant prev = simd::active_variant();
+  const simd::Variant installed = simd::set_active_variant(v);
+  obs::MetricsRegistry reg;
+  k::set_kernel_metrics(&reg);
+
+  const ModelConfig cfg = ModelConfig::micro();
+  GptModel model(cfg, 1);
+  const k::KernelContext ctx(&pool, 1);
+  model.set_kernel_context(&ctx);
+  CorpusConfig cc;
+  cc.vocab_size = cfg.vocab_size;
+  auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
+  CorpusStreamSource stream(corpus, 3);
+  AdamW opt(model.num_params());
+  const Batch b = stream.next_batch(4, cfg.seq_len);
+  auto step = [&] {
+    model.zero_grad();
+    const float loss =
+        model.train_step_fb(b.tokens, b.targets, 4, cfg.seq_len);
+    benchmark::DoNotOptimize(loss);
+    opt.step_clipped(ctx, model.params(), model.grads(), 1e-3f, 1.0);
+  };
+  auto counted = [&] {
+    return static_cast<double>(
+        reg.counter_value("kernels.flops.matmul") +
+        reg.counter_value("kernels.flops.linear_fwd") +
+        reg.counter_value("kernels.flops.linear_bwd"));
+  };
+  const double flops_before = counted();
+  step();
+  const double flops_per_step = counted() - flops_before;
+  const double secs = time_seconds_per_call(step);
+  k::set_kernel_metrics(nullptr);
+  simd::set_active_variant(prev);
+
+  MfuPoint p;
+  p.variant = simd::variant_name(installed);
+  p.seconds_per_step = secs;
+  p.gflops = flops_per_step / secs * 1e-9;
+  p.mfu = peak_gflops > 0 ? p.gflops / peak_gflops : 0.0;
+  if (flops_per_step_out != nullptr) *flops_per_step_out = flops_per_step;
+  std::printf("  mfu[%-7s] %8.3f ms/step  %6.2f GFLOP/s  mfu %.3f\n",
+              p.variant.c_str(), secs * 1e3, p.gflops, p.mfu);
+  return p;
+}
+
 bool write_json(const std::string& path,
-                const std::vector<KernelReport>& reports) {
+                const std::vector<KernelReport>& reports,
+                const MfuPoint& mfu_before, const MfuPoint& mfu_after,
+                double peak_gflops, double mfu_flops_per_step) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "{\n  \"schema\": \"photon.bench_kernels.v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"photon.bench_kernels.v2\",\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"default_grain\": %zu,\n",
                k::KernelContext::kDefaultGrain);
+  std::fprintf(f, "  \"simd_variant\": \"%s\",\n",
+               simd::variant_name(simd::active_variant()));
+  auto mfu_entry = [&](const char* key, const MfuPoint& p, const char* tail) {
+    std::fprintf(f,
+                 "    \"%s\": {\"variant\": \"%s\", "
+                 "\"seconds_per_step\": %.9g, \"gflops\": %.4g, "
+                 "\"mfu\": %.4g}%s\n",
+                 key, p.variant.c_str(), p.seconds_per_step, p.gflops, p.mfu,
+                 tail);
+  };
+  std::fprintf(f,
+               "  \"mfu\": {\n    \"model\": \"micro\", \"batch\": 4, "
+               "\"counted_flops_per_step\": %.0f, "
+               "\"peak_gflops_ref\": %.4g,\n",
+               mfu_flops_per_step, peak_gflops);
+  mfu_entry("before", mfu_before, ",");
+  mfu_entry("after", mfu_after, "");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"kernels\": [\n");
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const auto& kr = reports[i];
@@ -353,6 +450,8 @@ BENCHMARK(BM_Collective)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Codec(benchmark::State& state) {
+  // lzss rides along here for diagnostics only — it is demoted from every
+  // default wire path (see enabled_wire_codecs()).
   const char* names[] = {"rle0", "lzss"};
   const Codec* codec = codec_by_name(names[state.range(0)]);
   Rng rng(5);
@@ -402,7 +501,26 @@ int main(int argc, char** argv) {
   const auto counts = thread_counts();
   ThreadPool pool(static_cast<std::size_t>(counts.back()));
   const auto reports = run_kernel_scaling(pool);
-  if (!write_json(json_path, reports)) {
+
+  // Peak proxy: the best measured serial GFLOP/s across the kernel sweep
+  // with the active (best) SIMD variant — not a theoretical number, so MFU
+  // compares like with like on this host.
+  double peak_gflops = 0.0;
+  for (const auto& kr : reports) {
+    if (!kr.results.empty()) {
+      peak_gflops = std::max(peak_gflops, kr.results.front().gflops);
+    }
+  }
+  std::printf("train-step MFU (model=micro, peak ref %.2f GFLOP/s)\n",
+              peak_gflops);
+  double mfu_flops = 0.0;
+  const MfuPoint mfu_before =
+      measure_train_mfu(pool, simd::Variant::kScalar, peak_gflops, &mfu_flops);
+  const MfuPoint mfu_after =
+      measure_train_mfu(pool, simd::active_variant(), peak_gflops, nullptr);
+
+  if (!write_json(json_path, reports, mfu_before, mfu_after, peak_gflops,
+                  mfu_flops)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }

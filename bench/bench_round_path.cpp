@@ -452,9 +452,13 @@ int main(int argc, char** argv) {
     // Headline: ~10M-param model, K=8 cohort, identity codec, ring-AR.
     cases.push_back({"headline_10M_K8_identity_rar", 10'000'000, 8, "",
                      Topology::kRingAllReduce});
-    for (const char* codec : {"rle0", "lzss"}) {
-      cases.push_back({std::string("codec_1M_K4_") + codec + "_rar",
-                       1'000'000, 4, codec, Topology::kRingAllReduce});
+    // Sweep every codec enabled for default wire paths (lzss is demoted to
+    // diagnostic-only: its dense-zero worst case cannot hold the encode
+    // floor asserted below).  Identity is already the headline case.
+    for (const std::string& codec : enabled_wire_codecs()) {
+      if (codec.empty()) continue;
+      cases.push_back({"codec_1M_K4_" + codec + "_rar", 1'000'000, 4, codec,
+                       Topology::kRingAllReduce});
     }
     for (int k : {2, 8, 16}) {
       cases.push_back({"ksweep_1M_K" + std::to_string(k) + "_identity_rar",
@@ -479,6 +483,21 @@ int main(int argc, char** argv) {
         r.encode_gbps, r.decode_gbps);
   }
 
+  // Regression floor: every codec on the default wire path must encode at
+  // >= 0.3 GB/s on the half-zero payload (the case that demoted lzss).
+  constexpr double kMinEncodeGbps = 0.3;
+  bool floor_ok = true;
+  for (const auto& r : comm) {
+    if (r.encode_gbps < kMinEncodeGbps) {
+      std::fprintf(stderr,
+                   "FAIL: codec '%s' (%s) encodes at %.3f GB/s, below the "
+                   "%.1f GB/s wire floor\n",
+                   r.c.codec.empty() ? "identity" : r.c.codec.c_str(),
+                   r.c.label.c_str(), r.encode_gbps, kMinEncodeGbps);
+      floor_ok = false;
+    }
+  }
+
   const auto rounds = run_federation(smoke ? 1 : 2, smoke ? 2 : 4);
   for (const auto& r : rounds) {
     std::printf(
@@ -493,5 +512,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", json_path.c_str());
-  return 0;
+  return floor_ok ? 0 : 1;
 }

@@ -37,7 +37,9 @@ int main() {
   ctc.schedule.total_steps = 2000;
   ctc.clip_update_norm = 5.0;        // post-process: clip the update
   ctc.dp_noise_multiplier = 1e-3;    // post-process: DP noise
-  ctc.link_codec = "lzss";           // post-process: lossless compression
+  ctc.link_codec = "rle0";           // post-process: lossless compression
+                                     // (lzss is diagnostic-only: too slow
+                                     // for the wire encode floor)
 
   std::vector<std::unique_ptr<LLMClient>> clients;
   std::vector<std::shared_ptr<const MarkovSource>> corpora;

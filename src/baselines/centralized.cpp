@@ -74,8 +74,11 @@ CentralizedResult CentralizedTrainer::run() {
     model_->zero_grad();
     const float loss =
         model_->train_step_fb(b.tokens, b.targets, config_.batch, seq);
-    clip_grad_norm(model_->grads(), config_.max_grad_norm);
-    opt_->step(model_->params(), model_->grads(), schedule_->lr_at(step));
+    const auto& octx = model_->kernel_context() != nullptr
+                           ? *model_->kernel_context()
+                           : kernels::default_context();
+    opt_->step_clipped(octx, model_->params(), model_->grads(),
+                       schedule_->lr_at(step), config_.max_grad_norm);
     window_loss += loss;
     ++window_count;
     tokens_seen += static_cast<std::uint64_t>(config_.batch) * seq;

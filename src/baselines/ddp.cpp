@@ -82,8 +82,11 @@ DdpResult DdpTrainer::run() {
     // for all K bit-identical replicas.
     std::memcpy(model_->grads().data(), worker_grads.front().data(),
                 n * sizeof(float));
-    clip_grad_norm(model_->grads(), config_.max_grad_norm);
-    opt_->step(model_->params(), model_->grads(), schedule_->lr_at(step));
+    const auto& octx = model_->kernel_context() != nullptr
+                           ? *model_->kernel_context()
+                           : kernels::default_context();
+    opt_->step_clipped(octx, model_->params(), model_->grads(),
+                       schedule_->lr_at(step), config_.max_grad_norm);
 
     window_loss += step_loss;
     ++window_count;

@@ -31,16 +31,17 @@ void mean_into_all(std::vector<std::span<float>>& buffers,
   const std::size_t k = buffers.size();
   const std::size_t n = buffers.front().size();
   const double inv = 1.0 / static_cast<double>(k);
-  ctx.parallel_shards(
-      n, ctx.grain_rows(2 * k),
-      [&](int, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          double acc = 0.0;
-          for (const auto& b : buffers) acc += b[i];
-          const float mean = static_cast<float>(acc * inv);
-          for (auto& b : buffers) b[i] = mean;
-        }
-      });
+  std::vector<float*> rows(k);
+  for (std::size_t r = 0; r < k; ++r) rows[r] = buffers[r].data();
+  const auto& ops = ctx.simd();
+  ctx.parallel_shards(n, ctx.grain_rows(2 * k),
+                      [&](int, std::size_t begin, std::size_t end) {
+                        std::vector<float*> shifted(k);
+                        for (std::size_t r = 0; r < k; ++r) {
+                          shifted[r] = rows[r] + begin;
+                        }
+                        ops.mean_rows_pd(shifted.data(), k, end - begin, inv);
+                      });
 }
 
 }  // namespace
@@ -139,9 +140,7 @@ CollectiveReport ring_all_reduce_mean(std::vector<std::span<float>> buffers,
             const int dst = (w + 1) % k;
             const auto src = chunk(w, w - s);
             auto dst_chunk = chunk(dst, w - s);
-            for (std::size_t i = 0; i < dst_chunk.size(); ++i) {
-              dst_chunk[i] += src[i];
-            }
+            ctx.simd().acc(dst_chunk.data(), src.data(), dst_chunk.size());
           }
         });
   }
@@ -169,9 +168,7 @@ CollectiveReport ring_all_reduce_mean(std::vector<std::span<float>> buffers,
   ctx.parallel_shards(n, ctx.grain_rows(static_cast<std::size_t>(k)),
                       [&](int, std::size_t begin, std::size_t end) {
                         for (auto& b : buffers) {
-                          for (std::size_t i = begin; i < end; ++i) {
-                            b[i] *= inv;
-                          }
+                          ctx.simd().scale(b.data() + begin, end - begin, inv);
                         }
                       });
 

@@ -1,5 +1,7 @@
 #include "comm/compression.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -99,39 +101,101 @@ void LzssCodec::compress_into(std::span<const std::uint8_t> input,
   out.clear();
   out.reserve(input.size() + input.size() / 8 + 16);
 
-  // Hash chain over 4-byte prefixes for match finding.
+  // Hash chain over 4-byte prefixes, windowed: `prev` is a kWindow ring
+  // (zlib-style) instead of a whole-input array, so the encoder's working
+  // set is ~80 KiB regardless of payload size.  A slot can be overwritten
+  // by an aliasing newer position, so chain walks stop whenever the link
+  // does not strictly decrease.  Positions are inserted only at search
+  // anchors and match starts (LZ4-style), never per byte — that, plus the
+  // skip-ahead below, is what moved encode from 0.065 GB/s to copy-bound.
   constexpr std::size_t kHashSize = 1 << 14;
+  constexpr std::size_t kWinMask = kWindow - 1;
   std::vector<std::int32_t> head(kHashSize, -1);
-  std::vector<std::int32_t> prev(input.size(), -1);
+  std::vector<std::int32_t> prev(kWindow, -1);
   auto hash4 = [&](std::size_t pos) {
     std::uint32_t x;
     std::memcpy(&x, input.data() + pos, 4);
-    return static_cast<std::size_t>((x * 2654435761u) >> 18) % kHashSize;
+    return static_cast<std::size_t>((x * 2654435761u) >> 18);
+  };
+  auto insert = [&](std::size_t pos) {
+    const std::size_t h = hash4(pos);
+    prev[pos & kWinMask] = head[h];
+    head[h] = static_cast<std::int32_t>(pos);
+  };
+
+  // Word-wise match extension: compare 8 bytes at a time and locate the
+  // first mismatching byte with countr_zero.
+  auto match_len = [&](std::size_t c, std::size_t pos, std::size_t limit) {
+    std::size_t len = 0;
+    while (len + 8 <= limit) {
+      std::uint64_t a;
+      std::uint64_t b;
+      std::memcpy(&a, input.data() + c + len, 8);
+      std::memcpy(&b, input.data() + pos + len, 8);
+      const std::uint64_t x = a ^ b;
+      if (x != 0) {
+        return len + (static_cast<std::size_t>(std::countr_zero(x)) >> 3);
+      }
+      len += 8;
+    }
+    while (len < limit && input[c + len] == input[pos + len]) ++len;
+    return len;
   };
 
   std::size_t i = 0;
+  std::size_t miss_run = 0;      // consecutive failed searches
+  std::size_t next_search = 0;   // skip-ahead point on incompressible data
   while (i < input.size()) {
+    // Fast path: when acceleration has pushed the next probe beyond this
+    // whole group and 8 literals remain, emit flag 0 + 8 raw bytes in one
+    // copy.  Incompressible payloads (random float deltas) spend nearly
+    // all their time here, at copy speed.
+    if (next_search >= i + 8 && i + 8 <= input.size()) {
+      out.push_back(0);
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(i),
+                 input.begin() + static_cast<std::ptrdiff_t>(i + 8));
+      i += 8;
+      continue;
+    }
     std::size_t flag_pos = out.size();
     out.push_back(0);
     std::uint8_t flags = 0;
     for (int bit = 0; bit < 8 && i < input.size(); ++bit) {
       std::size_t best_len = 0;
       std::size_t best_off = 0;
-      if (i + kMinMatch <= input.size()) {
+      // LZ4-style acceleration: after 32 consecutive misses, probe only
+      // every (miss_run >> 5)-th position; matches reset the counter, so
+      // compressible data is still searched densely.
+      if (i + kMinMatch <= input.size() && i >= next_search) {
+        const std::size_t limit = std::min(kMaxMatch, input.size() - i);
         const std::size_t h = hash4(i);
         std::int32_t cand = head[h];
-        int probes = 32;
+        int probes = 4;
         while (cand >= 0 && probes-- > 0) {
           const auto c = static_cast<std::size_t>(cand);
           if (i - c > kWindow) break;
-          std::size_t len = 0;
-          const std::size_t limit = std::min(kMaxMatch, input.size() - i);
-          while (len < limit && input[c + len] == input[i + len]) ++len;
-          if (len >= kMinMatch && len > best_len) {
-            best_len = len;
-            best_off = i - c;
+          // Good enough — deeper probes rarely beat a 32-byte match and
+          // cost a full chain walk on dense buckets (zero runs).
+          if (best_len >= 32 || best_len >= limit) break;
+          // Cheap reject: a longer match must at least agree at best_len.
+          if (input[c + best_len] == input[i + best_len]) {
+            const std::size_t len = match_len(c, i, limit);
+            if (len >= kMinMatch && len > best_len) {
+              best_len = len;
+              best_off = i - c;
+            }
           }
-          cand = prev[c];
+          const std::int32_t nxt = prev[c & kWinMask];
+          if (nxt >= cand) break;  // ring slot was overwritten (aliasing)
+          cand = nxt;
+        }
+        insert(i);
+        if (best_len >= kMinMatch) {
+          miss_run = 0;
+          next_search = i + best_len;  // re-anchor right after the match
+        } else {
+          ++miss_run;
+          next_search = i + 1 + (miss_run >> 5);
         }
       }
       if (best_len >= kMinMatch) {
@@ -139,23 +203,9 @@ void LzssCodec::compress_into(std::span<const std::uint8_t> input,
         out.push_back(static_cast<std::uint8_t>(best_off & 0xff));
         out.push_back(static_cast<std::uint8_t>(best_off >> 8));
         out.push_back(static_cast<std::uint8_t>(best_len));
-        // Insert skipped positions into the hash chains.
-        const std::size_t end = i + best_len;
-        while (i < end) {
-          if (i + 4 <= input.size()) {
-            const std::size_t h = hash4(i);
-            prev[i] = head[h];
-            head[h] = static_cast<std::int32_t>(i);
-          }
-          ++i;
-        }
+        i += best_len;
       } else {
         out.push_back(input[i]);
-        if (i + 4 <= input.size()) {
-          const std::size_t h = hash4(i);
-          prev[i] = head[h];
-          head[h] = static_cast<std::int32_t>(i);
-        }
         ++i;
       }
     }
@@ -251,6 +301,11 @@ const Codec* codec_by_name(const std::string& name) {
   if (name == "rle0") return &rle0;
   if (name == "lzss") return &lzss;
   return nullptr;
+}
+
+const std::vector<std::string>& enabled_wire_codecs() {
+  static const std::vector<std::string> kEnabled = {"", "rle0"};
+  return kEnabled;
 }
 
 }  // namespace photon

@@ -8,6 +8,12 @@
 //            pseudo-gradients and on padded buffers.
 //  * lzss  — greedy LZSS with a 4 KiB window; general-purpose lossless.
 // Both round-trip bit-exactly on arbitrary input (property-tested).
+//
+// lzss is *diagnostic-only*: even with the hash-chain/skip-ahead encoder
+// its worst case (dense zero runs from clipped updates) sits well below
+// the 0.3 GB/s wire floor that bench_round_path enforces for every codec
+// in enabled_wire_codecs(), so no default config or bench sweep selects
+// it.  It stays registered for explicit opt-in and correctness tests.
 
 #include <cstdint>
 #include <memory>
@@ -74,5 +80,10 @@ class LzssCodec final : public Codec {
 
 /// Codec registry; returns nullptr for unknown names, and an identity for "".
 const Codec* codec_by_name(const std::string& name);
+
+/// Codecs eligible for default wire paths ("" identity and "rle0").  Every
+/// entry must sustain >= 0.3 GB/s encode on adversarial payloads — enforced
+/// by bench_round_path — which is why lzss is not in the list.
+const std::vector<std::string>& enabled_wire_codecs();
 
 }  // namespace photon

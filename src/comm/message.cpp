@@ -110,7 +110,8 @@ std::span<const std::uint8_t> Message::encode_into(WireScratch& scratch,
   if (codec_ptr->is_identity()) {
     // Identity fast path: compressed bytes == raw bytes, so every chunk's
     // wire offset is known up front.  Write the length table, size the
-    // buffer once, then memcpy + CRC each chunk straight into place.
+    // buffer once, then fused copy+CRC each chunk straight into place —
+    // one pass over the payload instead of a memcpy followed by a CRC pass.
     for (std::size_t c = 0; c < plan.n_chunks; ++c) {
       lens[c] = plan.raw_len(c);
       w.write(lens[c]);
@@ -122,8 +123,7 @@ std::span<const std::uint8_t> Message::encode_into(WireScratch& scratch,
     for_chunks(pool, plan.n_chunks, [&](std::size_t c) {
       const std::size_t off = plan.raw_off(c);
       const std::size_t len = plan.raw_len(c);
-      std::memcpy(buf.data() + data_off + off, raw + off, len);
-      crcs[c] = crc32({raw + off, len});
+      crcs[c] = crc32_copy(buf.data() + data_off + off, {raw + off, len});
     });
     const std::uint32_t folded = fold_crcs(crcs, lens);
     const auto* cp = reinterpret_cast<const std::uint8_t*>(&folded);
@@ -219,10 +219,18 @@ void Message::decode_into(std::span<const std::uint8_t> wire, Message& out,
   const Codec* codec_ptr = require_codec(out.codec, "Message::decode");
 
   std::vector<std::uint32_t> crcs(n_chunks);
+  const bool identity = codec_ptr->is_identity();
   for_chunks(pool, n_chunks, [&](std::size_t c) {
     const auto comp = data.subspan(offs[c], lens[c]);
-    crcs[c] = crc32(comp);
-    codec_ptr->decompress_into(comp, {raw_out + plan.raw_off(c), plan.raw_len(c)});
+    if (identity && comp.size() == plan.raw_len(c)) {
+      // Fused copy+CRC; a size mismatch falls through to decompress_into,
+      // which raises the usual corrupt-chunk error.
+      crcs[c] = crc32_copy(raw_out + plan.raw_off(c), comp);
+    } else {
+      crcs[c] = crc32(comp);
+      codec_ptr->decompress_into(comp,
+                                 {raw_out + plan.raw_off(c), plan.raw_len(c)});
+    }
   });
   if (fold_crcs(crcs, lens) != expected_crc) {
     throw std::runtime_error("Message::decode: CRC mismatch");

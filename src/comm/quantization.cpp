@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/simd.hpp"
+
 namespace photon {
 
 Int8Quantizer::Int8Quantizer(std::uint32_t chunk_size, bool stochastic,
@@ -23,27 +25,29 @@ QuantizedUpdate Int8Quantizer::quantize(std::span<const float> update) {
       (update.size() + chunk_size_ - 1) / chunk_size_;
   q.scales.resize(chunks);
 
+  const auto& ops = simd::ops();
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunk_size_;
     const std::size_t end = std::min(begin + chunk_size_, update.size());
-    float max_abs = 0.0f;
-    for (std::size_t i = begin; i < end; ++i) {
-      max_abs = std::max(max_abs, std::abs(update[i]));
-    }
+    const float max_abs = ops.max_abs(update.data() + begin, end - begin);
     const float scale = max_abs > 0.0f ? max_abs : 1.0f;
     q.scales[c] = scale;
     const float inv = 127.0f / scale;
-    for (std::size_t i = begin; i < end; ++i) {
-      float v = update[i] * inv;  // in [-127, 127]
-      if (stochastic_) {
+    if (stochastic_) {
+      // Stochastic rounding consumes the rng stream element by element and
+      // stays scalar; only the deterministic path is vectorized.
+      for (std::size_t i = begin; i < end; ++i) {
+        const float v = update[i] * inv;  // in [-127, 127]
         const float floor_v = std::floor(v);
         const float frac = v - floor_v;
-        v = floor_v + (rng_.next_float() < frac ? 1.0f : 0.0f);
-      } else {
-        v = std::round(v);
+        const float r = floor_v + (rng_.next_float() < frac ? 1.0f : 0.0f);
+        q.codes[i] = static_cast<std::int8_t>(std::clamp(r, -127.0f, 127.0f));
       }
-      q.codes[i] = static_cast<std::int8_t>(
-          std::clamp(v, -127.0f, 127.0f));
+    } else {
+      // Fused scale+round+clamp+narrow (round-to-nearest-even, identical
+      // across SIMD variants).
+      ops.quant_i8(q.codes.data() + begin, update.data() + begin, end - begin,
+                   inv);
     }
   }
   return q;
@@ -54,12 +58,23 @@ std::vector<float> Int8Quantizer::dequantize(const QuantizedUpdate& q) const {
     throw std::invalid_argument("Int8Quantizer: corrupt update");
   }
   std::vector<float> out(q.count);
-  for (std::size_t i = 0; i < q.count; ++i) {
-    const std::size_t chunk = i / q.chunk_size;
-    if (chunk >= q.scales.size()) {
-      throw std::invalid_argument("Int8Quantizer: missing scale");
-    }
-    out[i] = static_cast<float>(q.codes[i]) * q.scales[chunk] / 127.0f;
+  if (q.count != 0 && q.chunk_size == 0) {
+    throw std::invalid_argument("Int8Quantizer: corrupt update");
+  }
+  const std::size_t chunks =
+      q.count == 0 ? 0 : (q.count + q.chunk_size - 1) / q.chunk_size;
+  if (chunks > q.scales.size()) {
+    throw std::invalid_argument("Int8Quantizer: missing scale");
+  }
+  const auto& ops = simd::ops();
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * q.chunk_size;
+    const std::size_t end =
+        std::min<std::size_t>(begin + q.chunk_size, q.count);
+    // out = code * (scale/127): one multiply per element; reassociating the
+    // divide into the per-chunk factor moves results by at most one ulp.
+    ops.dequant_i8(out.data() + begin, q.codes.data() + begin, end - begin,
+                   q.scales[c] / 127.0f);
   }
   return out;
 }

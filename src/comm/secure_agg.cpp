@@ -45,14 +45,21 @@ void SecureAggregator::sum_into(std::span<const std::span<const float>> masked,
       throw std::invalid_argument("sum_into: size mismatch");
     }
   }
-  ctx.parallel_shards(out.size(), ctx.grain_rows(masked.size()),
-                      [&](int, std::size_t begin, std::size_t end) {
-                        for (std::size_t i = begin; i < end; ++i) {
-                          double acc = 0.0;
-                          for (const auto& m : masked) acc += m[i];
-                          out[i] = static_cast<float>(acc);
-                        }
-                      });
+  // Vectorized row-sum: element i accumulates rows in order into a double
+  // (16-lane), matching the scalar per-element accumulation bit for bit.
+  std::vector<const float*> rows(masked.size());
+  for (std::size_t r = 0; r < masked.size(); ++r) rows[r] = masked[r].data();
+  const auto& ops = ctx.simd();
+  ctx.parallel_shards(
+      out.size(), ctx.grain_rows(2 * masked.size()),
+      [&](int, std::size_t begin, std::size_t end) {
+        std::vector<const float*> shifted(rows.size());
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          shifted[r] = rows[r] + begin;
+        }
+        ops.sum_rows_pd(out.data() + begin, shifted.data(), shifted.size(),
+                        end - begin);
+      });
 }
 
 void SecureAggregator::sum_into(const std::vector<std::vector<float>>& masked,

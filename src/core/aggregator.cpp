@@ -68,6 +68,9 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
   }
   client_rounds_.assign(clients_.size(), 0);
   if (config_.metrics != nullptr) {
+    // Publishes the kernels.simd_variant gauge (resolved SIMD dispatch:
+    // 0=scalar, 1=avx2, 2=avx512) plus the per-kernel FLOPs counters.
+    kernels::set_kernel_metrics(config_.metrics);
     obs_.straggler_cuts = config_.metrics->counter("round.straggler_cuts");
     obs_.crashes = config_.metrics->counter("round.crashes");
     obs_.link_failures = config_.metrics->counter("round.link_failures");

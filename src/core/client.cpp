@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -53,10 +54,12 @@ std::pair<double, std::uint64_t> LLMClient::train_replica(
     const Batch b = data_->next_batch(batch, seq);
     model_.zero_grad();
     const float loss = model_.train_step_fb(b.tokens, b.targets, batch, seq);
-    const double norm =
-        clip_grad_norm(model_.grads(), config_.max_grad_norm);
     const float lr = schedule_.lr_at(step_base + step);
-    opt_.step(model_.params(), model_.grads(), lr);
+    // Fused clip + AdamW: one pass over the grads instead of norm + scale +
+    // step.  Grads are left unscaled, which is fine — zero_grad() clears
+    // them before the next step reads them.
+    const double norm = opt_.step_clipped(model_.params(), model_.grads(), lr,
+                                          config_.max_grad_norm);
     loss_sum += loss;
     grad_norm_sum += norm;
     tokens += static_cast<std::uint64_t>(batch) * seq;
@@ -151,12 +154,11 @@ void LLMClient::run_round(std::span<const float> global_params,
   // Local checkpoint for fast recovery (Alg. 1 L27).
   checkpoint_.assign(model_.params().begin(), model_.params().end());
 
-  // delta_k = theta_global - theta_k (Alg. 1 L7).
+  // delta_k = theta_global - theta_k (Alg. 1 L7), in one vectorized pass.
   update.delta.resize(model_.num_params());
   const auto params = model_.params();
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    update.delta[i] = global_params[i] - params[i];
-  }
+  kernels::sub(update.delta.data(), global_params.data(), params.data(),
+               params.size());
 
   // Post-processing (Alg. 1 L28): clip / DP noise / codec selection.
   update.post = post_.run(update.delta);

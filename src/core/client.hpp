@@ -54,7 +54,7 @@ struct ClientTrainConfig {
   /// Post-processing (Alg. 1 L28).
   double clip_update_norm = 0.0;     // 0 = no update clipping
   double dp_noise_multiplier = 0.0;  // 0 = no DP noise
-  std::string link_codec;            // "" / "rle0" / "lzss"
+  std::string link_codec;            // "" / "rle0" ("lzss" = diagnostic-only)
 };
 
 struct ClientUpdate {

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernel_context.hpp"
+#include "tensor/kernels.hpp"
+
 namespace photon {
 namespace {
 
@@ -12,24 +15,39 @@ void check_sizes(std::span<float> params, std::span<const float> grad) {
   }
 }
 
+// Elementwise server updates cost ~16 scalar ops per parameter.
+constexpr std::size_t kStepRowCost = 16;
+
+// Shard an elementwise update fn(i0, i1) over the default kernel context.
+template <typename Fn>
+void for_shards(std::size_t n, Fn&& fn) {
+  kernels::default_context().parallel_shards(
+      n, kernels::default_context().grain_rows(kStepRowCost),
+      [&](int, std::size_t i0, std::size_t i1) { fn(i0, i1); });
+}
+
 }  // namespace
 
 void FedAvgOpt::apply(std::span<float> params,
                       std::span<const float> pseudo_grad) {
   check_sizes(params, pseudo_grad);
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    params[i] -= lr_ * pseudo_grad[i];
-  }
+  // params += (-lr) * g; the sign flip is exact, so this matches
+  // params -= lr * g bit for bit.
+  const auto& ops = kernels::default_context().simd();
+  for_shards(params.size(), [&](std::size_t i0, std::size_t i1) {
+    ops.axpy(params.data() + i0, pseudo_grad.data() + i0, i1 - i0, -lr_);
+  });
 }
 
 void FedMomOpt::apply(std::span<float> params,
                       std::span<const float> pseudo_grad) {
   check_sizes(params, pseudo_grad);
   if (buf_.size() != params.size()) buf_.assign(params.size(), 0.0f);
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    buf_[i] = momentum_ * buf_[i] + pseudo_grad[i];
-    params[i] -= lr_ * buf_[i];
-  }
+  const auto& ops = kernels::default_context().simd();
+  for_shards(params.size(), [&](std::size_t i0, std::size_t i1) {
+    ops.momentum(params.data() + i0, buf_.data() + i0,
+                 pseudo_grad.data() + i0, i1 - i0, lr_, momentum_);
+  });
 }
 
 void FedMomOpt::reset() { buf_.clear(); }
@@ -38,10 +56,14 @@ void NesterovOpt::apply(std::span<float> params,
                         std::span<const float> pseudo_grad) {
   check_sizes(params, pseudo_grad);
   if (buf_.size() != params.size()) buf_.assign(params.size(), 0.0f);
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    buf_[i] = momentum_ * buf_[i] + pseudo_grad[i];
-    params[i] -= lr_ * (pseudo_grad[i] + momentum_ * buf_[i]);
-  }
+  // initialized=1 always: on the first apply buf is zero and
+  // mu*0 + g == g exactly, matching the unconditional update above.
+  const auto& ops = kernels::default_context().simd();
+  for_shards(params.size(), [&](std::size_t i0, std::size_t i1) {
+    ops.nesterov(params.data() + i0, buf_.data() + i0,
+                 pseudo_grad.data() + i0, i1 - i0, lr_, momentum_,
+                 /*initialized=*/1);
+  });
 }
 
 void NesterovOpt::reset() { buf_.clear(); }
@@ -57,12 +79,15 @@ void FedAdamOpt::apply(std::span<float> params,
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    const float g = pseudo_grad[i];
-    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g;
-    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g * g;
-    params[i] -= lr_ * (m_[i] / bc1) / (std::sqrt(v_[i] / bc2) + eps_);
-  }
+  // The fused op computes lr*(mhat/denom) rather than (lr*mhat)/denom;
+  // that reassociation moves the update by at most one ulp and stays
+  // deterministic across variants and thread counts.
+  const auto& ops = kernels::default_context().simd();
+  for_shards(params.size(), [&](std::size_t i0, std::size_t i1) {
+    ops.adamw(params.data() + i0, m_.data() + i0, v_.data() + i0,
+              pseudo_grad.data() + i0, i1 - i0, /*gscale=*/1.0f, lr_, beta1_,
+              beta2_, bc1, bc2, eps_, /*wd=*/0.0f);
+  });
 }
 
 void FedAdamOpt::reset() {

@@ -253,9 +253,13 @@ float GptModel::forward(const int* tokens, const int* targets, int batch,
     k::layernorm_forward(kc, ln2, a.ln2_mean.data() + ls * bt,
                          a.ln2_rstd.data() + ls * bt, res2,
                          p(layout_.ln2_g, l), p(layout_.ln2_b, l), bt, c);
-    k::linear_forward(kc, fch, ln2, p(layout_.fc_w, l), p(layout_.fc_b, l), bt,
-                      c, ec);
-    k::gelu_forward(kc, fch_gelu, fch, btec);
+    // MLP up-projection with the bias folded into the GELU pass: fch holds
+    // the bias-FREE pre-activation and bias_gelu applies gelu(fch + b) in
+    // the same sweep.  Because k_linear_row adds the bias after its dot
+    // fold, gelu(dot + b) here is bit-identical to the unfused
+    // linear-with-bias followed by gelu.
+    k::linear_forward(kc, fch, ln2, p(layout_.fc_w, l), nullptr, bt, c, ec);
+    k::bias_gelu_forward(kc, fch_gelu, fch, p(layout_.fc_b, l), bt, ec);
     k::linear_forward(kc, fcproj, fch_gelu, p(layout_.fcproj_w, l),
                       p(layout_.fcproj_b, l), bt, ec, c);
     k::residual_forward(kc, res3, res2, fcproj, btc);
@@ -359,7 +363,11 @@ void GptModel::backward(const int* tokens, const int* targets, int batch,
     k::linear_backward(kc, a.d_fch_gelu.data(), g(layout_.fcproj_w, l),
                        g(layout_.fcproj_b, l), a.d_fcproj.data(), fch_gelu,
                        p(layout_.fcproj_w, l), bt, ec, c);
-    k::gelu_backward(kc, a.d_fch.data(), fch, a.d_fch_gelu.data(), btec);
+    // fch is bias-free (see forward); re-adds the bias while computing
+    // gelu'.  The fc bias gradient still falls out of linear_backward below
+    // as the column sum of d_fch.
+    k::bias_gelu_backward(kc, a.d_fch.data(), fch, p(layout_.fc_b, l),
+                          a.d_fch_gelu.data(), bt, ec);
     // fch = ln2 @ fc_w^T + b.
     k::linear_backward(kc, a.d_ln2.data(), g(layout_.fc_w, l),
                        g(layout_.fc_b, l), a.d_fch.data(), ln2,
@@ -391,7 +399,7 @@ void GptModel::backward(const int* tokens, const int* targets, int batch,
                             p(layout_.ln1_g, l), a.ln1_mean.data() + ls * bt,
                             a.ln1_rstd.data() + ls * bt, bt, c);
     } else {
-      for (std::size_t i = 0; i < btc; ++i) d_res_in[i] += a.d_res2[i];
+      kc.simd().acc(d_res_in, a.d_res2.data(), btc);
       k::layernorm_backward(kc, d_res_in, g(layout_.ln1_g, l),
                             g(layout_.ln1_b, l), a.d_ln1.data(), res_in,
                             p(layout_.ln1_g, l), a.ln1_mean.data() + ls * bt,

@@ -5,10 +5,16 @@
 // decay).  SGD with Nesterov momentum is DiLoCo's recommended OuterOpt and is
 // reused by the baselines.  Photon keeps optimizer state *local and
 // stateless across rounds* (Appendix A): reset() implements that policy.
+//
+// Both optimizers step through the runtime-dispatched SIMD layer
+// (tensor/simd.hpp) and shard elementwise over a KernelContext, so updates
+// are bit-identical across scalar/AVX2/AVX-512 and any thread count.
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "tensor/kernel_context.hpp"
 
 namespace photon {
 
@@ -26,6 +32,19 @@ class AdamW {
   /// One update: params -= lr * (corrected m / (sqrt(corrected v) + eps)
   ///                             + weight_decay * params).
   void step(std::span<float> params, std::span<const float> grads, float lr);
+  void step(const kernels::KernelContext& ctx, std::span<float> params,
+            std::span<const float> grads, float lr);
+
+  /// Fused grad-clip + step: computes the global grad L2 norm, then applies
+  /// the step with the clip ratio folded into the per-element grad read
+  /// (gc = g * scale), so clipping costs no extra pass and `grads` is left
+  /// unmodified.  Bit-identical to clip_grad_norm() followed by step().
+  /// Returns the pre-clip norm.
+  double step_clipped(std::span<float> params, std::span<const float> grads,
+                      float lr, double max_norm);
+  double step_clipped(const kernels::KernelContext& ctx,
+                      std::span<float> params, std::span<const float> grads,
+                      float lr, double max_norm);
 
   /// Drop all momenta and the step counter (Photon's stateless-per-round
   /// local optimization; avoids communicating 2x extra state).
@@ -36,6 +55,9 @@ class AdamW {
   std::span<const float> exp_avg_sq() const { return v_; }
 
  private:
+  void step_impl(const kernels::KernelContext& ctx, std::span<float> params,
+                 std::span<const float> grads, float lr, float gscale);
+
   AdamWConfig config_;
   std::vector<float> m_;
   std::vector<float> v_;
@@ -48,6 +70,8 @@ class SgdNesterov {
 
   /// Nesterov update: buf = mu*buf + g; params -= lr * (g + mu*buf).
   void step(std::span<float> params, std::span<const float> grads, float lr);
+  void step(const kernels::KernelContext& ctx, std::span<float> params,
+            std::span<const float> grads, float lr);
 
   void reset();
   std::span<const float> momentum_buffer() const { return buf_; }
@@ -59,7 +83,8 @@ class SgdNesterov {
 };
 
 /// Scale gradients so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clip norm.
+/// Returns the pre-clip norm.  Prefer AdamW::step_clipped on the training
+/// hot path — it folds the clip into the optimizer pass.
 double clip_grad_norm(std::span<float> grads, double max_norm);
 
 }  // namespace photon

@@ -24,6 +24,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "tensor/simd.hpp"
+
 namespace photon {
 class ThreadPool;
 }
@@ -46,6 +48,15 @@ class KernelContext {
 
   int threads() const { return threads_; }
   std::size_t grain() const { return grain_; }
+
+  /// SIMD op table the kernels dispatch through: the process-wide active
+  /// variant (CPUID + PHOTON_SIMD, see simd.hpp) unless a specific table was
+  /// pinned with set_simd().  All variants are bit-identical, so pinning
+  /// only matters for benchmarks and cross-variant tests.
+  const simd::Ops& simd() const {
+    return simd_ != nullptr ? *simd_ : simd::ops();
+  }
+  void set_simd(const simd::Ops* ops) { simd_ = ops; }
 
   /// Threads usable *right now*: 1 when serial, when no pool is attached,
   /// or when the caller is itself a pool worker (nested parallelism).
@@ -72,6 +83,7 @@ class KernelContext {
   ThreadPool* pool_ = nullptr;
   int threads_ = 1;
   std::size_t grain_ = kDefaultGrain;
+  const simd::Ops* simd_ = nullptr;
 };
 
 /// Mutable library-default context (env-configured on first use).  Legacy

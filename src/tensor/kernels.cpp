@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <limits>
 #include <vector>
+
+#include "tensor/simd.hpp"
+
+// This translation unit compiles with -ffp-contract=off (see the top-level
+// CMakeLists): the few arithmetic expressions still written inline here must
+// round exactly like the SIMD layer's explicit mul+add sequences.
 
 namespace photon::kernels {
 
@@ -13,6 +18,11 @@ namespace {
 // k-dimension block for matmul: kKBlock rows of b (kKBlock * n floats) stay
 // hot in cache while every row of the shard streams over them.
 constexpr int kKBlock = 64;
+
+// l2_norm reduces over fixed-size blocks folded in block order, so the
+// summation grouping never depends on the shard layout (thread count).
+// One block is one unit of shardable work (== default grain).
+constexpr std::size_t kNormBlock = 32768;
 
 // Per-kernel FLOPs counters (set_kernel_metrics).  Null handles no-op, so
 // the un-wired cost is one branch per kernel call.
@@ -32,6 +42,8 @@ void set_kernel_metrics(obs::MetricsRegistry* registry) {
   g_flops.matmul = registry->counter("kernels.flops.matmul");
   g_flops.linear_fwd = registry->counter("kernels.flops.linear_fwd");
   g_flops.linear_bwd = registry->counter("kernels.flops.linear_bwd");
+  registry->gauge("kernels.simd_variant")
+      .set(static_cast<double>(static_cast<int>(simd::active_variant())));
 }
 
 void matmul(const KernelContext& ctx, float* out, const float* a,
@@ -39,6 +51,7 @@ void matmul(const KernelContext& ctx, float* out, const float* a,
   g_flops.matmul.add(2ull * static_cast<std::uint64_t>(m) *
                      static_cast<std::uint64_t>(k) *
                      static_cast<std::uint64_t>(n));
+  const simd::Ops& ops = ctx.simd();
   const std::size_t row_cost =
       static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
   ctx.parallel_shards(
@@ -50,13 +63,12 @@ void matmul(const KernelContext& ctx, float* out, const float* a,
           for (std::size_t i = i0; i < i1; ++i) {
             const float* arow = a + i * k;
             float* orow = out + i * n;
-            // ikj loop order: streams through b and out rows, vectorizes
-            // well.  No zero-skip branch: it defeats vectorization on dense
-            // inputs and silently changes the FLOPs MFU accounting assumes.
+            // ikj loop order: each p streams one row of b into orow via
+            // axpy.  No zero-skip branch: it silently changes the FLOPs
+            // MFU accounting assumes.
             for (int p = p0; p < p1; ++p) {
-              const float av = arow[p];
-              const float* brow = b + static_cast<std::size_t>(p) * n;
-              for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+              ops.axpy(orow, b + static_cast<std::size_t>(p) * n,
+                       static_cast<std::size_t>(n), arow[p]);
             }
           }
         }
@@ -69,22 +81,16 @@ void linear_forward(const KernelContext& ctx, float* out, const float* inp,
   g_flops.linear_fwd.add(2ull * static_cast<std::uint64_t>(bt) *
                          static_cast<std::uint64_t>(c) *
                          static_cast<std::uint64_t>(oc));
-  const std::size_t row_cost =
-      static_cast<std::size_t>(c) * static_cast<std::size_t>(oc);
-  ctx.parallel_shards(
-      static_cast<std::size_t>(bt), ctx.grain_rows(row_cost),
-      [&](int, std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          const float* x = inp + i * c;
-          float* y = out + i * oc;
-          for (int o = 0; o < oc; ++o) {
-            const float* w = weight + static_cast<std::size_t>(o) * c;
-            float acc = bias != nullptr ? bias[o] : 0.0f;
-            for (int p = 0; p < c; ++p) acc += x[p] * w[p];
-            y[o] = acc;
-          }
-        }
-      });
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t cs = static_cast<std::size_t>(c);
+  const std::size_t ocs = static_cast<std::size_t>(oc);
+  ctx.parallel_shards(static_cast<std::size_t>(bt), ctx.grain_rows(cs * ocs),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        for (std::size_t i = i0; i < i1; ++i) {
+                          ops.linear_row(out + i * ocs, inp + i * cs, weight,
+                                         bias, cs, ocs);
+                        }
+                      });
 }
 
 void linear_backward(const KernelContext& ctx, float* dinp, float* dweight,
@@ -102,86 +108,43 @@ void linear_backward(const KernelContext& ctx, float* dinp, float* dweight,
     }
     g_flops.linear_bwd.add(flops);
   }
-  const std::size_t row_cost =
-      static_cast<std::size_t>(c) * static_cast<std::size_t>(oc);
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t cs = static_cast<std::size_t>(c);
+  const std::size_t ocs = static_cast<std::size_t>(oc);
+  const std::size_t bts = static_cast<std::size_t>(bt);
   if (dinp != nullptr) {
     // dinp = dout @ W  (dout: (BT,OC), W: (OC,C)).  Each row of dinp is
     // owned by exactly one shard: race-free and bit-exact.
-    ctx.parallel_shards(
-        static_cast<std::size_t>(bt), ctx.grain_rows(row_cost),
-        [&](int, std::size_t i0, std::size_t i1) {
-          for (std::size_t i = i0; i < i1; ++i) {
-            const float* dy = dout + i * oc;
-            float* dx = dinp + i * c;
-            for (int o = 0; o < oc; ++o) {
-              const float g = dy[o];
-              const float* w = weight + static_cast<std::size_t>(o) * c;
-              for (int p = 0; p < c; ++p) dx[p] += g * w[p];
-            }
-          }
-        });
+    ctx.parallel_shards(bts, ctx.grain_rows(cs * ocs),
+                        [&](int, std::size_t i0, std::size_t i1) {
+                          for (std::size_t i = i0; i < i1; ++i) {
+                            ops.linear_bwd_dx_row(dinp + i * cs,
+                                                  dout + i * ocs, weight, cs,
+                                                  ocs);
+                          }
+                        });
   }
-  if (dweight != nullptr || dbias != nullptr) {
-    // dW = dout^T @ inp and db = colsum(dout) reduce over BT rows, so shards
-    // accumulate into per-shard partials (shard 0 goes straight into the
-    // output) that are folded in shard order afterwards — deterministic at a
-    // fixed thread count.
-    const std::size_t wsz =
-        dweight != nullptr
-            ? static_cast<std::size_t>(oc) * static_cast<std::size_t>(c)
-            : 0;
-    const std::size_t bsz = dbias != nullptr ? static_cast<std::size_t>(oc) : 0;
-    const std::size_t mg = ctx.grain_rows(row_cost);
-    const int shards = ctx.shard_count(static_cast<std::size_t>(bt), mg);
-    std::vector<float> scratch(
-        static_cast<std::size_t>(std::max(0, shards - 1)) * (wsz + bsz), 0.0f);
-    ctx.parallel_shards(
-        static_cast<std::size_t>(bt), mg,
-        [&](int s, std::size_t i0, std::size_t i1) {
-          float* dw =
-              s == 0 ? dweight
-                     : scratch.data() +
-                           static_cast<std::size_t>(s - 1) * (wsz + bsz);
-          float* db = s == 0 ? dbias
-                             : scratch.data() +
-                                   static_cast<std::size_t>(s - 1) *
-                                       (wsz + bsz) +
-                                   wsz;
-          for (std::size_t i = i0; i < i1; ++i) {
-            const float* dy = dout + i * oc;
-            const float* x = inp + i * c;
-            if (dweight != nullptr) {
-              for (int o = 0; o < oc; ++o) {
-                const float g = dy[o];
-                float* dwrow = dw + static_cast<std::size_t>(o) * c;
-                for (int p = 0; p < c; ++p) dwrow[p] += g * x[p];
-              }
-            }
-            if (dbias != nullptr) {
-              for (int o = 0; o < oc; ++o) db[o] += dy[o];
-            }
-          }
-        });
-    // Fold partials elementwise; every element sums its shards in shard
-    // order no matter which thread folds it, so the result is unchanged.
-    if (dweight != nullptr && shards > 1) {
-      ctx.parallel_shards(
-          wsz, ctx.grain_rows(static_cast<std::size_t>(shards)),
-          [&](int, std::size_t e0, std::size_t e1) {
-            for (int s = 1; s < shards; ++s) {
-              const float* part =
-                  scratch.data() + static_cast<std::size_t>(s - 1) * (wsz + bsz);
-              for (std::size_t e = e0; e < e1; ++e) dweight[e] += part[e];
-            }
-          });
-    }
-    if (dbias != nullptr && shards > 1) {
-      for (int s = 1; s < shards; ++s) {
-        const float* part = scratch.data() +
-                            static_cast<std::size_t>(s - 1) * (wsz + bsz) + wsz;
-        for (std::size_t e = 0; e < bsz; ++e) dbias[e] += part[e];
-      }
-    }
+  if (dweight != nullptr) {
+    // dW = dout^T @ inp and db = colsum(dout) reduce over BT rows; sharding
+    // over output channels gives every element a fixed row-ascending
+    // accumulation order — bit-exact at any thread count, no scratch.
+    ctx.parallel_shards(ocs, ctx.grain_rows(2 * bts * cs),
+                        [&](int, std::size_t o0, std::size_t o1) {
+                          ops.linear_bwd_wb(dweight, dbias, inp, dout, bts, cs,
+                                            ocs, o0, o1);
+                        });
+  } else if (dbias != nullptr) {
+    // Bias-only backward (no weight grad): plain column sums of dout.
+    ctx.parallel_shards(ocs, ctx.grain_rows(bts),
+                        [&](int, std::size_t o0, std::size_t o1) {
+                          for (std::size_t o = o0; o < o1; ++o) {
+                            float acc = dbias[o];
+                            for (std::size_t i = 0; i < bts; ++i) {
+                              acc += dout[i * ocs + o];
+                            }
+                            dbias[o] = acc;
+                          }
+                        });
   }
 }
 
@@ -189,27 +152,18 @@ void layernorm_forward(const KernelContext& ctx, float* out, float* mean,
                        float* rstd, const float* inp, const float* gamma,
                        const float* beta, int bt, int c) {
   constexpr float kEps = 1e-5f;
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t cs = static_cast<std::size_t>(c);
   ctx.parallel_shards(
-      static_cast<std::size_t>(bt),
-      ctx.grain_rows(4 * static_cast<std::size_t>(c)),
+      static_cast<std::size_t>(bt), ctx.grain_rows(4 * cs),
       [&](int, std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
-          const float* x = inp + i * c;
-          float* y = out + i * c;
-          double m = 0.0;
-          for (int p = 0; p < c; ++p) m += x[p];
-          m /= c;
-          double v = 0.0;
-          for (int p = 0; p < c; ++p) {
-            const double d = x[p] - m;
-            v += d * d;
-          }
-          v /= c;
+          const float* x = inp + i * cs;
+          const double m = ops.sum_pd(x, cs) / c;
+          const double v = ops.sumsq_dev_pd(x, cs, m) / c;
           const float mf = static_cast<float>(m);
           const float rs = static_cast<float>(1.0 / std::sqrt(v + kEps));
-          for (int p = 0; p < c; ++p) {
-            y[p] = (x[p] - mf) * rs * gamma[p] + beta[p];
-          }
+          ops.ln_apply_row(out + i * cs, x, gamma, beta, cs, mf, rs);
           mean[i] = mf;
           rstd[i] = rs;
         }
@@ -220,105 +174,91 @@ void layernorm_backward(const KernelContext& ctx, float* dinp, float* dgamma,
                         float* dbeta, const float* dout, const float* inp,
                         const float* gamma, const float* mean,
                         const float* rstd, int bt, int c) {
-  // dinp rows are shard-owned (bit-exact); dgamma/dbeta reduce over rows via
-  // per-shard partials folded in shard order.
-  const std::size_t mg = ctx.grain_rows(6 * static_cast<std::size_t>(c));
-  const int shards = ctx.shard_count(static_cast<std::size_t>(bt), mg);
-  const std::size_t csz = static_cast<std::size_t>(c);
-  std::vector<float> scratch(
-      static_cast<std::size_t>(std::max(0, shards - 1)) * 2 * csz, 0.0f);
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t cs = static_cast<std::size_t>(c);
+  const std::size_t bts = static_cast<std::size_t>(bt);
+  // Pass 1 — dinp, row-sharded: two row reductions feed the elementwise
+  // update.  Each row is owned by one shard: bit-exact.
   ctx.parallel_shards(
-      static_cast<std::size_t>(bt), mg,
-      [&](int s, std::size_t i0, std::size_t i1) {
-        float* dg = s == 0 ? dgamma
-                           : scratch.data() +
-                                 static_cast<std::size_t>(s - 1) * 2 * csz;
-        float* db = s == 0 ? dbeta
-                           : scratch.data() +
-                                 static_cast<std::size_t>(s - 1) * 2 * csz +
-                                 csz;
+      bts, ctx.grain_rows(6 * cs), [&](int, std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
-          const float* x = inp + i * c;
-          const float* dy = dout + i * c;
-          float* dx = dinp + i * c;
-          const float m = mean[i];
-          const float rs = rstd[i];
-
-          // Two reductions shared by every element of the row.
-          double dnorm_mean = 0.0;
-          double dnorm_norm_mean = 0.0;
-          for (int p = 0; p < c; ++p) {
-            const float norm = (x[p] - m) * rs;
-            const float dnorm = gamma[p] * dy[p];
-            dnorm_mean += dnorm;
-            dnorm_norm_mean += dnorm * norm;
-          }
-          dnorm_mean /= c;
-          dnorm_norm_mean /= c;
-
-          for (int p = 0; p < c; ++p) {
-            const float norm = (x[p] - m) * rs;
-            const float dnorm = gamma[p] * dy[p];
-            dg[p] += dy[p] * norm;
-            db[p] += dy[p];
-            dx[p] += (dnorm - static_cast<float>(dnorm_mean) -
-                      norm * static_cast<float>(dnorm_norm_mean)) *
-                     rs;
-          }
+          const float* x = inp + i * cs;
+          const float* dy = dout + i * cs;
+          double s1 = 0.0;
+          double s2 = 0.0;
+          ops.ln_bwd_reduce_row(dy, gamma, x, cs, mean[i], rstd[i], &s1, &s2);
+          const float dnm = static_cast<float>(s1 / c);
+          const float dnnm = static_cast<float>(s2 / c);
+          ops.ln_bwd_dx_row(dinp + i * cs, dy, gamma, x, cs, mean[i], rstd[i],
+                            dnm, dnnm);
         }
       });
-  for (int s = 1; s < shards; ++s) {
-    const float* part =
-        scratch.data() + static_cast<std::size_t>(s - 1) * 2 * csz;
-    for (std::size_t p = 0; p < csz; ++p) dgamma[p] += part[p];
-    for (std::size_t p = 0; p < csz; ++p) dbeta[p] += part[csz + p];
-  }
+  // Pass 2 — dgamma/dbeta, column-sharded: every column accumulates all BT
+  // rows in order, so the result is bit-exact at any thread count.
+  ctx.parallel_shards(cs, ctx.grain_rows(4 * bts),
+                      [&](int, std::size_t c0, std::size_t c1) {
+                        ops.ln_bwd_dgb_cols(dgamma, dbeta, dout, inp, mean,
+                                            rstd, bts, cs, c0, c1);
+                      });
 }
 
 void gelu_forward(const KernelContext& ctx, float* out, const float* inp,
                   std::size_t n) {
-  constexpr float kInvSqrt2 = 0.70710678118654752440f;
+  const simd::Ops& ops = ctx.simd();
   ctx.parallel_shards(n, ctx.grain(),
                       [&](int, std::size_t i0, std::size_t i1) {
-                        for (std::size_t i = i0; i < i1; ++i) {
-                          const float x = inp[i];
-                          out[i] = 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
-                        }
+                        ops.gelu_fwd(out + i0, inp + i0, i1 - i0);
                       });
 }
 
 void gelu_backward(const KernelContext& ctx, float* dinp, const float* inp,
                    const float* dout, std::size_t n) {
-  constexpr float kInvSqrt2 = 0.70710678118654752440f;
-  constexpr float kInvSqrt2Pi = 0.39894228040143267794f;
-  ctx.parallel_shards(
-      n, ctx.grain(), [&](int, std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-          const float x = inp[i];
-          const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
-          const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
-          dinp[i] += dout[i] * (cdf + x * pdf);
-        }
-      });
+  const simd::Ops& ops = ctx.simd();
+  ctx.parallel_shards(n, ctx.grain(),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        ops.gelu_bwd(dinp + i0, inp + i0, dout + i0, i1 - i0);
+                      });
+}
+
+void bias_gelu_forward(const KernelContext& ctx, float* out, const float* inp,
+                       const float* bias, int bt, int c) {
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t cs = static_cast<std::size_t>(c);
+  ctx.parallel_shards(static_cast<std::size_t>(bt), ctx.grain_rows(2 * cs),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        ops.bias_gelu_fwd(out + i0 * cs, inp + i0 * cs, bias,
+                                          i1 - i0, cs);
+                      });
+}
+
+void bias_gelu_backward(const KernelContext& ctx, float* dinp,
+                        const float* inp, const float* bias, const float* dout,
+                        int bt, int c) {
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t cs = static_cast<std::size_t>(c);
+  ctx.parallel_shards(static_cast<std::size_t>(bt), ctx.grain_rows(3 * cs),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        ops.bias_gelu_bwd(dinp + i0 * cs, inp + i0 * cs, bias,
+                                          dout + i0 * cs, i1 - i0, cs);
+                      });
 }
 
 void residual_forward(const KernelContext& ctx, float* out, const float* a,
                       const float* b, std::size_t n) {
+  const simd::Ops& ops = ctx.simd();
   ctx.parallel_shards(n, ctx.grain(),
                       [&](int, std::size_t i0, std::size_t i1) {
-                        for (std::size_t i = i0; i < i1; ++i)
-                          out[i] = a[i] + b[i];
+                        ops.add(out + i0, a + i0, b + i0, i1 - i0);
                       });
 }
 
 void residual_backward(const KernelContext& ctx, float* da, float* db,
                        const float* dout, std::size_t n) {
+  const simd::Ops& ops = ctx.simd();
   ctx.parallel_shards(n, ctx.grain(),
                       [&](int, std::size_t i0, std::size_t i1) {
-                        for (std::size_t i = i0; i < i1; ++i) {
-                          da[i] += dout[i];
-                          db[i] += dout[i];
-                        }
+                        ops.acc(da + i0, dout + i0, i1 - i0);
+                        ops.acc(db + i0, dout + i0, i1 - i0);
                       });
 }
 
@@ -336,6 +276,8 @@ void attention_forward(const KernelContext& ctx, float* out, float* preatt,
   const std::size_t tt = static_cast<std::size_t>(t) * t;
   const std::size_t pairs = static_cast<std::size_t>(b) * nh;
   const std::size_t pair_cost = tt * static_cast<std::size_t>(hs);
+  const std::size_t c3 = 3 * static_cast<std::size_t>(c);
+  const simd::Ops& ops = ctx.simd();
 
   // (batch, head) pairs are fully independent: each owns disjoint slices of
   // preatt/att/out, so sharding over them is race-free and bit-exact.
@@ -345,49 +287,37 @@ void attention_forward(const KernelContext& ctx, float* out, float* preatt,
       const int bi = static_cast<int>(bh) / nh;
       const int h = static_cast<int>(bh) % nh;
       const float slope = slopes[h];
+      const std::size_t head_off = static_cast<std::size_t>(h) * hs;
+      const float* qkv_b = qkv + static_cast<std::size_t>(bi) * t * c3;
+      const float* kbase = qkv_b + c + head_off;
+      const float* vbase = qkv_b + 2 * c + head_off;
       float* pre_h = preatt + (static_cast<std::size_t>(bi) * nh + h) * tt;
       float* att_h = att + (static_cast<std::size_t>(bi) * nh + h) * tt;
       for (int ti = 0; ti < t; ++ti) {
-        const float* q = qkv + (static_cast<std::size_t>(bi) * t + ti) * 3 * c +
-                         static_cast<std::size_t>(h) * hs;
+        const std::size_t count = static_cast<std::size_t>(ti) + 1;
+        const float* q = qkv_b + static_cast<std::size_t>(ti) * c3 + head_off;
         float* pre_row = pre_h + static_cast<std::size_t>(ti) * t;
         float* att_row = att_h + static_cast<std::size_t>(ti) * t;
 
-        // Logits with ALiBi bias -slope*(ti - t2), causal mask beyond ti.
-        float maxv = -std::numeric_limits<float>::infinity();
-        for (int t2 = 0; t2 <= ti; ++t2) {
-          const float* k = qkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
-                           c + static_cast<std::size_t>(h) * hs;
-          float dotv = 0.0f;
-          for (int p = 0; p < hs; ++p) dotv += q[p] * k[p];
-          dotv = dotv * scale - slope * static_cast<float>(ti - t2);
-          pre_row[t2] = dotv;
-          maxv = std::max(maxv, dotv);
-        }
-        // Softmax over the causal prefix.
-        float sum = 0.0f;
-        for (int t2 = 0; t2 <= ti; ++t2) {
-          const float e = std::exp(pre_row[t2] - maxv);
-          att_row[t2] = e;
-          sum += e;
-        }
+        // Fused scores + running max: logits with ALiBi bias
+        // -slope*(ti - t2), causal mask beyond ti.
+        const float maxv =
+            ops.attn_scores_row(pre_row, q, kbase, c3, hs, count, scale,
+                                slope, static_cast<std::size_t>(ti));
+        // Fused exp + sum over the causal prefix (att keeps the exps).
+        std::memcpy(att_row, pre_row, count * sizeof(float));
+        const float sum = ops.exp_sum_f(att_row, count, maxv);
         const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
-        for (int t2 = 0; t2 <= ti; ++t2) att_row[t2] *= inv;
-        for (int t2 = ti + 1; t2 < t; ++t2) {
-          pre_row[t2] = 0.0f;
-          att_row[t2] = 0.0f;
-        }
+        ops.scale(att_row, count, inv);
+        std::memset(pre_row + count, 0,
+                    (static_cast<std::size_t>(t) - count) * sizeof(float));
+        std::memset(att_row + count, 0,
+                    (static_cast<std::size_t>(t) - count) * sizeof(float));
 
         // Weighted sum of values.
         float* o = out + (static_cast<std::size_t>(bi) * t + ti) * c +
-                   static_cast<std::size_t>(h) * hs;
-        for (int p = 0; p < hs; ++p) o[p] = 0.0f;
-        for (int t2 = 0; t2 <= ti; ++t2) {
-          const float* v = qkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
-                           2 * c + static_cast<std::size_t>(h) * hs;
-          const float a = att_row[t2];
-          for (int p = 0; p < hs; ++p) o[p] += a * v[p];
-        }
+                   head_off;
+        ops.attn_av_row(o, att_row, vbase, c3, hs, count);
       }
     }
   });
@@ -401,6 +331,8 @@ void attention_backward(const KernelContext& ctx, float* dqkv, float* dpreatt,
   const std::size_t tt = static_cast<std::size_t>(t) * t;
   const std::size_t pairs = static_cast<std::size_t>(b) * nh;
   const std::size_t pair_cost = 2 * tt * static_cast<std::size_t>(hs);
+  const std::size_t c3 = 3 * static_cast<std::size_t>(c);
+  const simd::Ops& ops = ctx.simd();
 
   // Like the forward: a (batch, head) pair only ever touches the head-h
   // slice of its own batch's dqkv rows, so pairs never alias.
@@ -409,54 +341,35 @@ void attention_backward(const KernelContext& ctx, float* dqkv, float* dpreatt,
     for (std::size_t bh = b0; bh < b1; ++bh) {
       const int bi = static_cast<int>(bh) / nh;
       const int h = static_cast<int>(bh) % nh;
+      const std::size_t head_off = static_cast<std::size_t>(h) * hs;
+      const float* qkv_b = qkv + static_cast<std::size_t>(bi) * t * c3;
+      float* dqkv_b = dqkv + static_cast<std::size_t>(bi) * t * c3;
+      const float* kbase = qkv_b + c + head_off;
+      const float* vbase = qkv_b + 2 * c + head_off;
+      float* dkbase = dqkv_b + c + head_off;
+      float* dvbase = dqkv_b + 2 * c + head_off;
       const float* att_h = att + (static_cast<std::size_t>(bi) * nh + h) * tt;
       float* datt_h = datt + (static_cast<std::size_t>(bi) * nh + h) * tt;
       float* dpre_h = dpreatt + (static_cast<std::size_t>(bi) * nh + h) * tt;
       for (int ti = 0; ti < t; ++ti) {
+        const std::size_t count = static_cast<std::size_t>(ti) + 1;
         const float* att_row = att_h + static_cast<std::size_t>(ti) * t;
         float* datt_row = datt_h + static_cast<std::size_t>(ti) * t;
         float* dpre_row = dpre_h + static_cast<std::size_t>(ti) * t;
-        const float* q = qkv + (static_cast<std::size_t>(bi) * t + ti) * 3 * c +
-                         static_cast<std::size_t>(h) * hs;
-        float* dq = dqkv + (static_cast<std::size_t>(bi) * t + ti) * 3 * c +
-                    static_cast<std::size_t>(h) * hs;
-        const float* doh = dout + (static_cast<std::size_t>(bi) * t + ti) * c +
-                           static_cast<std::size_t>(h) * hs;
+        const float* q = qkv_b + static_cast<std::size_t>(ti) * c3 + head_off;
+        float* dq = dqkv_b + static_cast<std::size_t>(ti) * c3 + head_off;
+        const float* doh = dout +
+                           (static_cast<std::size_t>(bi) * t + ti) * c +
+                           head_off;
 
-        // Backward through out = att @ V.
-        for (int t2 = 0; t2 <= ti; ++t2) {
-          const float* v = qkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
-                           2 * c + static_cast<std::size_t>(h) * hs;
-          float* dv = dqkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
-                      2 * c + static_cast<std::size_t>(h) * hs;
-          float acc = 0.0f;
-          const float a = att_row[t2];
-          for (int p = 0; p < hs; ++p) {
-            acc += v[p] * doh[p];
-            dv[p] += a * doh[p];
-          }
-          datt_row[t2] += acc;
-        }
-
+        // Backward through out = att @ V (datt and dV in one pass).
+        ops.attn_bwd_av_row(datt_row, dvbase, att_row, vbase, doh, c3, hs,
+                            count);
         // Backward through softmax: dpre = att * (datt - sum(att*datt)).
-        float dot = 0.0f;
-        for (int t2 = 0; t2 <= ti; ++t2) dot += att_row[t2] * datt_row[t2];
-        for (int t2 = 0; t2 <= ti; ++t2) {
-          dpre_row[t2] += att_row[t2] * (datt_row[t2] - dot);
-        }
-
+        ops.softmax_bwd_row(dpre_row, att_row, datt_row, count);
         // Backward through q.k^T * scale (ALiBi bias is constant: no grad).
-        for (int t2 = 0; t2 <= ti; ++t2) {
-          const float* k = qkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
-                           c + static_cast<std::size_t>(h) * hs;
-          float* dk = dqkv + (static_cast<std::size_t>(bi) * t + t2) * 3 * c +
-                      c + static_cast<std::size_t>(h) * hs;
-          const float g = dpre_row[t2] * scale;
-          for (int p = 0; p < hs; ++p) {
-            dq[p] += g * k[p];
-            dk[p] += g * q[p];
-          }
-        }
+        ops.attn_bwd_qk_row(dq, dkbase, dpre_row, kbase, q, c3, hs, count,
+                            scale);
       }
     }
   });
@@ -479,33 +392,31 @@ void embedding_backward(float* dtable, const int* tokens, const float* dout,
                         int bt, int c) {
   // Scatter-add: different rows can hit the same token id, so this stays
   // serial (it is a tiny fraction of the step anyway).
+  const simd::Ops& ops = simd::ops();
   for (int i = 0; i < bt; ++i) {
     float* drow = dtable + static_cast<std::size_t>(tokens[i]) * c;
     const float* dy = dout + static_cast<std::size_t>(i) * c;
-    for (int p = 0; p < c; ++p) drow[p] += dy[p];
+    ops.acc(drow, dy, static_cast<std::size_t>(c));
   }
 }
 
 void softmax_xent_forward(const KernelContext& ctx, float* losses,
                           float* probs, const float* logits,
                           const int* targets, int bt, int v) {
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t vs = static_cast<std::size_t>(v);
   ctx.parallel_shards(
-      static_cast<std::size_t>(bt),
-      ctx.grain_rows(3 * static_cast<std::size_t>(v)),
+      static_cast<std::size_t>(bt), ctx.grain_rows(3 * vs),
       [&](int, std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
-          const float* z = logits + i * v;
-          float* p = probs + i * v;
-          float maxv = -std::numeric_limits<float>::infinity();
-          for (int j = 0; j < v; ++j) maxv = std::max(maxv, z[j]);
-          double sum = 0.0;
-          for (int j = 0; j < v; ++j) {
-            const float e = std::exp(z[j] - maxv);
-            p[j] = e;
-            sum += e;
-          }
+          const float* z = logits + i * vs;
+          float* p = probs + i * vs;
+          // Fused max / exp+sum / normalize: three passes over the row
+          // instead of the unfused five (max, sub, exp, sum, div).
+          const float maxv = ops.reduce_max(z, vs);
+          const double sum = ops.exp_sum_pd(p, z, vs, maxv);
           const float inv = static_cast<float>(1.0 / sum);
-          for (int j = 0; j < v; ++j) p[j] *= inv;
+          ops.scale(p, vs, inv);
           const int target = targets[i];
           if (target < 0) {
             losses[i] = 0.0f;
@@ -519,48 +430,60 @@ void softmax_xent_forward(const KernelContext& ctx, float* losses,
 void softmax_xent_backward(const KernelContext& ctx, float* dlogits,
                            const float* probs, const int* targets, int bt,
                            int v, float scale) {
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t vs = static_cast<std::size_t>(v);
   ctx.parallel_shards(
-      static_cast<std::size_t>(bt), ctx.grain_rows(static_cast<std::size_t>(v)),
+      static_cast<std::size_t>(bt), ctx.grain_rows(vs),
       [&](int, std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
           const int target = targets[i];
           if (target < 0) continue;
-          const float* p = probs + i * v;
-          float* dz = dlogits + i * v;
-          for (int j = 0; j < v; ++j) {
-            dz[j] += (p[j] - (j == target ? 1.0f : 0.0f)) * scale;
-          }
+          float* dz = dlogits + i * vs;
+          // dz += probs*scale for the whole row, then fix up the target
+          // column's -scale: one vector pass plus one scalar op.
+          ops.axpy(dz, probs + i * vs, vs, scale);
+          dz[target] -= scale;
         }
       });
 }
 
 void scale_inplace(const KernelContext& ctx, float* x, float s,
                    std::size_t n) {
+  const simd::Ops& ops = ctx.simd();
   ctx.parallel_shards(n, ctx.grain(),
                       [&](int, std::size_t i0, std::size_t i1) {
-                        for (std::size_t i = i0; i < i1; ++i) x[i] *= s;
+                        ops.scale(x + i0, i1 - i0, s);
                       });
 }
 
 void axpy(const KernelContext& ctx, float* y, float a, const float* x,
           std::size_t n) {
+  const simd::Ops& ops = ctx.simd();
   ctx.parallel_shards(n, ctx.grain(),
                       [&](int, std::size_t i0, std::size_t i1) {
-                        for (std::size_t i = i0; i < i1; ++i) y[i] += a * x[i];
+                        ops.axpy(y + i0, x + i0, i1 - i0, a);
+                      });
+}
+
+void sub(const KernelContext& ctx, float* out, const float* a, const float* b,
+         std::size_t n) {
+  const simd::Ops& ops = ctx.simd();
+  ctx.parallel_shards(n, ctx.grain(),
+                      [&](int, std::size_t i0, std::size_t i1) {
+                        ops.sub(out + i0, a + i0, b + i0, i1 - i0);
                       });
 }
 
 double l2_norm(const KernelContext& ctx, const float* x, std::size_t n) {
-  const int shards = ctx.shard_count(n, ctx.grain());
-  std::vector<double> partials(static_cast<std::size_t>(shards), 0.0);
-  ctx.parallel_shards(n, ctx.grain(),
-                      [&](int s, std::size_t i0, std::size_t i1) {
-                        double acc = 0.0;
-                        for (std::size_t i = i0; i < i1; ++i) {
-                          acc += static_cast<double>(x[i]) * x[i];
-                        }
-                        partials[static_cast<std::size_t>(s)] = acc;
-                      });
+  const simd::Ops& ops = ctx.simd();
+  const std::size_t nb = (n + kNormBlock - 1) / kNormBlock;
+  std::vector<double> partials(nb, 0.0);
+  ctx.parallel_shards(nb, 1, [&](int, std::size_t b0, std::size_t b1) {
+    for (std::size_t blk = b0; blk < b1; ++blk) {
+      const std::size_t off = blk * kNormBlock;
+      partials[blk] = ops.sumsq_pd(x + off, std::min(kNormBlock, n - off));
+    }
+  });
   double total = 0.0;
   for (const double p : partials) total += p;
   return std::sqrt(total);
@@ -605,6 +528,16 @@ void gelu_forward(float* out, const float* inp, std::size_t n) {
 void gelu_backward(float* dinp, const float* inp, const float* dout,
                    std::size_t n) {
   gelu_backward(default_context(), dinp, inp, dout, n);
+}
+
+void bias_gelu_forward(float* out, const float* inp, const float* bias, int bt,
+                       int c) {
+  bias_gelu_forward(default_context(), out, inp, bias, bt, c);
+}
+
+void bias_gelu_backward(float* dinp, const float* inp, const float* bias,
+                        const float* dout, int bt, int c) {
+  bias_gelu_backward(default_context(), dinp, inp, bias, dout, bt, c);
 }
 
 void residual_forward(float* out, const float* a, const float* b,
@@ -653,6 +586,10 @@ void scale_inplace(float* x, float s, std::size_t n) {
 
 void axpy(float* y, float a, const float* x, std::size_t n) {
   axpy(default_context(), y, a, x, n);
+}
+
+void sub(float* out, const float* a, const float* b, std::size_t n) {
+  sub(default_context(), out, a, b, n);
 }
 
 double l2_norm(const float* x, std::size_t n) {

@@ -14,11 +14,17 @@
 // shards work over a kernels::KernelContext, and a legacy signature that
 // routes through default_context() (env-configured; serial on one core).
 // Sharding is race-free by construction — rows, (batch, head) pairs, or
-// elementwise chunks — except where a reduction crosses shard boundaries
-// (linear_backward dweight/dbias, layernorm_backward dgamma/dbeta,
-// l2_norm); those use per-shard partial accumulators folded in shard order,
-// which is deterministic run-to-run at a fixed thread count but may differ
-// from the serial summation order by float rounding (~1e-7 relative).
+// elementwise chunks — and every kernel is bit-identical at ANY thread
+// count: reductions that cross shard boundaries shard over the *output*
+// dimension instead (linear_backward dweight/dbias over output channels,
+// layernorm_backward dgamma/dbeta over columns) or reduce over fixed-size
+// blocks folded in block order (l2_norm), so no summation order ever
+// depends on the shard layout.
+//
+// All arithmetic goes through the runtime-dispatched SIMD layer
+// (tensor/simd.hpp) via KernelContext::simd(); the scalar, AVX2, and
+// AVX-512 variants are bit-identical by construction, so results do not
+// depend on the host ISA or the PHOTON_SIMD override either.
 
 #include <cstddef>
 
@@ -50,8 +56,8 @@ void linear_forward(float* out, const float* inp, const float* weight,
 
 /// Linear backward. dinp(BT,C), dweight(OC,C), dbias(OC) are accumulated.
 /// Any of dinp/dweight/dbias may be nullptr to skip that term.
-/// dinp is row-parallel (bit-exact); dweight/dbias reduce per-shard
-/// partials deterministically.
+/// dinp is row-parallel; dweight/dbias shard over output channels, each of
+/// which accumulates all BT rows in order — bit-exact at any thread count.
 void linear_backward(const KernelContext& ctx, float* dinp, float* dweight,
                      float* dbias, const float* dout, const float* inp,
                      const float* weight, int bt, int c, int oc);
@@ -68,8 +74,8 @@ void layernorm_forward(const KernelContext& ctx, float* out, float* mean,
 void layernorm_forward(float* out, float* mean, float* rstd, const float* inp,
                        const float* gamma, const float* beta, int bt, int c);
 
-/// dinp is row-parallel (bit-exact); dgamma/dbeta reduce per-shard partials
-/// deterministically.
+/// dinp is row-parallel; dgamma/dbeta shard over columns, each of which
+/// accumulates all BT rows in order — bit-exact at any thread count.
 void layernorm_backward(const KernelContext& ctx, float* dinp, float* dgamma,
                         float* dbeta, const float* dout, const float* inp,
                         const float* gamma, const float* mean,
@@ -87,6 +93,24 @@ void gelu_backward(const KernelContext& ctx, float* dinp, const float* inp,
                    const float* dout, std::size_t n);
 void gelu_backward(float* dinp, const float* inp, const float* dout,
                    std::size_t n);
+
+/// Fused bias + GELU: out(BT,C) = gelu(inp + bias) in one pass, where inp is
+/// a bias-free linear output (linear_forward with bias=nullptr).  Because
+/// float addition commutes bit-exactly, gelu(dot + bias) equals the unfused
+/// gelu(linear_forward-with-bias) output bit for bit.  Row-parallel.
+void bias_gelu_forward(const KernelContext& ctx, float* out, const float* inp,
+                       const float* bias, int bt, int c);
+void bias_gelu_forward(float* out, const float* inp, const float* bias, int bt,
+                       int c);
+/// dinp(BT,C) += dout * gelu'(inp + bias), recomputing the biased
+/// pre-activation instead of materializing it.  The bias gradient is the
+/// column sum of dinp — exactly what linear_backward's dbias produces when
+/// handed this dinp as dout.  Row-parallel.
+void bias_gelu_backward(const KernelContext& ctx, float* dinp,
+                        const float* inp, const float* bias, const float* dout,
+                        int bt, int c);
+void bias_gelu_backward(float* dinp, const float* inp, const float* bias,
+                        const float* dout, int bt, int c);
 
 // --------------------------------------------------------------- residual --
 void residual_forward(const KernelContext& ctx, float* out, const float* a,
@@ -156,7 +180,12 @@ void scale_inplace(float* x, float s, std::size_t n);
 void axpy(const KernelContext& ctx, float* y, float a, const float* x,
           std::size_t n);                                     // y += a*x
 void axpy(float* y, float a, const float* x, std::size_t n);  // y += a*x
-/// Per-shard partial sums reduced in shard order (deterministic).
+/// out = a - b elementwise (pseudo-gradient deltas on the round path).
+void sub(const KernelContext& ctx, float* out, const float* a, const float* b,
+         std::size_t n);
+void sub(float* out, const float* a, const float* b, std::size_t n);
+/// Fixed 32768-element blocks reduced in block order: bit-identical at any
+/// thread count (blocks, not shards, define the summation grouping).
 double l2_norm(const KernelContext& ctx, const float* x, std::size_t n);
 double l2_norm(const float* x, std::size_t n);
 

@@ -1,0 +1,111 @@
+// Startup CPUID detection + PHOTON_SIMD override for the SIMD op tables.
+// The three tables are built once; the active pointer is an atomic so tests
+// can flip variants (set_active_variant) without racing readers.
+
+#include "tensor/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace photon::simd {
+namespace {
+
+struct Tables {
+  Ops tab[3];
+  Tables() {
+    tab[0] = detail::make_ops_scalar();
+    tab[1] = detail::make_ops_avx2();
+    tab[2] = detail::make_ops_avx512();
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+bool cpu_supports(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+      return true;
+    case Variant::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Variant::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Variant degrade(Variant v) {
+  if (v == Variant::kAvx512 && !cpu_supports(Variant::kAvx512)) {
+    v = Variant::kAvx2;
+  }
+  if (v == Variant::kAvx2 && !cpu_supports(Variant::kAvx2)) {
+    v = Variant::kScalar;
+  }
+  return v;
+}
+
+Variant startup_variant() {
+  Variant pick = degrade(Variant::kAvx512);
+  if (const char* env = std::getenv("PHOTON_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      pick = Variant::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      pick = degrade(Variant::kAvx2);
+    } else if (std::strcmp(env, "avx512") == 0) {
+      pick = degrade(Variant::kAvx512);
+    }
+    // Unrecognized values fall through to autodetection.
+  }
+  return pick;
+}
+
+std::atomic<const Ops*>& active_slot() {
+  static std::atomic<const Ops*> slot{
+      &tables().tab[static_cast<int>(startup_variant())]};
+  return slot;
+}
+
+}  // namespace
+
+const Ops& ops() {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+const Ops& ops(Variant v) { return tables().tab[static_cast<int>(v)]; }
+
+Variant active_variant() { return ops().variant; }
+
+bool supported(Variant v) { return cpu_supports(v); }
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+      return "scalar";
+    case Variant::kAvx2:
+      return "avx2";
+    case Variant::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Variant set_active_variant(Variant v) {
+  const Variant eff = degrade(v);
+  active_slot().store(&tables().tab[static_cast<int>(eff)],
+                      std::memory_order_release);
+  return eff;
+}
+
+}  // namespace photon::simd

@@ -1,0 +1,942 @@
+// Shared SIMD kernel bodies — included by each variant TU (simd_scalar.cpp,
+// simd_avx2.cpp, simd_avx512.cpp) AFTER it defines the primitive API:
+//
+//   types:  vf (16 float lanes), vd (16 double lanes), vi (16 int32 lanes)
+//   float:  f_load f_store f_set1 f_zero f_add f_sub f_mul f_div f_min f_max
+//           f_sqrt f_abs f_copysign f_hsum f_hmax
+//   int:    f_to_i_nearest i_to_f i_pow2f i_store i8_to_f
+//   double: d_load d_store d_zero d_set1 d_add d_sub d_mul d_hsum
+//           f_widen d_narrow
+//
+// Every op body below therefore executes the exact same IEEE op sequence in
+// all three variants — the scalar TU's primitives are lane-by-lane mirrors
+// of the AVX instructions (including vminps/vmaxps operand semantics and the
+// fixed f_hsum/f_hmax fold tree) — which is what makes the cross-variant
+// bit-identical contract hold (see simd.hpp).
+//
+// This file must be included inside the TU's anonymous namespace within
+// photon::simd::detail.
+
+constexpr std::size_t kLanes = 16;
+
+// Walks [0, n) in full 16-lane strides; `i` is the block base and remains in
+// scope after the loop so the masked tail (n - i < kLanes elements) can
+// follow.  CPU analog of quick-mlp's grid-stride KERNEL_1D_LOOP.
+#define PHOTON_SIMD_1D_LOOP(i, n) \
+  std::size_t i = 0;              \
+  for (; i + kLanes <= (n); i += kLanes)
+
+// ---------------------------------------------------------------- partials --
+// Tail handling goes through small stack buffers so the vector path stays
+// uniform; tails run at most once per row/array so the copy cost is noise.
+
+inline vf f_load_partial(const float* p, std::size_t cnt, float pad) {
+  alignas(64) float tmp[kLanes];
+  f_store(tmp, f_set1(pad));
+  std::memcpy(tmp, p, cnt * sizeof(float));
+  return f_load(tmp);
+}
+
+inline void f_store_partial(float* p, vf v, std::size_t cnt) {
+  alignas(64) float tmp[kLanes];
+  f_store(tmp, v);
+  std::memcpy(p, tmp, cnt * sizeof(float));
+}
+
+// Zero lanes >= cnt (used when a padded lane survives a transform that does
+// not map the pad to the reduction identity, e.g. exp or squared deviation).
+inline vf f_keep(vf v, std::size_t cnt) {
+  alignas(64) float tmp[kLanes];
+  f_store(tmp, v);
+  for (std::size_t j = cnt; j < kLanes; ++j) tmp[j] = 0.0f;
+  return f_load(tmp);
+}
+
+inline vd d_keep(vd v, std::size_t cnt) {
+  alignas(64) double tmp[kLanes];
+  d_store(tmp, v);
+  for (std::size_t j = cnt; j < kLanes; ++j) tmp[j] = 0.0;
+  return d_load(tmp);
+}
+
+inline vf i8_load_partial_f(const std::int8_t* p, std::size_t cnt) {
+  alignas(16) std::int8_t tmp[kLanes] = {};
+  std::memcpy(tmp, p, cnt);
+  return i8_to_f(tmp);
+}
+
+// ---------------------------------------------------------- transcendentals --
+// Polynomial exp/erf evaluated with explicit mul+add (no FMA) so every
+// variant — scalar included — produces the same bits.  expf follows
+// Cephes/sse_mathfun (max rel err ~2e-7 over the clamped range); erf is
+// Abramowitz & Stegun 7.1.26 (max abs err ~1.5e-7).
+
+inline vf v_exp(vf x) {
+  const vf one = f_set1(1.0f);
+  // Clamp keeps the exponent n in [-127, 127] so i_pow2f stays normal.
+  x = f_max(f_min(x, f_set1(88.3762626647950f)), f_set1(-88.3762626647949f));
+  const vi n = f_to_i_nearest(f_mul(x, f_set1(1.44269504088896341f)));
+  const vf fx = i_to_f(n);
+  // Cody-Waite: r = x - n*ln2, split so the first subtraction is exact.
+  vf r = f_sub(x, f_mul(fx, f_set1(0.693359375f)));
+  r = f_sub(r, f_mul(fx, f_set1(-2.12194440e-4f)));
+  const vf z = f_mul(r, r);
+  vf y = f_set1(1.9875691500e-4f);
+  y = f_add(f_mul(y, r), f_set1(1.3981999507e-3f));
+  y = f_add(f_mul(y, r), f_set1(8.3334519073e-3f));
+  y = f_add(f_mul(y, r), f_set1(4.1665795894e-2f));
+  y = f_add(f_mul(y, r), f_set1(1.6666665459e-1f));
+  y = f_add(f_mul(y, r), f_set1(5.0000001201e-1f));
+  y = f_add(f_mul(y, z), r);
+  y = f_add(y, one);
+  return f_mul(y, i_pow2f(n));
+}
+
+inline vf v_erf(vf x) {
+  const vf one = f_set1(1.0f);
+  const vf t =
+      f_div(one, f_add(one, f_mul(f_set1(0.3275911f), f_abs(x))));
+  vf y = f_set1(1.061405429f);
+  y = f_add(f_mul(y, t), f_set1(-1.453152027f));
+  y = f_add(f_mul(y, t), f_set1(1.421413741f));
+  y = f_add(f_mul(y, t), f_set1(-0.284496736f));
+  y = f_add(f_mul(y, t), f_set1(0.254829592f));
+  y = f_mul(y, t);
+  const vf ex = v_exp(f_mul(f_mul(x, x), f_set1(-1.0f)));
+  return f_copysign(f_sub(one, f_mul(y, ex)), x);
+}
+
+inline vf v_gelu(vf x) {
+  const vf e = v_erf(f_mul(x, f_set1(0.70710678118654752440f)));
+  return f_mul(f_mul(f_set1(0.5f), x), f_add(f_set1(1.0f), e));
+}
+
+inline vf v_gelu_grad(vf x) {
+  const vf cdf = f_mul(
+      f_set1(0.5f),
+      f_add(f_set1(1.0f), v_erf(f_mul(x, f_set1(0.70710678118654752440f)))));
+  const vf pdf = f_mul(f_set1(0.39894228040143267794f),
+                       v_exp(f_mul(f_mul(x, x), f_set1(-0.5f))));
+  return f_add(cdf, f_mul(x, pdf));
+}
+
+// ---------------------------------------------------------------- elementwise
+
+inline void k_add(float* out, const float* a, const float* b, std::size_t n) {
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    f_store(out + i, f_add(f_load(a + i), f_load(b + i)));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    f_store_partial(out + i,
+                    f_add(f_load_partial(a + i, cnt, 0.0f),
+                          f_load_partial(b + i, cnt, 0.0f)),
+                    cnt);
+  }
+}
+
+inline void k_sub(float* out, const float* a, const float* b, std::size_t n) {
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    f_store(out + i, f_sub(f_load(a + i), f_load(b + i)));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    f_store_partial(out + i,
+                    f_sub(f_load_partial(a + i, cnt, 0.0f),
+                          f_load_partial(b + i, cnt, 0.0f)),
+                    cnt);
+  }
+}
+
+inline void k_acc(float* dst, const float* src, std::size_t n) {
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    f_store(dst + i, f_add(f_load(dst + i), f_load(src + i)));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    f_store_partial(dst + i,
+                    f_add(f_load_partial(dst + i, cnt, 0.0f),
+                          f_load_partial(src + i, cnt, 0.0f)),
+                    cnt);
+  }
+}
+
+inline void k_scale(float* x, std::size_t n, float s) {
+  const vf vs = f_set1(s);
+  PHOTON_SIMD_1D_LOOP(i, n) { f_store(x + i, f_mul(f_load(x + i), vs)); }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    f_store_partial(x + i, f_mul(f_load_partial(x + i, cnt, 0.0f), vs), cnt);
+  }
+}
+
+inline void k_axpy(float* y, const float* x, std::size_t n, float a) {
+  const vf va = f_set1(a);
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    f_store(y + i, f_add(f_load(y + i), f_mul(va, f_load(x + i))));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    f_store_partial(y + i,
+                    f_add(f_load_partial(y + i, cnt, 0.0f),
+                          f_mul(va, f_load_partial(x + i, cnt, 0.0f))),
+                    cnt);
+  }
+}
+
+// ----------------------------------------------------------------- reductions
+
+inline float k_dot(const float* a, const float* b, std::size_t n) {
+  vf acc = f_zero();
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    acc = f_add(acc, f_mul(f_load(a + i), f_load(b + i)));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    acc = f_add(acc, f_mul(f_load_partial(a + i, cnt, 0.0f),
+                           f_load_partial(b + i, cnt, 0.0f)));
+  }
+  return f_hsum(acc);
+}
+
+inline float k_reduce_max(const float* x, std::size_t n) {
+  const float ninf = -std::numeric_limits<float>::infinity();
+  vf acc = f_set1(ninf);
+  PHOTON_SIMD_1D_LOOP(i, n) { acc = f_max(acc, f_load(x + i)); }
+  if (i < n) {
+    acc = f_max(acc, f_load_partial(x + i, n - i, ninf));
+  }
+  return f_hmax(acc);
+}
+
+inline float k_max_abs(const float* x, std::size_t n) {
+  vf acc = f_zero();
+  PHOTON_SIMD_1D_LOOP(i, n) { acc = f_max(acc, f_abs(f_load(x + i))); }
+  if (i < n) {
+    acc = f_max(acc, f_abs(f_load_partial(x + i, n - i, 0.0f)));
+  }
+  return f_hmax(acc);
+}
+
+inline double k_sum_pd(const float* x, std::size_t n) {
+  vd acc = d_zero();
+  PHOTON_SIMD_1D_LOOP(i, n) { acc = d_add(acc, f_widen(f_load(x + i))); }
+  if (i < n) {
+    acc = d_add(acc, f_widen(f_load_partial(x + i, n - i, 0.0f)));
+  }
+  return d_hsum(acc);
+}
+
+inline double k_sumsq_pd(const float* x, std::size_t n) {
+  vd acc = d_zero();
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    const vd w = f_widen(f_load(x + i));
+    acc = d_add(acc, d_mul(w, w));
+  }
+  if (i < n) {
+    const vd w = f_widen(f_load_partial(x + i, n - i, 0.0f));
+    acc = d_add(acc, d_mul(w, w));
+  }
+  return d_hsum(acc);
+}
+
+inline double k_sumsq_dev_pd(const float* x, std::size_t n, double mean) {
+  const vd vm = d_set1(mean);
+  vd acc = d_zero();
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    const vd dv = d_sub(f_widen(f_load(x + i)), vm);
+    acc = d_add(acc, d_mul(dv, dv));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    const vd dv = d_sub(f_widen(f_load_partial(x + i, cnt, 0.0f)), vm);
+    // (0 - mean)^2 is not the identity: mask the padded lanes post-square.
+    acc = d_add(acc, d_keep(d_mul(dv, dv), cnt));
+  }
+  return d_hsum(acc);
+}
+
+// --------------------------------------------------------------------- linear
+
+inline void k_linear_row(float* y, const float* x, const float* w,
+                         const float* bias, std::size_t c, std::size_t oc) {
+  std::size_t o = 0;
+  for (; o + 4 <= oc; o += 4) {
+    const float* w0 = w + (o + 0) * c;
+    const float* w1 = w + (o + 1) * c;
+    const float* w2 = w + (o + 2) * c;
+    const float* w3 = w + (o + 3) * c;
+    vf a0 = f_zero(), a1 = f_zero(), a2 = f_zero(), a3 = f_zero();
+    PHOTON_SIMD_1D_LOOP(i, c) {
+      const vf xv = f_load(x + i);
+      a0 = f_add(a0, f_mul(xv, f_load(w0 + i)));
+      a1 = f_add(a1, f_mul(xv, f_load(w1 + i)));
+      a2 = f_add(a2, f_mul(xv, f_load(w2 + i)));
+      a3 = f_add(a3, f_mul(xv, f_load(w3 + i)));
+    }
+    if (i < c) {
+      const std::size_t cnt = c - i;
+      const vf xv = f_load_partial(x + i, cnt, 0.0f);
+      a0 = f_add(a0, f_mul(xv, f_load_partial(w0 + i, cnt, 0.0f)));
+      a1 = f_add(a1, f_mul(xv, f_load_partial(w1 + i, cnt, 0.0f)));
+      a2 = f_add(a2, f_mul(xv, f_load_partial(w2 + i, cnt, 0.0f)));
+      a3 = f_add(a3, f_mul(xv, f_load_partial(w3 + i, cnt, 0.0f)));
+    }
+    y[o + 0] = (bias != nullptr ? bias[o + 0] : 0.0f) + f_hsum(a0);
+    y[o + 1] = (bias != nullptr ? bias[o + 1] : 0.0f) + f_hsum(a1);
+    y[o + 2] = (bias != nullptr ? bias[o + 2] : 0.0f) + f_hsum(a2);
+    y[o + 3] = (bias != nullptr ? bias[o + 3] : 0.0f) + f_hsum(a3);
+  }
+  for (; o < oc; ++o) {
+    y[o] = (bias != nullptr ? bias[o] : 0.0f) + k_dot(x, w + o * c, c);
+  }
+}
+
+inline void k_linear_bwd_dx_row(float* dx, const float* dy, const float* w,
+                                std::size_t c, std::size_t oc) {
+  // 4-output blocking reuses the dx vector across outputs; per-element
+  // accumulation order over o stays strictly ascending.
+  std::size_t o = 0;
+  for (; o + 4 <= oc; o += 4) {
+    const float* w0 = w + (o + 0) * c;
+    const float* w1 = w + (o + 1) * c;
+    const float* w2 = w + (o + 2) * c;
+    const float* w3 = w + (o + 3) * c;
+    const vf g0 = f_set1(dy[o + 0]);
+    const vf g1 = f_set1(dy[o + 1]);
+    const vf g2 = f_set1(dy[o + 2]);
+    const vf g3 = f_set1(dy[o + 3]);
+    PHOTON_SIMD_1D_LOOP(i, c) {
+      vf xv = f_load(dx + i);
+      xv = f_add(xv, f_mul(g0, f_load(w0 + i)));
+      xv = f_add(xv, f_mul(g1, f_load(w1 + i)));
+      xv = f_add(xv, f_mul(g2, f_load(w2 + i)));
+      xv = f_add(xv, f_mul(g3, f_load(w3 + i)));
+      f_store(dx + i, xv);
+    }
+    if (i < c) {
+      const std::size_t cnt = c - i;
+      vf xv = f_load_partial(dx + i, cnt, 0.0f);
+      xv = f_add(xv, f_mul(g0, f_load_partial(w0 + i, cnt, 0.0f)));
+      xv = f_add(xv, f_mul(g1, f_load_partial(w1 + i, cnt, 0.0f)));
+      xv = f_add(xv, f_mul(g2, f_load_partial(w2 + i, cnt, 0.0f)));
+      xv = f_add(xv, f_mul(g3, f_load_partial(w3 + i, cnt, 0.0f)));
+      f_store_partial(dx + i, xv, cnt);
+    }
+  }
+  for (; o < oc; ++o) {
+    k_axpy(dx, w + o * c, c, dy[o]);
+  }
+}
+
+inline void k_linear_bwd_wb(float* dw, float* db, const float* x,
+                            const float* dy, std::size_t bt, std::size_t c,
+                            std::size_t oc, std::size_t o0, std::size_t o1) {
+  std::size_t o = o0;
+  for (; o + 4 <= o1; o += 4) {
+    float* d0 = dw + (o + 0) * c;
+    float* d1 = dw + (o + 1) * c;
+    float* d2 = dw + (o + 2) * c;
+    float* d3 = dw + (o + 3) * c;
+    float b0 = db != nullptr ? db[o + 0] : 0.0f;
+    float b1 = db != nullptr ? db[o + 1] : 0.0f;
+    float b2 = db != nullptr ? db[o + 2] : 0.0f;
+    float b3 = db != nullptr ? db[o + 3] : 0.0f;
+    for (std::size_t t = 0; t < bt; ++t) {
+      const float* xr = x + t * c;
+      const float* dyr = dy + t * oc + o;
+      const float g0 = dyr[0];
+      const float g1 = dyr[1];
+      const float g2 = dyr[2];
+      const float g3 = dyr[3];
+      b0 += g0;
+      b1 += g1;
+      b2 += g2;
+      b3 += g3;
+      const vf v0 = f_set1(g0), v1 = f_set1(g1), v2 = f_set1(g2),
+               v3 = f_set1(g3);
+      PHOTON_SIMD_1D_LOOP(i, c) {
+        const vf xv = f_load(xr + i);
+        f_store(d0 + i, f_add(f_load(d0 + i), f_mul(v0, xv)));
+        f_store(d1 + i, f_add(f_load(d1 + i), f_mul(v1, xv)));
+        f_store(d2 + i, f_add(f_load(d2 + i), f_mul(v2, xv)));
+        f_store(d3 + i, f_add(f_load(d3 + i), f_mul(v3, xv)));
+      }
+      if (i < c) {
+        const std::size_t cnt = c - i;
+        const vf xv = f_load_partial(xr + i, cnt, 0.0f);
+        f_store_partial(
+            d0 + i, f_add(f_load_partial(d0 + i, cnt, 0.0f), f_mul(v0, xv)),
+            cnt);
+        f_store_partial(
+            d1 + i, f_add(f_load_partial(d1 + i, cnt, 0.0f), f_mul(v1, xv)),
+            cnt);
+        f_store_partial(
+            d2 + i, f_add(f_load_partial(d2 + i, cnt, 0.0f), f_mul(v2, xv)),
+            cnt);
+        f_store_partial(
+            d3 + i, f_add(f_load_partial(d3 + i, cnt, 0.0f), f_mul(v3, xv)),
+            cnt);
+      }
+    }
+    if (db != nullptr) {
+      db[o + 0] = b0;
+      db[o + 1] = b1;
+      db[o + 2] = b2;
+      db[o + 3] = b3;
+    }
+  }
+  for (; o < o1; ++o) {
+    float* drow = dw + o * c;
+    float bacc = db != nullptr ? db[o] : 0.0f;
+    for (std::size_t t = 0; t < bt; ++t) {
+      const float g = dy[t * oc + o];
+      bacc += g;
+      k_axpy(drow, x + t * c, c, g);
+    }
+    if (db != nullptr) {
+      db[o] = bacc;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ layernorm
+
+inline void k_ln_apply_row(float* y, const float* x, const float* gamma,
+                           const float* beta, std::size_t c, float mean,
+                           float rstd) {
+  const vf vm = f_set1(mean);
+  const vf vr = f_set1(rstd);
+  PHOTON_SIMD_1D_LOOP(i, c) {
+    const vf norm = f_mul(f_sub(f_load(x + i), vm), vr);
+    f_store(y + i, f_add(f_mul(norm, f_load(gamma + i)), f_load(beta + i)));
+  }
+  if (i < c) {
+    const std::size_t cnt = c - i;
+    const vf norm = f_mul(f_sub(f_load_partial(x + i, cnt, 0.0f), vm), vr);
+    f_store_partial(y + i,
+                    f_add(f_mul(norm, f_load_partial(gamma + i, cnt, 0.0f)),
+                          f_load_partial(beta + i, cnt, 0.0f)),
+                    cnt);
+  }
+}
+
+inline void k_ln_bwd_reduce_row(const float* dy, const float* gamma,
+                                const float* x, std::size_t c, float mean,
+                                float rstd, double* s1, double* s2) {
+  const vf vm = f_set1(mean);
+  const vf vr = f_set1(rstd);
+  vd a1 = d_zero();
+  vd a2 = d_zero();
+  PHOTON_SIMD_1D_LOOP(i, c) {
+    const vf dn = f_mul(f_load(gamma + i), f_load(dy + i));
+    const vf norm = f_mul(f_sub(f_load(x + i), vm), vr);
+    a1 = d_add(a1, f_widen(dn));
+    a2 = d_add(a2, f_widen(f_mul(dn, norm)));
+  }
+  if (i < c) {
+    const std::size_t cnt = c - i;
+    // dy/gamma pad with 0 => dn = 0, and 0 * norm = +/-0, both sum
+    // identities, so no masking is needed here.
+    const vf dn = f_mul(f_load_partial(gamma + i, cnt, 0.0f),
+                        f_load_partial(dy + i, cnt, 0.0f));
+    const vf norm =
+        f_mul(f_sub(f_load_partial(x + i, cnt, 0.0f), vm), vr);
+    a1 = d_add(a1, f_widen(dn));
+    a2 = d_add(a2, f_widen(f_mul(dn, norm)));
+  }
+  *s1 = d_hsum(a1);
+  *s2 = d_hsum(a2);
+}
+
+inline void k_ln_bwd_dx_row(float* dx, const float* dy, const float* gamma,
+                            const float* x, std::size_t c, float mean,
+                            float rstd, float dnm, float dnnm) {
+  const vf vm = f_set1(mean);
+  const vf vr = f_set1(rstd);
+  const vf vdnm = f_set1(dnm);
+  const vf vdnnm = f_set1(dnnm);
+  PHOTON_SIMD_1D_LOOP(i, c) {
+    const vf dn = f_mul(f_load(gamma + i), f_load(dy + i));
+    const vf norm = f_mul(f_sub(f_load(x + i), vm), vr);
+    const vf upd =
+        f_mul(f_sub(f_sub(dn, vdnm), f_mul(norm, vdnnm)), vr);
+    f_store(dx + i, f_add(f_load(dx + i), upd));
+  }
+  if (i < c) {
+    const std::size_t cnt = c - i;
+    const vf dn = f_mul(f_load_partial(gamma + i, cnt, 0.0f),
+                        f_load_partial(dy + i, cnt, 0.0f));
+    const vf norm =
+        f_mul(f_sub(f_load_partial(x + i, cnt, 0.0f), vm), vr);
+    const vf upd =
+        f_mul(f_sub(f_sub(dn, vdnm), f_mul(norm, vdnnm)), vr);
+    f_store_partial(dx + i, f_add(f_load_partial(dx + i, cnt, 0.0f), upd),
+                    cnt);
+  }
+}
+
+inline void k_ln_bwd_dgb_cols(float* dgamma, float* dbeta, const float* dy,
+                              const float* x, const float* means,
+                              const float* rstds, std::size_t bt,
+                              std::size_t c, std::size_t c0, std::size_t c1) {
+  // Column-sharded: each column accumulates all bt rows in order, so the
+  // result is bit-identical for any [c0, c1) split and any thread count.
+  for (std::size_t i = c0; i < c1; i += kLanes) {
+    const std::size_t cnt = (c1 - i < kLanes) ? (c1 - i) : kLanes;
+    const bool full = cnt == kLanes;
+    vf ga = full ? f_load(dgamma + i) : f_load_partial(dgamma + i, cnt, 0.0f);
+    vf ba = full ? f_load(dbeta + i) : f_load_partial(dbeta + i, cnt, 0.0f);
+    for (std::size_t t = 0; t < bt; ++t) {
+      const float* xr = x + t * c;
+      const float* dyr = dy + t * c;
+      const vf dyv =
+          full ? f_load(dyr + i) : f_load_partial(dyr + i, cnt, 0.0f);
+      const vf xv = full ? f_load(xr + i) : f_load_partial(xr + i, cnt, 0.0f);
+      const vf norm =
+          f_mul(f_sub(xv, f_set1(means[t])), f_set1(rstds[t]));
+      ga = f_add(ga, f_mul(dyv, norm));
+      ba = f_add(ba, dyv);
+    }
+    if (full) {
+      f_store(dgamma + i, ga);
+      f_store(dbeta + i, ba);
+    } else {
+      f_store_partial(dgamma + i, ga, cnt);
+      f_store_partial(dbeta + i, ba, cnt);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- activations
+
+inline void k_gelu_fwd(float* y, const float* x, std::size_t n) {
+  PHOTON_SIMD_1D_LOOP(i, n) { f_store(y + i, v_gelu(f_load(x + i))); }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    f_store_partial(y + i, v_gelu(f_load_partial(x + i, cnt, 0.0f)), cnt);
+  }
+}
+
+inline void k_gelu_bwd(float* dx, const float* x, const float* dy,
+                       std::size_t n) {
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    const vf g = f_mul(f_load(dy + i), v_gelu_grad(f_load(x + i)));
+    f_store(dx + i, f_add(f_load(dx + i), g));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    const vf g = f_mul(f_load_partial(dy + i, cnt, 0.0f),
+                       v_gelu_grad(f_load_partial(x + i, cnt, 0.0f)));
+    f_store_partial(dx + i, f_add(f_load_partial(dx + i, cnt, 0.0f), g), cnt);
+  }
+}
+
+inline void k_bias_gelu_fwd(float* y, const float* x, const float* bias,
+                            std::size_t rows, std::size_t c) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * c;
+    float* yr = y + r * c;
+    PHOTON_SIMD_1D_LOOP(i, c) {
+      f_store(yr + i, v_gelu(f_add(f_load(xr + i), f_load(bias + i))));
+    }
+    if (i < c) {
+      const std::size_t cnt = c - i;
+      f_store_partial(yr + i,
+                      v_gelu(f_add(f_load_partial(xr + i, cnt, 0.0f),
+                                   f_load_partial(bias + i, cnt, 0.0f))),
+                      cnt);
+    }
+  }
+}
+
+inline void k_bias_gelu_bwd(float* dx, const float* x, const float* bias,
+                            const float* dy, std::size_t rows, std::size_t c) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * c;
+    const float* dyr = dy + r * c;
+    float* dxr = dx + r * c;
+    PHOTON_SIMD_1D_LOOP(i, c) {
+      const vf pre = f_add(f_load(xr + i), f_load(bias + i));
+      const vf g = f_mul(f_load(dyr + i), v_gelu_grad(pre));
+      f_store(dxr + i, f_add(f_load(dxr + i), g));
+    }
+    if (i < c) {
+      const std::size_t cnt = c - i;
+      const vf pre = f_add(f_load_partial(xr + i, cnt, 0.0f),
+                           f_load_partial(bias + i, cnt, 0.0f));
+      const vf g = f_mul(f_load_partial(dyr + i, cnt, 0.0f), v_gelu_grad(pre));
+      f_store_partial(dxr + i, f_add(f_load_partial(dxr + i, cnt, 0.0f), g),
+                      cnt);
+    }
+  }
+}
+
+// ------------------------------------------------------- softmax / attention
+
+inline float k_attn_scores_row(float* pre, const float* q, const float* kbase,
+                               std::size_t kstride, std::size_t hs,
+                               std::size_t count, float scale, float slope,
+                               std::size_t ti) {
+  float maxv = -std::numeric_limits<float>::infinity();
+  for (std::size_t t2 = 0; t2 < count; ++t2) {
+    const float d = k_dot(q, kbase + t2 * kstride, hs);
+    const float v = d * scale - slope * static_cast<float>(ti - t2);
+    pre[t2] = v;
+    if (v > maxv) {
+      maxv = v;
+    }
+  }
+  return maxv;
+}
+
+inline float k_exp_sum_f(float* x, std::size_t n, float maxv) {
+  const vf vm = f_set1(maxv);
+  vf acc = f_zero();
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    const vf e = v_exp(f_sub(f_load(x + i), vm));
+    f_store(x + i, e);
+    acc = f_add(acc, e);
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    const vf e = v_exp(f_sub(f_load_partial(x + i, cnt, 0.0f), vm));
+    f_store_partial(x + i, e, cnt);
+    // exp(pad - maxv) != 0: mask before accumulating.
+    acc = f_add(acc, f_keep(e, cnt));
+  }
+  return f_hsum(acc);
+}
+
+inline double k_exp_sum_pd(float* probs, const float* logits, std::size_t n,
+                           float maxv) {
+  const vf vm = f_set1(maxv);
+  vd acc = d_zero();
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    const vf e = v_exp(f_sub(f_load(logits + i), vm));
+    f_store(probs + i, e);
+    acc = d_add(acc, f_widen(e));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    const vf e = v_exp(f_sub(f_load_partial(logits + i, cnt, 0.0f), vm));
+    f_store_partial(probs + i, e, cnt);
+    acc = d_add(acc, f_widen(f_keep(e, cnt)));
+  }
+  return d_hsum(acc);
+}
+
+inline void k_attn_av_row(float* o, const float* att, const float* vbase,
+                          std::size_t vstride, std::size_t hs,
+                          std::size_t count) {
+  for (std::size_t i = 0; i < hs; i += kLanes) {
+    const std::size_t cnt = (hs - i < kLanes) ? (hs - i) : kLanes;
+    const bool full = cnt == kLanes;
+    vf acc = f_zero();
+    for (std::size_t t2 = 0; t2 < count; ++t2) {
+      const float* vr = vbase + t2 * vstride;
+      const vf vv = full ? f_load(vr + i) : f_load_partial(vr + i, cnt, 0.0f);
+      acc = f_add(acc, f_mul(f_set1(att[t2]), vv));
+    }
+    if (full) {
+      f_store(o + i, acc);
+    } else {
+      f_store_partial(o + i, acc, cnt);
+    }
+  }
+}
+
+inline void k_attn_bwd_av_row(float* datt, float* dvbase, const float* att,
+                              const float* vbase, const float* doh,
+                              std::size_t vstride, std::size_t hs,
+                              std::size_t count) {
+  for (std::size_t t2 = 0; t2 < count; ++t2) {
+    const float* vr = vbase + t2 * vstride;
+    float* dvr = dvbase + t2 * vstride;
+    const vf va = f_set1(att[t2]);
+    vf dacc = f_zero();
+    PHOTON_SIMD_1D_LOOP(i, hs) {
+      const vf dov = f_load(doh + i);
+      dacc = f_add(dacc, f_mul(f_load(vr + i), dov));
+      f_store(dvr + i, f_add(f_load(dvr + i), f_mul(va, dov)));
+    }
+    if (i < hs) {
+      const std::size_t cnt = hs - i;
+      const vf dov = f_load_partial(doh + i, cnt, 0.0f);
+      dacc = f_add(dacc, f_mul(f_load_partial(vr + i, cnt, 0.0f), dov));
+      f_store_partial(dvr + i,
+                      f_add(f_load_partial(dvr + i, cnt, 0.0f),
+                            f_mul(va, dov)),
+                      cnt);
+    }
+    datt[t2] += f_hsum(dacc);
+  }
+}
+
+inline void k_softmax_bwd_row(float* dpre, const float* att, const float* datt,
+                              std::size_t count) {
+  const float dotv = k_dot(att, datt, count);
+  const vf vd0 = f_set1(dotv);
+  PHOTON_SIMD_1D_LOOP(i, count) {
+    const vf upd = f_mul(f_load(att + i), f_sub(f_load(datt + i), vd0));
+    f_store(dpre + i, f_add(f_load(dpre + i), upd));
+  }
+  if (i < count) {
+    const std::size_t cnt = count - i;
+    const vf upd = f_mul(f_load_partial(att + i, cnt, 0.0f),
+                         f_sub(f_load_partial(datt + i, cnt, 0.0f), vd0));
+    f_store_partial(dpre + i, f_add(f_load_partial(dpre + i, cnt, 0.0f), upd),
+                    cnt);
+  }
+}
+
+inline void k_attn_bwd_qk_row(float* dq, float* dkbase, const float* dpre,
+                              const float* kbase, const float* q,
+                              std::size_t kstride, std::size_t hs,
+                              std::size_t count, float scale) {
+  for (std::size_t t2 = 0; t2 < count; ++t2) {
+    const float g = dpre[t2] * scale;
+    const vf vg = f_set1(g);
+    const float* kr = kbase + t2 * kstride;
+    float* dkr = dkbase + t2 * kstride;
+    PHOTON_SIMD_1D_LOOP(i, hs) {
+      f_store(dq + i, f_add(f_load(dq + i), f_mul(vg, f_load(kr + i))));
+      f_store(dkr + i, f_add(f_load(dkr + i), f_mul(vg, f_load(q + i))));
+    }
+    if (i < hs) {
+      const std::size_t cnt = hs - i;
+      f_store_partial(dq + i,
+                      f_add(f_load_partial(dq + i, cnt, 0.0f),
+                            f_mul(vg, f_load_partial(kr + i, cnt, 0.0f))),
+                      cnt);
+      f_store_partial(dkr + i,
+                      f_add(f_load_partial(dkr + i, cnt, 0.0f),
+                            f_mul(vg, f_load_partial(q + i, cnt, 0.0f))),
+                      cnt);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ optimizer
+
+inline void k_adamw(float* p, float* m, float* v, const float* g,
+                    std::size_t n, float gscale, float lr, float beta1,
+                    float beta2, float bc1, float bc2, float eps, float wd) {
+  const vf vgs = f_set1(gscale);
+  const vf vb1 = f_set1(beta1);
+  const vf vb2 = f_set1(beta2);
+  const vf v1b1 = f_set1(1.0f - beta1);
+  const vf v1b2 = f_set1(1.0f - beta2);
+  const vf vbc1 = f_set1(bc1);
+  const vf vbc2 = f_set1(bc2);
+  const vf veps = f_set1(eps);
+  const vf vlr = f_set1(lr);
+  const vf vwd = f_set1(wd);
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    const vf gc = f_mul(f_load(g + i), vgs);
+    const vf mv = f_add(f_mul(vb1, f_load(m + i)), f_mul(v1b1, gc));
+    const vf vv =
+        f_add(f_mul(vb2, f_load(v + i)), f_mul(f_mul(v1b2, gc), gc));
+    f_store(m + i, mv);
+    f_store(v + i, vv);
+    const vf mhat = f_div(mv, vbc1);
+    const vf vhat = f_div(vv, vbc2);
+    const vf upd =
+        f_add(f_div(mhat, f_add(f_sqrt(vhat), veps)),
+              f_mul(vwd, f_load(p + i)));
+    f_store(p + i, f_sub(f_load(p + i), f_mul(vlr, upd)));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    const vf gc = f_mul(f_load_partial(g + i, cnt, 0.0f), vgs);
+    const vf mv =
+        f_add(f_mul(vb1, f_load_partial(m + i, cnt, 0.0f)), f_mul(v1b1, gc));
+    const vf vv = f_add(f_mul(vb2, f_load_partial(v + i, cnt, 0.0f)),
+                        f_mul(f_mul(v1b2, gc), gc));
+    f_store_partial(m + i, mv, cnt);
+    f_store_partial(v + i, vv, cnt);
+    const vf mhat = f_div(mv, vbc1);
+    const vf vhat = f_div(vv, vbc2);
+    const vf pv = f_load_partial(p + i, cnt, 0.0f);
+    const vf upd =
+        f_add(f_div(mhat, f_add(f_sqrt(vhat), veps)), f_mul(vwd, pv));
+    f_store_partial(p + i, f_sub(pv, f_mul(vlr, upd)), cnt);
+  }
+}
+
+inline void k_momentum(float* p, float* buf, const float* g, std::size_t n,
+                       float lr, float mu) {
+  const vf vlr = f_set1(lr);
+  const vf vmu = f_set1(mu);
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    const vf bv = f_add(f_mul(vmu, f_load(buf + i)), f_load(g + i));
+    f_store(buf + i, bv);
+    f_store(p + i, f_sub(f_load(p + i), f_mul(vlr, bv)));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    const vf bv = f_add(f_mul(vmu, f_load_partial(buf + i, cnt, 0.0f)),
+                        f_load_partial(g + i, cnt, 0.0f));
+    f_store_partial(buf + i, bv, cnt);
+    f_store_partial(p + i,
+                    f_sub(f_load_partial(p + i, cnt, 0.0f), f_mul(vlr, bv)),
+                    cnt);
+  }
+}
+
+inline void k_nesterov(float* p, float* buf, const float* g, std::size_t n,
+                       float lr, float mu, int initialized) {
+  const vf vlr = f_set1(lr);
+  const vf vmu = f_set1(mu);
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    const vf gv = f_load(g + i);
+    const vf bv = initialized != 0
+                      ? f_add(f_mul(vmu, f_load(buf + i)), gv)
+                      : gv;
+    f_store(buf + i, bv);
+    const vf upd = f_add(gv, f_mul(vmu, bv));
+    f_store(p + i, f_sub(f_load(p + i), f_mul(vlr, upd)));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    const vf gv = f_load_partial(g + i, cnt, 0.0f);
+    const vf bv = initialized != 0
+                      ? f_add(f_mul(vmu, f_load_partial(buf + i, cnt, 0.0f)),
+                              gv)
+                      : gv;
+    f_store_partial(buf + i, bv, cnt);
+    const vf upd = f_add(gv, f_mul(vmu, bv));
+    f_store_partial(p + i,
+                    f_sub(f_load_partial(p + i, cnt, 0.0f), f_mul(vlr, upd)),
+                    cnt);
+  }
+}
+
+// ---------------------------------------------------------------- aggregation
+
+inline void k_sum_rows_pd(float* out, const float* const* rows, std::size_t k,
+                          std::size_t n) {
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    vd acc = d_zero();
+    for (std::size_t r = 0; r < k; ++r) {
+      acc = d_add(acc, f_widen(f_load(rows[r] + i)));
+    }
+    f_store(out + i, d_narrow(acc));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    vd acc = d_zero();
+    for (std::size_t r = 0; r < k; ++r) {
+      acc = d_add(acc, f_widen(f_load_partial(rows[r] + i, cnt, 0.0f)));
+    }
+    f_store_partial(out + i, d_narrow(acc), cnt);
+  }
+}
+
+inline void k_mean_rows_pd(float* const* rows, std::size_t k, std::size_t n,
+                           double inv) {
+  const vd vinv = d_set1(inv);
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    vd acc = d_zero();
+    for (std::size_t r = 0; r < k; ++r) {
+      acc = d_add(acc, f_widen(f_load(rows[r] + i)));
+    }
+    const vf mv = d_narrow(d_mul(acc, vinv));
+    for (std::size_t r = 0; r < k; ++r) {
+      f_store(rows[r] + i, mv);
+    }
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    vd acc = d_zero();
+    for (std::size_t r = 0; r < k; ++r) {
+      acc = d_add(acc, f_widen(f_load_partial(rows[r] + i, cnt, 0.0f)));
+    }
+    const vf mv = d_narrow(d_mul(acc, vinv));
+    for (std::size_t r = 0; r < k; ++r) {
+      f_store_partial(rows[r] + i, mv, cnt);
+    }
+  }
+}
+
+// --------------------------------------------------------------- quantization
+
+inline void k_quant_i8(std::int8_t* codes, const float* x, std::size_t n,
+                       float inv) {
+  const vf vinv = f_set1(inv);
+  alignas(64) std::int32_t tmp[kLanes];
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    i_store(tmp, f_to_i_nearest(f_mul(f_load(x + i), vinv)));
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      std::int32_t t = tmp[j];
+      t = t < -127 ? -127 : (t > 127 ? 127 : t);
+      codes[i + j] = static_cast<std::int8_t>(t);
+    }
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    i_store(tmp, f_to_i_nearest(f_mul(f_load_partial(x + i, cnt, 0.0f), vinv)));
+    for (std::size_t j = 0; j < cnt; ++j) {
+      std::int32_t t = tmp[j];
+      t = t < -127 ? -127 : (t > 127 ? 127 : t);
+      codes[i + j] = static_cast<std::int8_t>(t);
+    }
+  }
+}
+
+inline void k_dequant_i8(float* out, const std::int8_t* codes, std::size_t n,
+                         float factor) {
+  const vf vfac = f_set1(factor);
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    f_store(out + i, f_mul(i8_to_f(codes + i), vfac));
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    f_store_partial(out + i,
+                    f_mul(i8_load_partial_f(codes + i, cnt), vfac), cnt);
+  }
+}
+
+#undef PHOTON_SIMD_1D_LOOP
+
+inline Ops make_ops_impl(Variant var) {
+  Ops o;
+  o.variant = var;
+  o.add = &k_add;
+  o.sub = &k_sub;
+  o.acc = &k_acc;
+  o.scale = &k_scale;
+  o.axpy = &k_axpy;
+  o.dot = &k_dot;
+  o.reduce_max = &k_reduce_max;
+  o.max_abs = &k_max_abs;
+  o.sum_pd = &k_sum_pd;
+  o.sumsq_pd = &k_sumsq_pd;
+  o.sumsq_dev_pd = &k_sumsq_dev_pd;
+  o.linear_row = &k_linear_row;
+  o.linear_bwd_dx_row = &k_linear_bwd_dx_row;
+  o.linear_bwd_wb = &k_linear_bwd_wb;
+  o.ln_apply_row = &k_ln_apply_row;
+  o.ln_bwd_reduce_row = &k_ln_bwd_reduce_row;
+  o.ln_bwd_dx_row = &k_ln_bwd_dx_row;
+  o.ln_bwd_dgb_cols = &k_ln_bwd_dgb_cols;
+  o.gelu_fwd = &k_gelu_fwd;
+  o.gelu_bwd = &k_gelu_bwd;
+  o.bias_gelu_fwd = &k_bias_gelu_fwd;
+  o.bias_gelu_bwd = &k_bias_gelu_bwd;
+  o.attn_scores_row = &k_attn_scores_row;
+  o.exp_sum_f = &k_exp_sum_f;
+  o.exp_sum_pd = &k_exp_sum_pd;
+  o.attn_av_row = &k_attn_av_row;
+  o.attn_bwd_av_row = &k_attn_bwd_av_row;
+  o.softmax_bwd_row = &k_softmax_bwd_row;
+  o.attn_bwd_qk_row = &k_attn_bwd_qk_row;
+  o.adamw = &k_adamw;
+  o.momentum = &k_momentum;
+  o.nesterov = &k_nesterov;
+  o.sum_rows_pd = &k_sum_rows_pd;
+  o.mean_rows_pd = &k_mean_rows_pd;
+  o.quant_i8 = &k_quant_i8;
+  o.dequant_i8 = &k_dequant_i8;
+  return o;
+}

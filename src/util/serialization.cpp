@@ -29,13 +29,49 @@ std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
   return tables;
 }
 
+const std::array<std::array<std::uint32_t, 256>, 8>& crc_tables() {
+  static const auto tables = make_crc_tables();
+  return tables;
+}
+
+// Table-path continuation over a tail, on the RAW register (no final xor).
+std::uint32_t crc32_table_raw(const std::uint8_t* p, std::size_t n,
+                              std::uint32_t c) {
+  const auto& tables = crc_tables();
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = tables[7][lo & 0xffu] ^ tables[6][(lo >> 8) & 0xffu] ^
+          tables[5][(lo >> 16) & 0xffu] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xffu] ^ tables[2][(hi >> 8) & 0xffu] ^
+          tables[1][(hi >> 16) & 0xffu] ^ tables[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n-- != 0) {
+    c = tables[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  }
+  return c;
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
-  static const auto tables = make_crc_tables();
+  const auto& tables = crc_tables();
   std::uint32_t c = 0xffffffffu;
   const std::uint8_t* p = data.data();
   std::size_t n = data.size();
+  if (n >= 64 && detail::crc32_clmul_available()) {
+    const std::size_t head = n & ~static_cast<std::size_t>(15);
+    c = detail::crc32_clmul_raw(p, head, c);
+    p += head;
+    n -= head;
+  }
   if constexpr (std::endian::native == std::endian::little) {
     while (n >= 8) {
       std::uint32_t lo;
@@ -55,6 +91,23 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
     c = tables[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32_copy(std::uint8_t* dst,
+                         std::span<const std::uint8_t> src) {
+  const std::uint8_t* p = src.data();
+  const std::size_t n = src.size();
+  if (n >= 64 && detail::crc32_clmul_available()) {
+    const std::size_t head = n & ~static_cast<std::size_t>(15);
+    std::uint32_t c = detail::crc32_clmul_copy_raw(dst, p, head, 0xffffffffu);
+    std::memcpy(dst + head, p + head, n - head);
+    c = crc32_table_raw(p + head, n - head, c);
+    return c ^ 0xffffffffu;
+  }
+  if (n != 0) {
+    std::memcpy(dst, p, n);
+  }
+  return crc32(src);
 }
 
 namespace {

@@ -133,7 +133,27 @@ class BinaryReader {
 };
 
 /// CRC32 (IEEE, reflected) for payload integrity checks on the Link.
+/// Dispatches to a PCLMULQDQ fold-by-4 fast path (crc32_pclmul.cpp) when the
+/// CPU supports it and PHOTON_SIMD != scalar; values are identical either
+/// way.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Fused copy + CRC: copies `src` to `dst` and returns crc32(src), touching
+/// each byte once.  The wire path's identity encode/decode uses this instead
+/// of a memcpy followed by a CRC pass.
+std::uint32_t crc32_copy(std::uint8_t* dst, std::span<const std::uint8_t> src);
+
+namespace detail {
+/// True when the PCLMUL fold path is compiled in, supported by this CPU, and
+/// not disabled via PHOTON_SIMD=scalar.
+bool crc32_clmul_available();
+/// Raw-register (un-finalized) CRC over a prefix with n % 16 == 0, n >= 64.
+std::uint32_t crc32_clmul_raw(const std::uint8_t* p, std::size_t n,
+                              std::uint32_t raw);
+/// Same fold, also copying the consumed bytes to dst.
+std::uint32_t crc32_clmul_copy_raw(std::uint8_t* dst, const std::uint8_t* p,
+                                   std::size_t n, std::uint32_t raw);
+}  // namespace detail
 
 /// CRC of the concatenation A||B given crc(A), crc(B), and |B| (zlib-style
 /// GF(2) matrix combine).  Lets per-chunk CRCs computed in parallel be

@@ -19,6 +19,7 @@
 #include "comm/link.hpp"
 #include "comm/message.hpp"
 #include "comm/secure_agg.hpp"
+#include "nn/optimizer.hpp"
 #include "tensor/kernel_context.hpp"
 #include "tensor/kernels.hpp"
 #include "util/threadpool.hpp"
@@ -248,6 +249,55 @@ bool collectives_race_free(ThreadPool& pool) {
   return true;
 }
 
+// Fused hot-path kernels added with the SIMD layer: bias+GELU and the
+// clip+AdamW step shard elementwise over the pool and must match the serial
+// context bit-for-bit (the clip's global norm is a sharded reduction).
+bool fused_paths_race_free(ThreadPool& pool) {
+  const k::KernelContext par(&pool, 4, /*grain=*/1);
+  const k::KernelContext ser;
+
+  constexpr int kBt = 37, kOc = 48;
+  const auto x = randvec(kBt * kOc), bias = randvec(kOc);
+  const auto dout = randvec(kBt * kOc);
+  std::vector<float> y_p(kBt * kOc), y_s(kBt * kOc);
+  photon::kernels::bias_gelu_forward(par, y_p.data(), x.data(), bias.data(),
+                                     kBt, kOc);
+  photon::kernels::bias_gelu_forward(ser, y_s.data(), x.data(), bias.data(),
+                                     kBt, kOc);
+  if (std::memcmp(y_p.data(), y_s.data(), y_p.size() * sizeof(float)) != 0) {
+    std::fprintf(stderr, "FAIL bias_gelu_forward\n");
+    return false;
+  }
+  std::vector<float> dx_p(kBt * kOc, 0.f), dx_s(kBt * kOc, 0.f);
+  photon::kernels::bias_gelu_backward(par, dx_p.data(), x.data(), bias.data(),
+                                      dout.data(), kBt, kOc);
+  photon::kernels::bias_gelu_backward(ser, dx_s.data(), x.data(), bias.data(),
+                                      dout.data(), kBt, kOc);
+  if (std::memcmp(dx_p.data(), dx_s.data(), dx_p.size() * sizeof(float)) != 0) {
+    std::fprintf(stderr, "FAIL bias_gelu_backward\n");
+    return false;
+  }
+
+  const std::size_t n = 12289;
+  const auto grads = randvec(n);
+  auto p_par = randvec(n);
+  auto p_ser = p_par;
+  photon::AdamW opt_par(n), opt_ser(n);
+  for (int step = 0; step < 3; ++step) {
+    const double np = opt_par.step_clipped(par, p_par, grads, 1e-3f, 0.25);
+    const double ns = opt_ser.step_clipped(ser, p_ser, grads, 1e-3f, 0.25);
+    if (np != ns) {
+      std::fprintf(stderr, "FAIL step_clipped norm %g vs %g\n", np, ns);
+      return false;
+    }
+  }
+  if (std::memcmp(p_par.data(), p_ser.data(), n * sizeof(float)) != 0) {
+    std::fprintf(stderr, "FAIL step_clipped params\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -257,6 +307,7 @@ int main() {
   for (int rep = 0; rep < 5; ++rep) ok = kernels_race_free(pool) && ok;
   for (int rep = 0; rep < 5; ++rep) ok = comm_race_free(pool) && ok;
   for (int rep = 0; rep < 5; ++rep) ok = collectives_race_free(pool) && ok;
+  for (int rep = 0; rep < 5; ++rep) ok = fused_paths_race_free(pool) && ok;
   if (!ok) return 1;
   std::printf("tsan stress ok\n");
   return 0;

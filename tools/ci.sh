@@ -48,6 +48,14 @@ run_suite() {
 # Tier-1: the gate every PR must keep green.
 run_suite "$ROOT/build" "tier-1" -DCMAKE_BUILD_TYPE=Release
 
+# SIMD cross-check (DESIGN.md §10): re-run tier-1 with runtime dispatch
+# forced to the scalar table.  All variants are bit-identical by contract,
+# so the suite must pass unchanged; this catches vector-only divergence
+# without a separate build.
+echo "==> [tier-1/scalar] ctest with PHOTON_SIMD=scalar"
+PHOTON_SIMD=scalar ctest --test-dir "$ROOT/build" --output-on-failure \
+      -j "$JOBS" --timeout "$PER_TEST_TIMEOUT"
+
 if [[ "$FAST" -eq 0 ]]; then
   # Hardened pass: whole tree under ASan+UBSan.  halt_on_error makes any
   # UBSan report a test failure rather than a log line.
