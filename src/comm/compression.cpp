@@ -1,5 +1,7 @@
 #include "comm/compression.hpp"
 
+#include "comm/quantization.hpp"
+
 #include <algorithm>
 #include <bit>
 #include <cstring>
@@ -297,14 +299,18 @@ const Codec* codec_by_name(const std::string& name) {
   static const IdentityCodec identity;
   static const Rle0Codec rle0;
   static const LzssCodec lzss;
+  static const QuantCodec q8{8};
+  static const QuantCodec q4{4};
   if (name.empty()) return &identity;
   if (name == "rle0") return &rle0;
   if (name == "lzss") return &lzss;
+  if (name == "q8") return &q8;
+  if (name == "q4") return &q4;
   return nullptr;
 }
 
 const std::vector<std::string>& enabled_wire_codecs() {
-  static const std::vector<std::string> kEnabled = {"", "rle0"};
+  static const std::vector<std::string> kEnabled = {"", "rle0", "q8", "q4"};
   return kEnabled;
 }
 

@@ -32,6 +32,12 @@ class Codec {
   /// Callers use this to skip intermediate buffers entirely.
   virtual bool is_identity() const { return false; }
 
+  /// Nonzero for lossy blockwise-quantized codecs (q8 -> 8, q4 -> 4).  The
+  /// Aggregator keys the streamed dequantize-and-accumulate fan-in on this,
+  /// and clients key error-feedback residual tracking on it; lossless
+  /// codecs return 0.
+  virtual int quant_bits() const { return 0; }
+
   /// Compress into `out`, reusing its capacity (cleared first).  This is
   /// the allocation-free primitive the chunked Message path calls per
   /// chunk with scratch buffers held across rounds.
@@ -81,9 +87,11 @@ class LzssCodec final : public Codec {
 /// Codec registry; returns nullptr for unknown names, and an identity for "".
 const Codec* codec_by_name(const std::string& name);
 
-/// Codecs eligible for default wire paths ("" identity and "rle0").  Every
-/// entry must sustain >= 0.3 GB/s encode on adversarial payloads — enforced
-/// by bench_round_path — which is why lzss is not in the list.
+/// Codecs eligible for default wire paths: "" identity, lossless "rle0",
+/// and the lossy blockwise-quantized "q8"/"q4" (see quantization.hpp).
+/// Every lossless entry must sustain >= 0.3 GB/s encode and every quantized
+/// entry >= 1 GB/s on adversarial payloads — enforced by bench_round_path —
+/// which is why lzss is not in the list.
 const std::vector<std::string>& enabled_wire_codecs();
 
 }  // namespace photon

@@ -62,6 +62,23 @@ void SimLink::set_metrics(obs::MetricsRegistry* registry) {
 }
 
 void SimLink::transmit(const Message& message, Message& out) {
+  transmit_impl(message, [&](std::span<const std::uint8_t> wire) {
+    Message::decode_into(wire, out, pool_);
+  });
+}
+
+void SimLink::transmit_wire(const Message& message, Message& header,
+                            WireView& view) {
+  // validate_wire throws on exactly the corruptions decode_into would
+  // reject (the CRC covers the compressed chunk bytes), so retransmit
+  // behavior — including under injected bit flips — is unchanged.
+  transmit_impl(message, [&](std::span<const std::uint8_t> wire) {
+    Message::validate_wire(wire, header, view, pool_);
+  });
+}
+
+template <typename Receive>
+void SimLink::transmit_impl(const Message& message, Receive&& receive) {
   const int max_attempts = std::max(1, retry_.max_attempts);
   ++stats_.messages;
   counters_.messages.add();
@@ -119,7 +136,7 @@ void SimLink::transmit(const Message& message, Message& out) {
       cursor += t;
       const obs::RealTimer decode_timer(tracing);
       try {
-        Message::decode_into(wire, out, pool_);
+        receive(wire);
         delivered = true;
       } catch (const std::exception&) {
         // Corrupted on the wire; every injected flip lands in CRC-covered

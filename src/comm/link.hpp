@@ -116,6 +116,14 @@ class SimLink {
   /// bit-identical to the pre-fault-engine transmit.
   void transmit(const Message& message, Message& out);
 
+  /// Validate-only transmit for the streamed aggregation path: identical
+  /// retry/backoff/fault/stats/trace semantics to transmit(message, out),
+  /// but the receive side CRC-checks the wire image without decompressing
+  /// and retains it in `view` (header fields land in `header`, payload left
+  /// empty).  The aggregator then dequantizes-and-accumulates straight from
+  /// the compressed chunks, never materializing this client's fp32 payload.
+  void transmit_wire(const Message& message, Message& header, WireView& view);
+
   /// Pool for per-chunk encode/decode work (nullptr = inline).  Not owned.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
@@ -146,6 +154,9 @@ class SimLink {
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
+  template <typename Receive>
+  void transmit_impl(const Message& message, Receive&& receive);
+
   std::string name_;
   double bandwidth_gbps_;
   double latency_s_;

@@ -243,6 +243,77 @@ Message Message::decode(std::span<const std::uint8_t> wire) {
   return m;
 }
 
+void Message::validate_wire(std::span<const std::uint8_t> wire, Message& out,
+                            WireView& view, ThreadPool* pool) {
+  BinaryReader r(wire);
+  if (r.read<std::uint32_t>() != kMagic) {
+    throw std::runtime_error("Message::decode: bad magic");
+  }
+  out.type = static_cast<MessageType>(r.read<std::uint8_t>());
+  out.round = r.read<std::uint32_t>();
+  out.sender = r.read<std::uint32_t>();
+  out.codec = r.read_string();
+  out.metadata.clear();
+  const auto n_meta = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_meta; ++i) {
+    const std::string key = r.read_string();
+    out.metadata[key] = r.read<double>();
+  }
+  const auto elems = r.read<std::uint64_t>();
+  const auto chunk_bytes = r.read<std::uint64_t>();
+  const auto n_chunks = r.read<std::uint32_t>();
+
+  if (elems / 128 > wire.size()) {
+    throw std::runtime_error("Message::decode: implausible payload size");
+  }
+  const std::size_t raw_bytes = static_cast<std::size_t>(elems) * sizeof(float);
+  const ChunkPlan plan = plan_chunks(raw_bytes, chunk_bytes);
+  if (plan.n_chunks != n_chunks ||
+      (raw_bytes != 0 && plan.chunk_bytes != chunk_bytes)) {
+    throw std::runtime_error("Message::decode: bad chunk table");
+  }
+
+  std::vector<std::uint64_t> lens(n_chunks);
+  std::vector<std::uint64_t> rel(n_chunks);
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    lens[c] = r.read<std::uint64_t>();
+    rel[c] = total;
+    if (lens[c] > r.remaining()) {
+      throw std::runtime_error("Message::decode: truncated chunk table");
+    }
+    total += lens[c];
+  }
+  const auto data = r.view_raw(total);
+  const auto expected_crc = r.read<std::uint32_t>();
+  require_codec(out.codec, "Message::validate_wire");
+
+  // The wire CRC is folded over the *compressed* chunk bytes, so integrity
+  // is fully checked here without touching the codec.
+  std::vector<std::uint32_t> crcs(n_chunks);
+  for_chunks(pool, n_chunks, [&](std::size_t c) {
+    crcs[c] = crc32(data.subspan(rel[c], lens[c]));
+  });
+  if (fold_crcs(crcs, lens) != expected_crc) {
+    throw std::runtime_error("Message::decode: CRC mismatch");
+  }
+
+  out.payload.clear();
+  out.payload_view = {};
+
+  const auto data_off = static_cast<std::size_t>(data.data() - wire.data());
+  view.codec = out.codec;
+  view.elems = elems;
+  view.raw_bytes = raw_bytes;
+  view.chunk_raw_bytes = plan.chunk_bytes;
+  view.lens = std::move(lens);
+  view.offs.resize(n_chunks);
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    view.offs[c] = data_off + rel[c];
+  }
+  view.bytes.assign(wire.begin(), wire.end());
+}
+
 std::size_t Message::encoded_size() const {
   const Codec* codec_ptr = require_codec(codec, "Message");
   const auto pv = view();

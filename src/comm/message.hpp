@@ -31,6 +31,7 @@
 // copies, and encode/decode work against caller-held scratch buffers
 // (`WireScratch`) that are reused across rounds.
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <span>
@@ -71,6 +72,31 @@ struct WireScratch {
 std::size_t wire_chunk_bytes();
 void set_wire_chunk_bytes(std::size_t bytes);
 
+/// A validated-but-undecoded wire image: header parsed, every chunk CRC
+/// verified, compressed chunk bytes retained verbatim.  Because the wire CRC
+/// covers the *codec output* bytes, integrity checking needs no
+/// decompression — which is what lets the Aggregator's streamed fan-in
+/// dequantize-and-accumulate each chunk as it arrives instead of
+/// materializing the full fp32 payload per client (Message::validate_wire).
+struct WireView {
+  std::vector<std::uint8_t> bytes;  // owned copy of the full wire image
+  std::string codec;
+  std::uint64_t elems = 0;          // payload float count
+  std::size_t raw_bytes = 0;        // elems * sizeof(float)
+  std::size_t chunk_raw_bytes = 0;  // raw payload bytes per chunk
+  std::vector<std::uint64_t> lens;  // compressed length per chunk
+  std::vector<std::uint64_t> offs;  // absolute chunk offsets into `bytes`
+
+  std::size_t n_chunks() const { return lens.size(); }
+  std::size_t raw_off(std::size_t c) const { return c * chunk_raw_bytes; }
+  std::size_t raw_len(std::size_t c) const {
+    return std::min(chunk_raw_bytes, raw_bytes - raw_off(c));
+  }
+  std::span<const std::uint8_t> chunk(std::size_t c) const {
+    return {bytes.data() + offs[c], static_cast<std::size_t>(lens[c])};
+  }
+};
+
 struct Message {
   MessageType type = MessageType::kControl;
   std::uint32_t round = 0;
@@ -108,6 +134,14 @@ struct Message {
   /// codec work runs on `pool` when given.
   static void decode_into(std::span<const std::uint8_t> wire, Message& out,
                           ThreadPool* pool = nullptr);
+
+  /// Validate `wire` without decompressing: parse the header into `out`
+  /// (payload left empty), CRC-check every chunk on `pool`, and retain the
+  /// compressed image in `view` (capacity reused across rounds).  Throws
+  /// std::runtime_error exactly where decode_into would — same corruption
+  /// detection, none of the dequantization cost.
+  static void validate_wire(std::span<const std::uint8_t> wire, Message& out,
+                            WireView& view, ThreadPool* pool = nullptr);
 
   /// Exact wire size without materializing the encode.  O(1) for the
   /// identity codec; compressed codecs scan chunk-by-chunk through one

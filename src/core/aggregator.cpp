@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "comm/collective.hpp"
+#include "comm/compression.hpp"
 #include "comm/message.hpp"
 #include "comm/secure_agg.hpp"
 #include "tensor/kernels.hpp"
@@ -117,6 +118,7 @@ RoundRecord Aggregator::run_round() {
   std::vector<int> cohort;
   std::vector<SlotStatus> status;
   std::vector<char> trained;           // local training ran (data consumed)
+  std::vector<char> streamed;          // update held as a wire view, not fp32
   std::vector<double> train_seconds;   // measured wall time in training
   std::vector<double> sim_seconds;     // simulated per-client round time
   std::vector<std::size_t> survivors;  // cohort slots with status kOk
@@ -130,9 +132,11 @@ RoundRecord Aggregator::run_round() {
       throw std::runtime_error("Aggregator::run_round: no available clients");
     }
     if (rx_.size() < cohort.size()) rx_.resize(cohort.size());
+    if (wire_rx_.size() < cohort.size()) wire_rx_.resize(cohort.size());
     if (updates_.size() < cohort.size()) updates_.resize(cohort.size());
     status.assign(cohort.size(), SlotStatus::kOk);
     trained.assign(cohort.size(), 0);
+    streamed.assign(cohort.size(), 0);
     train_seconds.assign(cohort.size(), 0.0);
     sim_seconds.assign(cohort.size(), 0.0);
 
@@ -236,10 +240,23 @@ RoundRecord Aggregator::run_round() {
       up.codec = updates_[i].post.codec;
       up.payload_view = updates_[i].delta;
       up.metadata = updates_[i].metrics;
+      // A quantized update's wire CRC covers the *compressed* chunk bytes,
+      // so the return transfer is validated without decompressing: the wire
+      // image is retained and the fan-in below dequantizes-and-accumulates
+      // it chunk by chunk.  Secure aggregation masks fp32 payloads and must
+      // materialize; lossless codecs keep the classic decode path.
+      const Codec* up_codec = codec_by_name(up.codec);
+      const bool stream = !config_.secure_aggregation &&
+                          up_codec != nullptr && up_codec->quant_bits() != 0;
       link.set_trace_sim_base(train_end);
       const obs::RealTimer up_timer(tracing);
       try {
-        link.transmit(up, rx);  // rx now holds the received update
+        if (stream) {
+          link.transmit_wire(up, rx, wire_rx_[i]);
+          streamed[i] = 1;
+        } else {
+          link.transmit(up, rx);  // rx now holds the received update
+        }
       } catch (const TransmitError&) {
         status[i] = SlotStatus::kLinkFailed;
         sim_seconds[i] = sim_elapsed() + train_sim;
@@ -347,6 +364,34 @@ RoundRecord Aggregator::run_round() {
     record.topology_fallback = true;
   }
 
+  // The streamed fan-in applies when every surviving update arrived as a
+  // retained quantized wire image.  A mixed cohort (possible only with
+  // heterogeneous per-client codecs) materializes the streamed survivors
+  // into fp32 first and takes the classic collective below.
+  bool all_streamed = n_agg > 0;
+  bool any_streamed = false;
+  for (std::size_t j = 0; j < n_agg; ++j) {
+    if (streamed[survivors[j]]) {
+      any_streamed = true;
+    } else {
+      all_streamed = false;
+    }
+  }
+  if (any_streamed && !all_streamed) {
+    for (std::size_t j = 0; j < n_agg; ++j) {
+      const std::size_t i = survivors[j];
+      if (!streamed[i]) continue;
+      const WireView& v = wire_rx_[i];
+      const Codec* codec = codec_by_name(v.codec);
+      rx_[i].payload.resize(static_cast<std::size_t>(v.elems));
+      auto* out8 = reinterpret_cast<std::uint8_t*>(rx_[i].payload.data());
+      for (std::size_t c = 0; c < v.n_chunks(); ++c) {
+        codec->decompress_into(v.chunk(c),
+                               {out8 + v.raw_off(c), v.raw_len(c)});
+      }
+    }
+  }
+
   // Aggregate (Alg. 1 L8): element-wise mean of surviving pseudo-gradients
   // through the (possibly degraded) topology; secure aggregation masks
   // first.  The mean is computed in place over the received payloads, and
@@ -354,6 +399,7 @@ RoundRecord Aggregator::run_round() {
   std::span<const float> pseudo_grad;
   double sim_comm_seconds = 0.0;
   std::uint64_t collective_bytes = 0;
+  std::vector<std::uint64_t> dequant_real_ns;  // per chunk, streamed path
   const obs::RealTimer collective_timer(tracing);
   if (config_.secure_aggregation && n_agg > 1) {
     SecureAggregator sec(static_cast<int>(n_agg),
@@ -383,6 +429,72 @@ RoundRecord Aggregator::run_round() {
     collective_bytes = report.total_bytes;
     sim_comm_seconds = static_cast<double>(report.bottleneck_bytes) /
                        (config_.bandwidth_mbps * 1024.0 * 1024.0);
+  } else if (all_streamed) {
+    // Streamed dequantize-and-accumulate (DESIGN.md §11): the fan-in walks
+    // the retained wire images chunk by chunk on the pool — each chunk is
+    // dequantized into thread-local scratch and folded into the mean as it
+    // "arrives", so no survivor's full fp32 update is ever materialized.
+    // Per element the survivors accumulate in cohort order into a double
+    // and narrow once — the exact arithmetic of mean_rows_pd — so the mean
+    // is bit-identical to the materialized collective at any thread count.
+    const WireView& head = wire_rx_[survivors.front()];
+    const std::size_t n = static_cast<std::size_t>(head.elems);
+    const std::size_t n_chunks = head.n_chunks();
+    pseudo_grad_.resize(n);
+    dequant_real_ns.assign(n_chunks, 0);
+    const double inv = 1.0 / static_cast<double>(n_agg);
+    auto accum_chunk = [&](std::size_t c) {
+      const obs::RealTimer chunk_timer(tracing);
+      const std::size_t len = head.raw_len(c) / sizeof(float);
+      std::vector<float> tmp(len);
+      std::vector<double> acc(len, 0.0);
+      for (std::size_t j = 0; j < n_agg; ++j) {
+        const WireView& v = wire_rx_[survivors[j]];
+        const Codec* codec = codec_by_name(v.codec);
+        codec->decompress_into(
+            v.chunk(c), {reinterpret_cast<std::uint8_t*>(tmp.data()),
+                         len * sizeof(float)});
+        for (std::size_t e = 0; e < len; ++e) {
+          acc[e] += static_cast<double>(tmp[e]);
+        }
+      }
+      float* out = pseudo_grad_.data() + head.raw_off(c) / sizeof(float);
+      for (std::size_t e = 0; e < len; ++e) {
+        out[e] = static_cast<float>(acc[e] * inv);
+      }
+      dequant_real_ns[c] = chunk_timer.ns();
+    };
+    if (config_.parallel_clients && n_chunks > 1) {
+      global_pool().parallel_for(n_chunks, accum_chunk);
+    } else {
+      for (std::size_t c = 0; c < n_chunks; ++c) accum_chunk(c);
+    }
+    pseudo_grad = pseudo_grad_;
+    if (n_agg > 1) {
+      // Topology accounting on the *quantized* bytes: the collective moves
+      // q8/q4 wire chunks, not fp32 buffers, which is where the wall-time
+      // win over the B.1 cost model comes from.
+      std::uint64_t wire_sum = 0;
+      for (const std::uint64_t l : head.lens) wire_sum += l;
+      const auto k64 = static_cast<std::uint64_t>(n_agg);
+      std::uint64_t bottleneck = 0;
+      switch (topology) {
+        case Topology::kParameterServer:
+          bottleneck = k64 * wire_sum;
+          collective_bytes = 2ull * k64 * wire_sum;
+          break;
+        case Topology::kAllReduce:
+          bottleneck = (k64 - 1) * wire_sum;
+          collective_bytes = k64 * (k64 - 1) * wire_sum;
+          break;
+        case Topology::kRingAllReduce:
+          bottleneck = 2ull * wire_sum * (k64 - 1) / k64;
+          collective_bytes = bottleneck * k64;
+          break;
+      }
+      sim_comm_seconds = static_cast<double>(bottleneck) /
+                         (config_.bandwidth_mbps * 1024.0 * 1024.0);
+    }
   } else if (n_agg > 1) {
     std::vector<std::span<float>> spans;
     spans.reserve(n_agg);
@@ -409,6 +521,29 @@ RoundRecord Aggregator::run_round() {
     tracer->record({obs::SpanKind::kCollective, round_, obs::kAggregatorActor,
                     static_cast<std::int32_t>(n_agg), t_collective,
                     t_round_end, collective_real_ns});
+  }
+  if (tracing && !dequant_real_ns.empty()) {
+    // Streamed chunks pipeline inside the collective transfer window: each
+    // chunk's dequant+accumulate span sits at that chunk's byte share of
+    // the quantized collective, so trace viewers show decode work
+    // overlapping the transfer instead of serialized after it.  Sim
+    // placement is a pure function of the chunk lengths — deterministic.
+    const WireView& head = wire_rx_[survivors.front()];
+    std::uint64_t wire_sum = 0;
+    for (const std::uint64_t l : head.lens) wire_sum += l;
+    double cum = 0.0;
+    for (std::size_t c = 0; c < dequant_real_ns.size(); ++c) {
+      const double share =
+          wire_sum > 0 ? static_cast<double>(head.lens[c]) /
+                             static_cast<double>(wire_sum)
+                       : 0.0;
+      const double begin = t_collective + sim_comm_seconds * cum;
+      cum += share;
+      const double end = t_collective + sim_comm_seconds * cum;
+      tracer->record({obs::SpanKind::kDequantAccum, round_,
+                      obs::kAggregatorActor, static_cast<std::int32_t>(c),
+                      begin, end, dequant_real_ns[c]});
+    }
   }
 
   record.update_norm =
@@ -442,6 +577,13 @@ RoundRecord Aggregator::run_round() {
     BinaryWriter w;
     server_opt_->save_state(w);
     ckpt.server_opt_state = w.take();
+    // Error-feedback residuals are part of the deterministic client state:
+    // recovery must hand each client the exact residual it carried, or the
+    // post-restore timeline diverges from an uninterrupted run.
+    ckpt.client_ef_residuals.reserve(clients_.size());
+    for (const auto& c : clients_) {
+      ckpt.client_ef_residuals.push_back(c->ef_residual());
+    }
     checkpoints_.save(std::move(ckpt));
     checkpoints_.journal_commit(round_);
     if (tracing) {
@@ -546,6 +688,13 @@ bool Aggregator::restore_latest_checkpoint() {
                                   config_.local_steps);
         client_rounds_[c] = target;
       }
+    }
+  }
+  // Restore each client's error-feedback residual (empty vectors for
+  // clients that had none, or a legacy checkpoint without the field).
+  if (ckpt->client_ef_residuals.size() == clients_.size()) {
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      clients_[c]->set_ef_residual(std::move(ckpt->client_ef_residuals[c]));
     }
   }
   checkpoints_.journal_recovered(round_);

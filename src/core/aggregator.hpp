@@ -181,9 +181,12 @@ class Aggregator {
   std::vector<std::uint32_t> client_rounds_;
 
   // Per-cohort-slot buffers reused across rounds: received messages (their
-  // payload capacity persists), client updates (delta buffers persist), and
-  // the secure-aggregation sum.  Round 1 allocates; later rounds don't.
+  // payload capacity persists), client updates (delta buffers persist),
+  // retained wire images for the streamed quantized fan-in (their byte
+  // capacity persists), and the aggregation sum.  Round 1 allocates; later
+  // rounds don't.
   std::vector<Message> rx_;
+  std::vector<WireView> wire_rx_;
   std::vector<ClientUpdate> updates_;
   std::vector<float> pseudo_grad_;
 };

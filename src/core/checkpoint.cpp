@@ -131,6 +131,12 @@ void CheckpointStore::write_to_disk(const Checkpoint& ckpt) const {
   w.write_vector(ckpt.params);
   w.write_vector(ckpt.client_trained_rounds);
   w.write_vector(ckpt.server_opt_state);
+  // Trailing v2 field (readers tolerate its absence): error-feedback
+  // residuals, one vector per client.
+  w.write(static_cast<std::uint64_t>(ckpt.client_ef_residuals.size()));
+  for (const auto& residual : ckpt.client_ef_residuals) {
+    w.write_vector(residual);
+  }
   const auto path = dir_ / ("ckpt_" + std::to_string(ckpt.round) + ".bin");
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("CheckpointStore: cannot write " + path.string());
@@ -155,6 +161,13 @@ std::optional<Checkpoint> CheckpointStore::read_from_disk(
     ckpt.params = r.read_vector<float>();
     ckpt.client_trained_rounds = r.read_vector<std::uint32_t>();
     ckpt.server_opt_state = r.read_vector<std::uint8_t>();
+    if (r.remaining() > 0) {
+      const auto n = r.read<std::uint64_t>();
+      ckpt.client_ef_residuals.resize(n);
+      for (auto& residual : ckpt.client_ef_residuals) {
+        residual = r.read_vector<float>();
+      }
+    }
   } else {
     // Legacy (pre-journal) layout: round, perplexity, params.
     ckpt.round = first;

@@ -30,6 +30,13 @@ struct Checkpoint {
   /// Serialized ServerOpt state (momentum / moment buffers) captured after
   /// this round's apply; empty for stateless optimizers.
   std::vector<std::uint8_t> server_opt_state;
+  /// Per-client error-feedback residuals under quantized wire codecs
+  /// (empty vectors for clients that have not hit a lossy codec yet, the
+  /// whole list empty when the wire path is lossless).  Restoring them
+  /// keeps the post-recovery wire stream bit-identical to an uninterrupted
+  /// run.  Trailing v2 field: absent in older snapshots, read only when
+  /// bytes remain.
+  std::vector<std::vector<float>> client_ef_residuals;
 };
 
 class CheckpointStore {

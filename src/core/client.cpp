@@ -1,9 +1,13 @@
 #include "core/client.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "comm/compression.hpp"
+#include "comm/quantization.hpp"
 #include "tensor/kernels.hpp"
+#include "tensor/simd.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +29,14 @@ LLMClient::LLMClient(int id, ClientTrainConfig config,
   }
   if (config_.sub_nodes < 1) {
     throw std::invalid_argument("LLMClient: sub_nodes must be >= 1");
+  }
+  if (config_.link_codec.empty()) {
+    // tools/ci.sh reruns tier-1 with PHOTON_WIRE_CODEC=q8 to sweep the
+    // quantized wire path through every federation test; an explicit codec
+    // in the config always wins.
+    if (const char* env = std::getenv("PHOTON_WIRE_CODEC")) {
+      config_.link_codec = env;
+    }
   }
   if (config_.clip_update_norm > 0.0) {
     post_.add(std::make_unique<ClipStage>(config_.clip_update_norm));
@@ -54,12 +66,14 @@ std::pair<double, std::uint64_t> LLMClient::train_replica(
     const Batch b = data_->next_batch(batch, seq);
     model_.zero_grad();
     const float loss = model_.train_step_fb(b.tokens, b.targets, batch, seq);
-    const float lr = schedule_.lr_at(step_base + step);
-    // Fused clip + AdamW: one pass over the grads instead of norm + scale +
-    // step.  Grads are left unscaled, which is fine — zero_grad() clears
-    // them before the next step reads them.
-    const double norm = opt_.step_clipped(model_.params(), model_.grads(), lr,
-                                          config_.max_grad_norm);
+    // Fused schedule + clip + AdamW: the cosine LR is evaluated inside the
+    // step call and the clip folds into the per-element grad read — one
+    // optimizer call, one pass over the grads.  Grads are left unscaled,
+    // which is fine — zero_grad() clears them before the next step reads
+    // them.
+    const double norm =
+        opt_.step_clipped(model_.params(), model_.grads(), schedule_,
+                          step_base + step, config_.max_grad_norm);
     loss_sum += loss;
     grad_norm_sum += norm;
     tokens += static_cast<std::uint64_t>(batch) * seq;
@@ -162,6 +176,23 @@ void LLMClient::run_round(std::span<const float> global_params,
 
   // Post-processing (Alg. 1 L28): clip / DP noise / codec selection.
   update.post = post_.run(update.delta);
+
+  // Error feedback for lossy wire codecs (DESIGN.md §11): fold the previous
+  // round's quantization residual into this update before it hits the wire,
+  // then record the residual the codec will leave this round.  The fused
+  // quant_i8_ef kernel replicates the codec's chunk/block scales exactly, so
+  // residual_of computes precisely delta_sent - dequant(quant(delta_sent)).
+  const Codec* wire_codec = codec_by_name(update.post.codec);
+  const int qbits = wire_codec != nullptr ? wire_codec->quant_bits() : 0;
+  if (qbits != 0 && config_.quant_error_feedback) {
+    const std::size_t n = update.delta.size();
+    if (ef_residual_.size() != n) ef_residual_.assign(n, 0.0f);
+    simd::ops().acc(update.delta.data(), ef_residual_.data(), n);
+    wire_quant::residual_of(update.delta.data(), ef_residual_.data(), n,
+                            qbits);
+    update.metrics["ef_residual_norm"] =
+        kernels::l2_norm(ef_residual_.data(), n);
+  }
 
   update.tokens = tokens;
   update.mean_train_loss = mean_loss;

@@ -54,7 +54,18 @@ struct ClientTrainConfig {
   /// Post-processing (Alg. 1 L28).
   double clip_update_norm = 0.0;     // 0 = no update clipping
   double dp_noise_multiplier = 0.0;  // 0 = no DP noise
-  std::string link_codec;            // "" / "rle0" ("lzss" = diagnostic-only)
+  /// Wire codec for the update return: "" / "rle0" (lossless), "q8" / "q4"
+  /// (lossy blockwise quantization), "lzss" (diagnostic-only).  When empty,
+  /// the PHOTON_WIRE_CODEC environment variable (read at construction)
+  /// overrides it — used by tools/ci.sh to rerun tier-1 over the quantized
+  /// wire path.
+  std::string link_codec;
+  /// Error feedback for lossy wire codecs: carry the quantization residual
+  /// delta - dequant(quant(delta)) into the next round's pseudo-gradient so
+  /// the wire loss stays transient instead of accumulating (the ablation in
+  /// bench_round_path shows q8 without this visibly diverges).  No effect
+  /// under lossless codecs.
+  bool quant_error_feedback = true;
 };
 
 struct ClientUpdate {
@@ -105,6 +116,14 @@ class LLMClient {
   /// Install the tracing context for the next run_round (copy; cheap).
   void set_trace(const ClientTraceContext& ctx) { trace_ = ctx; }
 
+  /// Error-feedback residual carried from the last quantized-codec round
+  /// (empty until one ran).  The Aggregator checkpoints and restores it so
+  /// crash recovery reproduces the exact wire stream bit for bit.
+  const std::vector<float>& ef_residual() const { return ef_residual_; }
+  void set_ef_residual(std::vector<float> residual) {
+    ef_residual_ = std::move(residual);
+  }
+
  private:
   /// Train one replica for `local_steps` from the model's current params.
   /// Returns (mean loss, tokens).
@@ -119,6 +138,7 @@ class LLMClient {
   CosineSchedule schedule_;
   PostProcessPipeline post_;
   std::vector<float> checkpoint_;
+  std::vector<float> ef_residual_;
   double last_grad_norm_ = 0.0;
   ClientTraceContext trace_;
 };

@@ -73,6 +73,22 @@ double AdamW::step_clipped(const kernels::KernelContext& ctx,
   return norm;
 }
 
+double AdamW::step_clipped(std::span<float> params,
+                           std::span<const float> grads,
+                           const CosineSchedule& schedule, std::int64_t step,
+                           double max_norm) {
+  return step_clipped(kernels::default_context(), params, grads,
+                      schedule.lr_at(step), max_norm);
+}
+
+double AdamW::step_clipped(const kernels::KernelContext& ctx,
+                           std::span<float> params,
+                           std::span<const float> grads,
+                           const CosineSchedule& schedule, std::int64_t step,
+                           double max_norm) {
+  return step_clipped(ctx, params, grads, schedule.lr_at(step), max_norm);
+}
+
 void AdamW::reset() {
   std::memset(m_.data(), 0, m_.size() * sizeof(float));
   std::memset(v_.data(), 0, v_.size() * sizeof(float));

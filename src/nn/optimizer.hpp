@@ -11,9 +11,11 @@
 // are bit-identical across scalar/AVX2/AVX-512 and any thread count.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "nn/scheduler.hpp"
 #include "tensor/kernel_context.hpp"
 
 namespace photon {
@@ -45,6 +47,19 @@ class AdamW {
   double step_clipped(const kernels::KernelContext& ctx,
                       std::span<float> params, std::span<const float> grads,
                       float lr, double max_norm);
+
+  /// Schedule-fused variant: evaluates the cosine LR for `step` inside the
+  /// fused clip+step call, so the training loop makes a single optimizer
+  /// call per step with no separate schedule pass.  The LR is the exact
+  /// float CosineSchedule::lr_at returns, so loss curves are bit-identical
+  /// to the two-call form.
+  double step_clipped(std::span<float> params, std::span<const float> grads,
+                      const CosineSchedule& schedule, std::int64_t step,
+                      double max_norm);
+  double step_clipped(const kernels::KernelContext& ctx,
+                      std::span<float> params, std::span<const float> grads,
+                      const CosineSchedule& schedule, std::int64_t step,
+                      double max_norm);
 
   /// Drop all momenta and the step counter (Photon's stateless-per-round
   /// local optimization; avoids communicating 2x extra state).

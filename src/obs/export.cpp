@@ -27,7 +27,8 @@ const char* span_category(SpanKind kind) {
     case SpanKind::kUpdateReturn:
     case SpanKind::kEncode:
     case SpanKind::kDecode:
-    case SpanKind::kCollective: return "comm";
+    case SpanKind::kCollective:
+    case SpanKind::kDequantAccum: return "comm";
     case SpanKind::kLocalTrain:
     case SpanKind::kLocalStep: return "compute";
     case SpanKind::kServerOpt:

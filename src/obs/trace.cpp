@@ -15,7 +15,7 @@ constexpr const char* kSpanNames[kNumSpanKinds] = {
     "round",         "broadcast",  "local_train", "local_step",
     "encode",        "decode",     "collective",  "server_opt",
     "checkpoint",    "retry_wait", "update_return", "eval",
-    "straggler_cut", "crash",      "link_fail",
+    "straggler_cut", "crash",      "link_fail",   "dequant_accum",
 };
 
 /// One slot per (thread, tracer) pairing.  A thread that alternates

@@ -63,6 +63,8 @@ enum class SpanKind : std::uint8_t {
                      // the round still charged to the cut client)
   kCrash,            // instant: client crashed mid-round
   kLinkFail,         // instant: transmit gave up (attempts/deadline)
+  kDequantAccum,     // streamed dequantize+accumulate of one wire chunk,
+                     // pipelined inside the update-return transfer window
 };
 
 /// Stable lower_snake name used by every exporter ("round", "retry_wait"...).
@@ -72,7 +74,7 @@ const char* span_name(SpanKind kind);
 SpanKind span_kind_from_name(std::string_view name);
 
 /// Number of distinct SpanKind values (for iteration / histograms).
-inline constexpr int kNumSpanKinds = 15;
+inline constexpr int kNumSpanKinds = 16;
 
 struct TraceEvent {
   SpanKind kind = SpanKind::kRound;

@@ -165,6 +165,21 @@ struct Ops {
   // out[i] = float(codes[i]) * factor
   void (*dequant_i8)(float* out, const std::int8_t* codes, std::size_t n,
                      float factor);
+  // Fused quantize + error-feedback residual (wire codec path):
+  //   codes[i] = int8(clamp(round_nearest_even(x[i]*inv), -127, 127))
+  //   res[i]   = x[i] - float(codes[i])*factor
+  // i.e. the exact reconstruction error the q8/q4 codec will leave on the
+  // wire, captured in one pass so the client can carry it into the next
+  // round's pseudo-gradient.
+  void (*quant_i8_ef)(std::int8_t* codes, float* res, const float* x,
+                      std::size_t n, float inv, float factor);
+  // Stochastic-rounding quantize with a counter-based per-element hash rng:
+  //   v = x[i]*inv; u = u01(hash(seed, base+i))
+  //   codes[i] = int8(clamp(floor(v) + (u < frac(v) ? 1 : 0), -127, 127))
+  // Stateless per element, so it shards across threads and SIMD lanes with
+  // bit-identical output at any concurrency (hash = photon::hash_combine).
+  void (*quant_i8_sr)(std::int8_t* codes, const float* x, std::size_t n,
+                      float inv, std::uint64_t seed, std::uint64_t base);
 };
 
 /// The active op table (startup CPUID detection + PHOTON_SIMD override).

@@ -897,6 +897,76 @@ inline void k_dequant_i8(float* out, const std::int8_t* codes, std::size_t n,
   }
 }
 
+// Quantize with fused error-feedback residual: the vector half mirrors
+// k_quant_i8 exactly (same rounding, same clamp), and the residual is the
+// scalar IEEE expression x - float(code)*factor per lane, so every variant
+// produces bit-identical codes AND residuals.
+inline void k_quant_i8_ef(std::int8_t* codes, float* res, const float* x,
+                          std::size_t n, float inv, float factor) {
+  const vf vinv = f_set1(inv);
+  alignas(64) std::int32_t tmp[kLanes];
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    i_store(tmp, f_to_i_nearest(f_mul(f_load(x + i), vinv)));
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      std::int32_t t = tmp[j];
+      t = t < -127 ? -127 : (t > 127 ? 127 : t);
+      codes[i + j] = static_cast<std::int8_t>(t);
+      res[i + j] = x[i + j] - static_cast<float>(t) * factor;
+    }
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    i_store(tmp, f_to_i_nearest(f_mul(f_load_partial(x + i, cnt, 0.0f), vinv)));
+    for (std::size_t j = 0; j < cnt; ++j) {
+      std::int32_t t = tmp[j];
+      t = t < -127 ? -127 : (t > 127 ? 127 : t);
+      codes[i + j] = static_cast<std::int8_t>(t);
+      res[i + j] = x[i + j] - static_cast<float>(t) * factor;
+    }
+  }
+}
+
+// hash_combine(a, b) from util/rng.hpp, restated locally so the kernel layer
+// stays dependency-free.  Must match that definition bit for bit: the
+// stochastic quantizer's draws are part of the determinism contract.
+inline std::uint64_t k_sr_hash(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stochastic-rounding quantize.  The scale multiply is vectorized; the
+// rounding decision is scalar per lane but stateless — each element draws
+// u01(hash(seed, base+i)) instead of consuming a sequential rng stream, so
+// any sharding (threads, lanes, call order within a call) reproduces the
+// same codes bit for bit.
+inline void k_quant_i8_sr(std::int8_t* codes, const float* x, std::size_t n,
+                          float inv, std::uint64_t seed, std::uint64_t base) {
+  const vf vinv = f_set1(inv);
+  alignas(64) float tv[kLanes];
+  const auto lane = [seed, base](std::size_t idx, float v) {
+    const float fl = std::floor(v);
+    const float frac = v - fl;
+    const std::uint64_t h = k_sr_hash(seed, base + idx);
+    const float u = static_cast<float>(h >> 40) * 0x1.0p-24f;
+    float r = fl + (u < frac ? 1.0f : 0.0f);
+    r = r < -127.0f ? -127.0f : (r > 127.0f ? 127.0f : r);
+    return static_cast<std::int8_t>(r);
+  };
+  PHOTON_SIMD_1D_LOOP(i, n) {
+    f_store(tv, f_mul(f_load(x + i), vinv));
+    for (std::size_t j = 0; j < kLanes; ++j) codes[i + j] = lane(i + j, tv[j]);
+  }
+  if (i < n) {
+    const std::size_t cnt = n - i;
+    f_store(tv, f_mul(f_load_partial(x + i, cnt, 0.0f), vinv));
+    for (std::size_t j = 0; j < cnt; ++j) codes[i + j] = lane(i + j, tv[j]);
+  }
+}
+
 #undef PHOTON_SIMD_1D_LOOP
 
 inline Ops make_ops_impl(Variant var) {
@@ -938,5 +1008,7 @@ inline Ops make_ops_impl(Variant var) {
   o.mean_rows_pd = &k_mean_rows_pd;
   o.quant_i8 = &k_quant_i8;
   o.dequant_i8 = &k_dequant_i8;
+  o.quant_i8_ef = &k_quant_i8_ef;
+  o.quant_i8_sr = &k_quant_i8_sr;
   return o;
 }

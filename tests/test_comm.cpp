@@ -575,7 +575,7 @@ TEST(Message, FlippedChunkLengthTableRejected) {
 }
 
 TEST(Message, FlippedChunkBodyRejected) {
-  for (const char* codec : {"", "rle0"}) {
+  for (const char* codec : {"", "rle0", "q8", "q4"}) {
     auto wire = encoded_update(codec);
     auto corrupted = wire;
     corrupted[wire.size() - 64] ^= 0x01;  // well inside the chunk bytes
@@ -587,7 +587,7 @@ TEST(Message, FlippedChunkBodyRejected) {
 }
 
 TEST(Message, FlippedCrcFieldRejected) {
-  for (const char* codec : {"", "rle0"}) {
+  for (const char* codec : {"", "rle0", "q8", "q4"}) {
     auto wire = encoded_update(codec);
     auto corrupted = wire;
     corrupted[wire.size() - 1] ^= 0x40;  // trailing CRC32 field

@@ -149,12 +149,14 @@ TEST(LLMClient, PostProcessingCodecPropagates) {
 std::unique_ptr<Aggregator> build_aggregator(int population, int k, int tau,
                                              const std::string& opt = "fedavg",
                                              bool secure = false,
-                                             std::uint64_t seed = 33) {
+                                             std::uint64_t seed = 33,
+                                             const std::string& link_codec = "") {
   std::vector<std::unique_ptr<LLMClient>> clients;
   for (int i = 0; i < population; ++i) {
+    auto cfg = tiny_client_config();
+    cfg.link_codec = link_codec;
     clients.push_back(std::make_unique<LLMClient>(
-        i, tiny_client_config(), tiny_stream(100 + static_cast<std::uint64_t>(i)),
-        7));
+        i, cfg, tiny_stream(100 + static_cast<std::uint64_t>(i)), 7));
   }
   AggregatorConfig ac;
   ac.clients_per_round = k;
@@ -182,7 +184,9 @@ TEST(Aggregator, RoundRecordIsCoherent) {
 }
 
 TEST(Aggregator, FedAvgUnitLrEqualsMeanOfClientModels) {
-  auto agg = build_aggregator(3, 0, 2);
+  // Exact-mean semantics require a lossless wire; pin rle0 so the test's
+  // meaning survives a PHOTON_WIRE_CODEC=q8 environment (ci.sh rerun).
+  auto agg = build_aggregator(3, 0, 2, "fedavg", false, 33, "rle0");
   const std::vector<float> before(agg->global_params().begin(),
                                   agg->global_params().end());
   agg->run_round();
@@ -200,8 +204,9 @@ TEST(Aggregator, FedAvgUnitLrEqualsMeanOfClientModels) {
 
 TEST(Aggregator, SingleClientSingleStepMatchesPlainSgdStepShape) {
   // K=1, tau=1: the federated update IS the single client's AdamW step
-  // (FedAvg with lr 1 applies the whole delta).
-  auto agg = build_aggregator(1, 0, 1);
+  // (FedAvg with lr 1 applies the whole delta).  Lossless wire pinned so a
+  // PHOTON_WIRE_CODEC=q8 environment cannot perturb the equality.
+  auto agg = build_aggregator(1, 0, 1, "fedavg", false, 33, "rle0");
   const std::vector<float> before(agg->global_params().begin(),
                                   agg->global_params().end());
   agg->run_round();

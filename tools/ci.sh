@@ -56,6 +56,15 @@ echo "==> [tier-1/scalar] ctest with PHOTON_SIMD=scalar"
 PHOTON_SIMD=scalar ctest --test-dir "$ROOT/build" --output-on-failure \
       -j "$JOBS" --timeout "$PER_TEST_TIMEOUT"
 
+# Quantized-wire cross-check (DESIGN.md §11): re-run tier-1 with every
+# default-codec link forced to the q8 blockwise wire codec.  Exercises the
+# streamed dequantize-and-accumulate fan-in and client error feedback under
+# the whole suite.  Tests whose assertions are exact-fp32 semantics pin a
+# lossless codec explicitly, so no exclusions are needed here.
+echo "==> [tier-1/q8-wire] ctest with PHOTON_WIRE_CODEC=q8"
+PHOTON_WIRE_CODEC=q8 ctest --test-dir "$ROOT/build" --output-on-failure \
+      -j "$JOBS" --timeout "$PER_TEST_TIMEOUT"
+
 if [[ "$FAST" -eq 0 ]]; then
   # Hardened pass: whole tree under ASan+UBSan.  halt_on_error makes any
   # UBSan report a test failure rather than a log line.
