@@ -15,14 +15,20 @@
 //     to a fault-free run, with the faults visible only in LinkStats;
 //   * a zero FaultPlan is exactly the fault-free path.
 //
-//   bench_faults [--smoke] [--rounds=N] [--json=PATH]
+//   bench_faults [--smoke] [--rounds=N] [--json=PATH] [--churn]
 //
 // --smoke       short soak for tier-1 ctest
 // --rounds=N    soak length (default 50)
 // --json=PATH   JSON report path (default: BENCH_faults.json)
+// --churn       elastic async soak instead: a 10k-simulated-client
+//               federation (ephemeral replicas) under join/leave churn,
+//               admission control, and the transient fault mix, with a
+//               hard peak-RSS bound and a serial-vs-parallel twin check
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -181,24 +187,200 @@ bool params_equal(const Aggregator& a, const Aggregator& b) {
          std::memcmp(pa.data(), pb.data(), pa.size_bytes()) == 0;
 }
 
+// --- elastic async churn soak (DESIGN.md §12) ------------------------------
+
+/// Peak resident set (VmHWM) in KiB from /proc/self/status; 0 off-Linux.
+std::size_t vm_hwm_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+constexpr int kChurnPopulation = 10000;
+constexpr int kChurnBufferGoal = 16;
+constexpr int kChurnMaxInFlight = 32;
+
+std::unique_ptr<Aggregator> build_churn_federation(bool parallel) {
+  ClientTrainConfig ctc;
+  ctc.model = ModelConfig::micro();
+  ctc.local_batch = 1;
+  ctc.schedule.max_lr = 5e-3f;
+  ctc.schedule.warmup_steps = 2;
+  ctc.schedule.total_steps = 4000;
+  // Ephemeral replicas are the whole point at this scale: 10k resident
+  // micro models + AdamW moments would be tens of GB; released replicas
+  // leave an idle client costing only its data stream.  The wire codec is
+  // pinned (q8, no error feedback) so the streamed dequant-accumulate path
+  // is exercised and no per-client residual buffer accumulates — with EF
+  // on, 10k residuals would be params-sized each and unbounded again.
+  ctc.ephemeral = true;
+  ctc.stateless_optimizer = true;
+  ctc.link_codec = "q8";
+  ctc.quant_error_feedback = false;
+
+  CorpusConfig cc;
+  cc.vocab_size = ctc.model.vocab_size;
+  auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
+
+  std::vector<std::unique_ptr<LLMClient>> clients;
+  clients.reserve(kChurnPopulation);
+  for (int i = 0; i < kChurnPopulation; ++i) {
+    clients.push_back(std::make_unique<LLMClient>(
+        i, ctc, std::make_unique<CorpusStreamSource>(corpus, 100 + i), 7));
+  }
+
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = parallel;
+  ac.checkpoint_every = 0;
+  ac.async.enabled = true;
+  ac.async.buffer_goal = kChurnBufferGoal;
+  ac.async.max_in_flight = kChurnMaxInFlight;
+  // WAN profile: the paper's cross-silo setting, not a datacenter fabric.
+  ac.bandwidth_mbps = 12.5;  // 100 Mbps
+  return std::make_unique<Aggregator>(ctc.model, ac,
+                                      std::make_unique<FedAvgOpt>(),
+                                      std::move(clients), 42);
+}
+
+FaultPlan churn_plan() {
+  FaultPlan plan;
+  plan.seed = 0xC4A05ULL;
+  plan.crash_prob = 0.05;
+  plan.straggle_prob = 0.15;
+  plan.straggle_factor_min = 2.0;
+  plan.straggle_factor_max = 10.0;
+  plan.link_drop_prob = 0.03;
+  plan.corrupt_prob = 0.03;
+  plan.membership.initial_population = kChurnPopulation - 1000;
+  plan.membership.arrive_prob = 0.001;
+  plan.membership.leave_prob = 0.0002;
+  return plan;
+}
+
+int churn_soak(int drains, const std::string& json_path) {
+  const FaultInjector injector(churn_plan());
+  auto serial = build_churn_federation(/*parallel=*/false);
+  auto parallel = build_churn_federation(/*parallel=*/true);
+  injector.install(*serial);
+  injector.install(*parallel);
+
+  std::uint64_t deferred = 0, discarded = 0, arrivals = 0, departures = 0;
+  std::uint32_t max_staleness = 0;
+  double staleness_sum = 0.0;
+  double last_loss = 0.0;
+  for (int r = 0; r < drains; ++r) {
+    const RoundRecord rs = serial->run_round();
+    const RoundRecord rp = parallel->run_round();
+    if (rs.survivors != kChurnBufferGoal) fail("drain under-filled", r);
+    if (rs.participants != rp.participants ||
+        rs.admission_deferred != rp.admission_deferred ||
+        rs.discarded_updates != rp.discarded_updates ||
+        rs.arrivals != rp.arrivals || rs.departures != rp.departures) {
+      fail("serial vs parallel async telemetry diverged", r);
+    }
+    if (rs.max_staleness < rs.mean_staleness) {
+      fail("staleness mean above max", r);
+    }
+    if (serial->async_in_flight() > kChurnMaxInFlight) {
+      fail("in-flight cap violated", r);
+    }
+    deferred += rs.admission_deferred;
+    discarded += rs.discarded_updates;
+    arrivals += rs.arrivals;
+    departures += rs.departures;
+    max_staleness = std::max(max_staleness, rs.max_staleness);
+    staleness_sum += rs.mean_staleness;
+    last_loss = rs.mean_train_loss;
+  }
+  if (!params_equal(*serial, *parallel)) {
+    fail("serial vs parallel async params diverged", drains);
+  }
+  if (deferred == 0) fail("admission control never engaged", drains);
+
+  // Bounded peak memory is the soak's core contract: a regression that
+  // materializes per-client replicas (or full fp32 updates in the accept
+  // path) blows through this immediately at 10k clients.
+  const std::size_t hwm_kb = vm_hwm_kb();
+  const double hwm_mb = static_cast<double>(hwm_kb) / 1024.0;
+  if (hwm_kb != 0 && hwm_mb > 2048.0) {
+    std::fprintf(stderr, "bench_faults: FAILED: peak RSS %.0f MB > 2 GB\n",
+                 hwm_mb);
+    return 1;
+  }
+
+  std::printf(
+      "bench_faults --churn: OK — %d clients, %d drains | deferred %llu "
+      "discarded %llu arrivals %llu departures %llu | staleness mean %.2f "
+      "max %u | active %d | loss %.4f | peak RSS %.0f MB | twins bit-"
+      "identical\n",
+      kChurnPopulation, drains, static_cast<unsigned long long>(deferred),
+      static_cast<unsigned long long>(discarded),
+      static_cast<unsigned long long>(arrivals),
+      static_cast<unsigned long long>(departures),
+      staleness_sum / std::max(1, drains), max_staleness,
+      serial->active_population(), last_loss, hwm_mb);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n  \"population\": %d,\n  \"drains\": %d,\n"
+        "  \"buffer_goal\": %d,\n  \"max_in_flight\": %d,\n"
+        "  \"admission_deferred\": %llu,\n  \"discarded_updates\": %llu,\n"
+        "  \"arrivals\": %llu,\n  \"departures\": %llu,\n"
+        "  \"mean_staleness\": %.4f,\n  \"max_staleness\": %u,\n"
+        "  \"active_population\": %d,\n  \"final_train_loss\": %.6f,\n"
+        "  \"peak_rss_mb\": %.1f,\n"
+        "  \"serial_parallel_bit_identical\": true\n}\n",
+        kChurnPopulation, drains, kChurnBufferGoal, kChurnMaxInFlight,
+        static_cast<unsigned long long>(deferred),
+        static_cast<unsigned long long>(discarded),
+        static_cast<unsigned long long>(arrivals),
+        static_cast<unsigned long long>(departures),
+        staleness_sum / std::max(1, drains), max_staleness,
+        serial->active_population(), last_loss, hwm_mb);
+    std::fclose(f);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int rounds = 50;
+  bool churn = false;
+  bool smoke = false;
   std::string json_path = "BENCH_faults.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
+      smoke = true;
       rounds = 8;
+    } else if (arg == "--churn") {
+      churn = true;
     } else if (arg.rfind("--rounds=", 0) == 0) {
       rounds = std::stoi(arg.substr(9));
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--rounds=N] [--json=PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--rounds=N] [--json=PATH] [--churn]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (churn) {
+    return churn_soak(smoke ? 5 : std::min(rounds, 30), json_path);
   }
 
   // 1. Chaos soak, serial and parallel fan-out: same seed + plan must give

@@ -27,6 +27,14 @@
 // closes the loop: quantization with error feedback must track the fp32
 // loss curve while disabling EF visibly degrades it.
 //
+// A sync-vs-async arm pair (DESIGN.md §12) runs the same federation — same
+// model init, data streams, WAN bandwidth, and straggler plan — once through
+// the synchronous round engine and once through the FedBuff-style async
+// buffer at the same update budget, reporting simulated wall clock and
+// final loss for each.  Synchronous rounds pay the slowest cohort member;
+// the async buffer drains as soon as buffer_goal updates land, so stragglers
+// overlap with fresh dispatches instead of serializing the round.
+//
 //   bench_round_path [--smoke] [--json=PATH]
 //
 // --json=PATH   JSON report path (default: BENCH_round.json)
@@ -53,6 +61,7 @@
 #include "data/corpus.hpp"
 #include "data/stream.hpp"
 #include "nn/config.hpp"
+#include "sim/faults.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
@@ -497,6 +506,88 @@ std::vector<RoundResult> run_federation(int rounds, int clients,
   return out;
 }
 
+// Sync-vs-async WAN comparison (DESIGN.md §12): two federations that differ
+// only in the round engine.  Both see the same 100 Mbps WAN links and the
+// same seeded straggler plan; both apply exactly `steps * cohort` client
+// updates to the server model.  The sync arm's simulated clock advances by
+// the slowest cohort member every round; the async arm drains its buffer as
+// soon as `cohort` updates arrive while stragglers keep cooking, trading a
+// little staleness for wall clock.
+struct SyncAsyncArm {
+  std::string arm;
+  int server_steps = 0;
+  int updates_applied = 0;
+  double sim_seconds = 0.0;      // simulated wall clock for the whole run
+  double wall_seconds = 0.0;     // measured host time (sanity, not the claim)
+  double final_loss = 0.0;       // mean train loss of the last step
+  double mean_staleness = 0.0;   // over all accepted updates (sync: 0)
+  std::uint32_t max_staleness = 0;
+  std::uint64_t comm_bytes = 0;
+};
+
+SyncAsyncArm run_sync_async_arm(bool async_mode, int steps) {
+  constexpr int kPop = 8;
+  constexpr int kCohort = 4;
+
+  ClientTrainConfig ctc;
+  ctc.model = ModelConfig::micro();
+  ctc.local_batch = 2;
+  ctc.schedule.max_lr = 5e-3f;
+  ctc.schedule.warmup_steps = 2;
+  ctc.schedule.total_steps = 4000;
+
+  CorpusConfig cc;
+  cc.vocab_size = ctc.model.vocab_size;
+  auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
+  std::vector<std::unique_ptr<LLMClient>> cs;
+  for (int i = 0; i < kPop; ++i) {
+    cs.push_back(std::make_unique<LLMClient>(
+        i, ctc, std::make_unique<CorpusStreamSource>(corpus, 100 + i), 7));
+  }
+
+  AggregatorConfig ac;
+  ac.clients_per_round = kCohort;
+  ac.local_steps = 2;
+  ac.topology = Topology::kRingAllReduce;
+  ac.checkpoint_every = 0;
+  ac.bandwidth_mbps = 12.5;  // 100 Mbps cross-silo WAN
+  if (async_mode) {
+    ac.async.enabled = true;
+    ac.async.buffer_goal = kCohort;
+    ac.async.max_in_flight = kPop;  // whole population cooking concurrently
+  }
+  Aggregator agg(ctc.model, ac, std::make_unique<FedAvgOpt>(), std::move(cs),
+                 42);
+
+  // Stragglers only — the heterogeneity async is built to hide.  Crashes /
+  // link faults would entangle the comparison with retry policy.
+  FaultPlan plan;
+  plan.seed = 0x57A1EULL;
+  plan.straggle_prob = 0.3;
+  plan.straggle_factor_min = 2.0;
+  plan.straggle_factor_max = 6.0;
+  FaultInjector injector{plan};
+  injector.install(agg);
+
+  SyncAsyncArm out;
+  out.arm = async_mode ? "async" : "sync";
+  out.server_steps = steps;
+  double staleness_sum = 0.0;
+  for (int r = 0; r < steps; ++r) {
+    const RoundRecord rec = agg.run_round();
+    out.updates_applied += rec.survivors;
+    out.wall_seconds += rec.wall_seconds;
+    out.final_loss = rec.mean_train_loss;
+    out.comm_bytes += rec.comm_bytes;
+    staleness_sum += rec.mean_staleness * rec.survivors;
+    out.max_staleness = std::max(out.max_staleness, rec.max_staleness);
+  }
+  out.sim_seconds = agg.sim_now();
+  out.mean_staleness =
+      out.updates_applied > 0 ? staleness_sum / out.updates_applied : 0.0;
+  return out;
+}
+
 // Loss-parity ablation: identical federations (same model init, data
 // streams, LR schedule, sampler seed) differing only in the wire codec and
 // error feedback.  EF must keep quantized training on the fp32 loss curve;
@@ -624,6 +715,7 @@ struct WanModelResult {
 
 bool write_json(const std::string& path, const std::vector<CommResult>& comm,
                 const std::vector<RoundResult>& rounds,
+                const std::vector<SyncAsyncArm>& sync_async,
                 const std::vector<AblationArm>& ablation,
                 const std::vector<BiasTrack>& bias, const WanModelResult* wan) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -667,6 +759,28 @@ bool write_json(const std::string& path, const std::vector<CommResult>& comm,
                  wan->bandwidth_mbps, wan->wire_ratio, wan->fp32_s, wan->q8_s);
   } else {
     std::fprintf(f, "  ],\n");
+  }
+  if (!sync_async.empty()) {
+    std::fprintf(f, "  \"sync_vs_async\": {\n    \"arms\": [\n");
+    for (std::size_t a = 0; a < sync_async.size(); ++a) {
+      const auto& s = sync_async[a];
+      std::fprintf(
+          f,
+          "      {\"arm\": \"%s\", \"server_steps\": %d, "
+          "\"updates_applied\": %d, \"sim_seconds\": %.3f, "
+          "\"wall_seconds\": %.3f, \"final_loss\": %.4f, "
+          "\"mean_staleness\": %.3f, \"max_staleness\": %u, "
+          "\"comm_bytes\": %llu}%s\n",
+          s.arm.c_str(), s.server_steps, s.updates_applied, s.sim_seconds,
+          s.wall_seconds, s.final_loss, s.mean_staleness, s.max_staleness,
+          static_cast<unsigned long long>(s.comm_bytes),
+          a + 1 < sync_async.size() ? "," : "");
+    }
+    double speedup = 0.0;
+    if (sync_async.size() == 2 && sync_async[1].sim_seconds > 0.0) {
+      speedup = sync_async[0].sim_seconds / sync_async[1].sim_seconds;
+    }
+    std::fprintf(f, "    ],\n    \"async_sim_speedup\": %.3f\n  },\n", speedup);
   }
   std::fprintf(f, "  \"ablation\": [\n");
   for (std::size_t a = 0; a < ablation.size(); ++a) {
@@ -850,6 +964,31 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.comm_bytes), r.mean_train_loss);
   }
 
+  // Sync vs async round engine at the same update budget over a straggly WAN.
+  std::vector<SyncAsyncArm> sync_async;
+  {
+    const int steps = smoke ? 2 : 8;
+    sync_async.push_back(run_sync_async_arm(/*async_mode=*/false, steps));
+    sync_async.push_back(run_sync_async_arm(/*async_mode=*/true, steps));
+    const auto& sy = sync_async[0];
+    const auto& as = sync_async[1];
+    std::printf(
+        "sync  %d steps: %d updates, sim %.1fs, loss %.4f\n"
+        "async %d drains: %d updates, sim %.1fs, loss %.4f, staleness "
+        "mean %.2f max %u -> %.2fx sim speedup\n",
+        sy.server_steps, sy.updates_applied, sy.sim_seconds, sy.final_loss,
+        as.server_steps, as.updates_applied, as.sim_seconds, as.final_loss,
+        as.mean_staleness, as.max_staleness,
+        as.sim_seconds > 0.0 ? sy.sim_seconds / as.sim_seconds : 0.0);
+    if (!smoke && as.sim_seconds >= sy.sim_seconds) {
+      std::fprintf(stderr,
+                   "FAIL: async engine is not faster than sync under "
+                   "stragglers (sync %.1fs vs async %.1fs)\n",
+                   sy.sim_seconds, as.sim_seconds);
+      floor_ok = false;
+    }
+  }
+
   std::vector<AblationArm> ablation;
   std::vector<BiasTrack> bias;
   if (!smoke) {
@@ -892,7 +1031,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!write_json(json_path, comm, rounds, ablation, bias,
+  if (!write_json(json_path, comm, rounds, sync_async, ablation, bias,
                   have_wan ? &wan : nullptr)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;

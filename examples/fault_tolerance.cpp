@@ -1,15 +1,20 @@
 // Fault tolerance end to end (paper SS3.1 checkpointing, Appendix A
-// "intermittent client availability", DESIGN.md SS8 failure model):
+// "intermittent client availability", DESIGN.md SS8 failure model and
+// SS12 elastic async federation):
 //
-//  1. a seeded FaultInjector subjects every round to client crashes,
-//     stragglers, link drops, and wire corruption; the aggregator cuts
-//     stragglers at the round deadline, retries/retransmits at the link
-//     layer, aggregates at quorum over the survivors, and resamples a
-//     fresh cohort when quorum is lost;
-//  2. the server process "crashes" mid-run and a fresh process restores
-//     from the write-ahead journal + checkpoint — under the SAME live
-//     fault plan — finishing with a global model bit-identical to a
-//     reference run that never crashed.
+//  1. the elastic asynchronous engine runs FedBuff-style buffer drains
+//     over a population that churns mid-run — a MembershipPlan schedules
+//     a client joining cold and another leaving permanently (its in-flight
+//     update is discarded on arrival), on top of probabilistic join/leave
+//     churn — while a seeded FaultInjector adds client crashes,
+//     stragglers, link drops, and wire corruption, and admission control
+//     caps how many clients may cook concurrently;
+//  2. the server process "crashes" mid-run — with updates still sitting
+//     in flight — and a fresh process restores from the write-ahead
+//     journal + v2 checkpoint (global model, membership states, deferral
+//     backoffs, and the in-flight buffer itself), resuming under the SAME
+//     live fault and membership plans to finish with a global model
+//     bit-identical to a reference run that never crashed.
 
 #include <cstdio>
 #include <cstring>
@@ -28,9 +33,10 @@ using namespace photon;
 namespace {
 
 constexpr int kPopulation = 8;
-constexpr int kCohort = 4;
-constexpr int kRounds = 10;
-constexpr int kCrashAfter = 5;  // server dies after this many rounds
+constexpr int kBufferGoal = 3;   // server steps as soon as 3 updates land
+constexpr int kMaxInFlight = 6;  // admission control: at most 6 cooking
+constexpr int kDrains = 12;
+constexpr int kCrashAfter = 5;  // server dies after this many drains
 
 std::vector<std::unique_ptr<LLMClient>> make_clients(const ModelConfig& model) {
   CorpusConfig cc;
@@ -53,35 +59,54 @@ std::vector<std::unique_ptr<LLMClient>> make_clients(const ModelConfig& model) {
   return clients;
 }
 
+// Elastic membership: client 7 starts absent and joins cold at drain 2
+// (bootstrapped with the then-current global model); client 2 leaves for
+// good at drain 4 — if it has an update in flight, the update is discarded
+// on arrival.  On top of that, light probabilistic churn.
+MembershipPlan churn_plan() {
+  MembershipPlan plan;
+  plan.seed = 0xE1A57ULL;
+  plan.initial_population = kPopulation - 1;  // client 7 starts absent
+  plan.arrive_prob = 0.05;
+  plan.leave_prob = 0.02;
+  plan.scheduled = {
+      {/*round=*/2, /*client=*/7, MembershipAction::kArrive},
+      {/*round=*/4, /*client=*/2, MembershipAction::kLeave},
+  };
+  return plan;
+}
+
 std::unique_ptr<Aggregator> make_aggregator(const ModelConfig& model,
                                             const std::filesystem::path& dir) {
   AggregatorConfig ac;
-  ac.clients_per_round = kCohort;
+  ac.clients_per_round = kBufferGoal;
   ac.local_steps = 8;
-  ac.topology = Topology::kRingAllReduce;  // falls back to PS on failures
-  ac.round_deadline_s = 2.5 * ac.local_steps;  // stragglers >2.5x are cut
-  ac.min_cohort_fraction = 0.5;                // quorum: 2 of 4
-  ac.max_cohort_retries = 4;
+  ac.async.enabled = true;
+  ac.async.buffer_goal = kBufferGoal;
+  ac.async.max_in_flight = kMaxInFlight;
+  ac.async.staleness = AggregatorConfig::AsyncAggregation::StalenessWeight::
+      kPolynomial;  // w(s) = (1+s)^-0.5
   ac.retry.max_attempts = 4;  // link-level retransmission budget
   ac.checkpoint_dir = dir;
   ac.seed = 11;
-  return std::make_unique<Aggregator>(model, ac,
-                                      make_server_opt("nesterov", 0.7f, 0.9f),
-                                      make_clients(model), /*init_seed=*/42);
+  auto agg = std::make_unique<Aggregator>(
+      model, ac, make_server_opt("nesterov", 0.7f, 0.9f), make_clients(model),
+      /*init_seed=*/42);
+  agg->set_membership_plan(churn_plan());
+  return agg;
 }
 
-void print_round(const RoundRecord& rec) {
+void print_drain(const RoundRecord& rec) {
   std::string cohort;
   for (int id : rec.participants) cohort += std::to_string(id) + " ";
   std::printf(
-      "%5u  {%-8s} %4d/%d  crash=%d straggle=%d link=%d retries=%llu "
-      "corrupt=%llu resample=%u %s loss=%.4f\n",
-      rec.round, cohort.c_str(), rec.survivors,
-      static_cast<int>(rec.participants.size()), rec.crashed_clients,
-      rec.straggler_drops, rec.link_failed_clients,
+      "%5u  {%-8s} %d acc  stale=%.2f/%u defer=%u join=%u leave=%u "
+      "drop=%u crash=%d retries=%llu corrupt=%llu loss=%.4f\n",
+      rec.round, cohort.c_str(), rec.survivors, rec.mean_staleness,
+      rec.max_staleness, rec.admission_deferred, rec.arrivals, rec.departures,
+      rec.discarded_updates, rec.crashed_clients,
       static_cast<unsigned long long>(rec.link_retries),
-      static_cast<unsigned long long>(rec.corrupt_chunks), rec.cohort_retries,
-      rec.topology_fallback ? "PS-fallback" : "ring       ",
+      static_cast<unsigned long long>(rec.corrupt_chunks),
       rec.mean_train_loss);
 }
 
@@ -103,32 +128,41 @@ int main() {
   plan.corrupt_prob = 0.05;
   const FaultInjector injector(plan);
 
-  // Reference: survives all kRounds in one process.
+  // Reference: survives all kDrains in one process.
   auto ref = make_aggregator(model, base / "ref");
   injector.install(*ref);
-  std::printf("reference run under chaos (%d rounds):\n", kRounds);
-  std::printf("round  cohort     agg'd  failures\n");
-  for (int r = 0; r < kRounds; ++r) print_round(ref->run_round());
+  std::printf("reference async run under chaos + churn (%d drains):\n",
+              kDrains);
+  std::printf("drain  accepted   buffer  telemetry\n");
+  for (int r = 0; r < kDrains; ++r) print_drain(ref->run_round());
+  std::printf("final population: %d active, %u in flight\n",
+              ref->active_population(), ref->async_in_flight());
 
-  // Crashing run: same plan, server process dies after kCrashAfter rounds.
-  std::printf("\ncrashing run: server dies after round %d\n", kCrashAfter - 1);
+  // Crashing run: same plans, server process dies after kCrashAfter drains
+  // — with whatever updates were in flight still sitting in the buffer.
+  std::printf("\ncrashing run: server dies after drain %d\n", kCrashAfter - 1);
   {
     auto doomed = make_aggregator(model, base / "crash");
     injector.install(*doomed);
     for (int r = 0; r < kCrashAfter; ++r) doomed->run_round();
   }  // destructor = power loss; only the journal + checkpoints survive
 
-  // Fresh process: restore from disk and finish the schedule.
+  // Fresh process: restore from disk — global model, membership lifecycle
+  // states, admission backoffs, and the mid-buffer in-flight updates all
+  // come back from the v2 checkpoint's trailing async-state field — and
+  // finish the schedule under the same live plans.
   auto recovered = make_aggregator(model, base / "crash");
   injector.install(*recovered);
   if (!recovered->restore_latest_checkpoint()) {
     std::printf("restore failed\n");
     return 1;
   }
-  std::printf("recovered at round %u (journal: \"%s\"), resuming:\n",
-              recovered->round(),
-              recovered->checkpoints().journal().back().c_str());
-  for (int r = kCrashAfter; r < kRounds; ++r) print_round(recovered->run_round());
+  std::printf(
+      "recovered at drain %u with %u update(s) still in flight (journal: "
+      "\"%s\"), resuming:\n",
+      recovered->round(), recovered->async_in_flight(),
+      recovered->checkpoints().journal().back().c_str());
+  for (int r = kCrashAfter; r < kDrains; ++r) print_drain(recovered->run_round());
 
   const bool exact =
       ref->global_params().size() == recovered->global_params().size() &&

@@ -56,9 +56,14 @@ void SimLink::set_metrics(obs::MetricsRegistry* registry) {
   counters_.payload_bytes = registry->counter("link.payload_bytes");
   counters_.wire_bytes = registry->counter("link.wire_bytes");
   counters_.retries = registry->counter("link.retries");
+  // "link.retransmits" is the canonical alias churn soaks assert on (every
+  // retry IS a retransmission); "link.retries" is kept for the registry ==
+  // sum-of-LinkStats invariant the obs integration test pins.
+  counters_.retransmits = registry->counter("link.retransmits");
   counters_.send_failures = registry->counter("link.send_failures");
   counters_.corrupt_chunks = registry->counter("link.corrupt_chunks");
   counters_.aborted_messages = registry->counter("link.aborted_messages");
+  counters_.deadline_misses = registry->counter("link.deadline_misses");
 }
 
 void SimLink::transmit(const Message& message, Message& out) {
@@ -167,6 +172,8 @@ void SimLink::transmit_impl(const Message& message, Receive&& receive) {
         spent + backoff > retry_.message_deadline_s) {
       ++stats_.aborted_messages;
       counters_.aborted_messages.add();
+      ++stats_.deadline_misses;
+      counters_.deadline_misses.add();
       if (tracing) mark(obs::SpanKind::kLinkFail, cursor, cursor, attempt, 0);
       throw TransmitError(name_ + ": message deadline exceeded after " +
                           std::to_string(attempt) + " attempts");
@@ -179,6 +186,7 @@ void SimLink::transmit_impl(const Message& message, Receive&& receive) {
     stats_.backoff_seconds += backoff;
     ++stats_.retries;
     counters_.retries.add();
+    counters_.retransmits.add();
   }
 }
 

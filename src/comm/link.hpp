@@ -29,6 +29,8 @@ struct LinkStats {
   std::uint64_t send_failures = 0;     // transient send faults hit
   std::uint64_t corrupt_chunks = 0;    // CRC/codec-rejected receptions
   std::uint64_t aborted_messages = 0;  // gave up (attempts/deadline exhausted)
+  std::uint64_t deadline_misses = 0;   // aborts caused by message_deadline_s
+                                       // specifically (subset of aborted)
   double backoff_seconds = 0.0;        // simulated time spent backing off
 };
 
@@ -171,9 +173,11 @@ class SimLink {
     obs::CounterHandle payload_bytes;
     obs::CounterHandle wire_bytes;
     obs::CounterHandle retries;
+    obs::CounterHandle retransmits;
     obs::CounterHandle send_failures;
     obs::CounterHandle corrupt_chunks;
     obs::CounterHandle aborted_messages;
+    obs::CounterHandle deadline_misses;
   } counters_;
 };
 

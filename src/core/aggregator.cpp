@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
@@ -16,6 +18,14 @@
 #include "util/threadpool.hpp"
 
 namespace photon {
+namespace {
+
+/// Decision-kind tag for the admission-priority hash stream (same pattern
+/// as sim/faults.cpp): which clients win a contested admission wave never
+/// perturbs any other seeded draw.
+constexpr std::uint64_t kAdmitTag = 0xAD317ULL;
+
+}  // namespace
 
 Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
                        std::unique_ptr<ServerOpt> server_opt,
@@ -49,6 +59,21 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
   if (config_.max_cohort_retries < 0) {
     throw std::invalid_argument("Aggregator: max_cohort_retries must be >= 0");
   }
+  if (config_.async.enabled) {
+    if (config_.secure_aggregation) {
+      throw std::invalid_argument(
+          "Aggregator: async aggregation is incompatible with secure "
+          "aggregation (masks require a fixed simultaneous cohort)");
+    }
+    if (config_.async.buffer_goal < 0 || config_.async.max_in_flight < 0) {
+      throw std::invalid_argument(
+          "Aggregator: async buffer_goal/max_in_flight must be >= 0");
+    }
+    if (config_.async.staleness_exponent < 0.0) {
+      throw std::invalid_argument(
+          "Aggregator: async staleness_exponent must be >= 0");
+    }
+  }
   for (const auto& c : clients_) {
     if (c->config().model.num_params() != model_config_.num_params()) {
       throw std::invalid_argument("Aggregator: client/global model mismatch");
@@ -68,6 +93,14 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
         {config_.tracer, static_cast<std::int32_t>(i), 0.0});
   }
   client_rounds_.assign(clients_.size(), 0);
+  membership_.assign(clients_.size(), MembershipState::kActive);
+  defer_counts_.assign(clients_.size(), 0);
+  next_eligible_.assign(clients_.size(), 0.0);
+  dispatch_seq_.assign(clients_.size(), 0);
+  client_slot_.assign(clients_.size(), -1);
+  if (config_.async.enabled) {
+    slots_.resize(static_cast<std::size_t>(async_max_in_flight()));
+  }
   if (config_.metrics != nullptr) {
     // Publishes the kernels.simd_variant gauge (resolved SIMD dispatch:
     // 0=scalar, 1=avx2, 2=avx512) plus the per-kernel FLOPs counters.
@@ -82,6 +115,15 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
         config_.metrics->gauge("round.tokens_per_sim_second");
     obs_.client_sim_seconds =
         config_.metrics->histogram("client.sim_round_seconds");
+    obs_.async_drains = config_.metrics->counter("round.async.drains");
+    obs_.async_accepted = config_.metrics->counter("round.async.accepted");
+    obs_.async_discarded = config_.metrics->counter("round.async.discarded");
+    obs_.async_deferred = config_.metrics->counter("round.async.deferred");
+    obs_.arrivals = config_.metrics->counter("round.async.arrivals");
+    obs_.departures = config_.metrics->counter("round.async.departures");
+    obs_.async_in_flight = config_.metrics->gauge("round.async.in_flight");
+    obs_.async_staleness =
+        config_.metrics->histogram("round.async.staleness");
   }
 
   // InitModel (Alg. 1 L2): the server initializes the global parameters.
@@ -90,6 +132,10 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
 }
 
 RoundRecord Aggregator::run_round() {
+  return config_.async.enabled ? run_round_async() : run_round_sync();
+}
+
+RoundRecord Aggregator::run_round_sync() {
   const auto t_round = std::chrono::steady_clock::now();
   obs::Tracer* tracer = config_.tracer;
   const bool tracing = tracer != nullptr && tracer->sampled(round_);
@@ -110,6 +156,7 @@ RoundRecord Aggregator::run_round() {
 
   RoundRecord record;
   record.round = round_;
+  apply_membership(record);
 
   // Per-slot outcome of one cohort attempt.  kOk slots are the survivors
   // whose updates aggregate; everything else is dropped from the round.
@@ -316,6 +363,56 @@ RoundRecord Aggregator::run_round() {
                static_cast<double>(cohort.size()))));
     if (survivors.size() >= quorum) break;
     if (static_cast<int>(attempt) >= config_.max_cohort_retries) {
+      if (config_.skip_on_quorum_loss) {
+        // Clean skipped round: no survivors, so no mean, no server step, no
+        // checkpoint — but the round index, LR-schedule base, and sim clock
+        // all advance exactly as a completed round's would, keeping the
+        // restore-time `round * local_steps` schedule fallback exact.
+        record.skipped = true;
+        record.participants = cohort;
+        record.survivors = 0;
+        for (std::size_t i = 0; i < cohort.size(); ++i) {
+          record.dropped_clients.push_back(cohort[i]);
+          record.sim_slowest_client_seconds =
+              std::max(record.sim_slowest_client_seconds, sim_seconds[i]);
+        }
+        record.sim_local_seconds =
+            static_cast<double>(config_.local_steps) /
+            config_.sim_throughput_bps;
+        LinkStats skip_after;
+        for (const auto& link : links_) {
+          const LinkStats& s = link.stats();
+          skip_after.wire_bytes += s.wire_bytes;
+          skip_after.retries += s.retries;
+          skip_after.corrupt_chunks += s.corrupt_chunks;
+          skip_after.backoff_seconds += s.backoff_seconds;
+        }
+        record.comm_bytes = skip_after.wire_bytes - agg_before.wire_bytes;
+        record.link_retries = skip_after.retries - agg_before.retries;
+        record.corrupt_chunks =
+            skip_after.corrupt_chunks - agg_before.corrupt_chunks;
+        record.backoff_seconds =
+            skip_after.backoff_seconds - agg_before.backoff_seconds;
+        record.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t_round)
+                .count();
+        const double t_skip_end = t0 + record.sim_slowest_client_seconds;
+        if (tracing) {
+          tracer->record({obs::SpanKind::kRound, round_,
+                          obs::kAggregatorActor, 0, t0, t_skip_end,
+                          round_timer.ns()});
+        }
+        obs_.rounds.add();
+        sim_now_ = t_skip_end;
+        PHOTON_LOG_WARN("aggregator",
+                        "round %u skipped: quorum lost after %u attempt(s)",
+                        round_, attempt + 1);
+        history_.add(record);
+        ++round_;
+        schedule_step_base_ += config_.local_steps;
+        return record;
+      }
       throw std::runtime_error(
           "Aggregator::run_round: quorum lost in round " +
           std::to_string(round_) + " after " + std::to_string(attempt + 1) +
@@ -643,6 +740,684 @@ RoundRecord Aggregator::run_round() {
   return record;
 }
 
+// ===== elastic async federation (DESIGN.md §12) ===========================
+
+void Aggregator::set_membership_plan(const MembershipPlan& plan) {
+  plan.validate();
+  if (plan.initial_population > static_cast<int>(clients_.size())) {
+    throw std::invalid_argument(
+        "Aggregator: membership initial_population exceeds client count");
+  }
+  membership_plan_ = plan;
+  for (int c = 0; c < population(); ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    membership_[i] = plan.initial_state(c);
+    sampler_.set_available(c, membership_[i] == MembershipState::kActive);
+    defer_counts_[i] = 0;
+    next_eligible_[i] = 0.0;
+  }
+}
+
+int Aggregator::active_population() const {
+  int n = 0;
+  for (const MembershipState s : membership_) {
+    if (s == MembershipState::kActive) ++n;
+  }
+  return n;
+}
+
+int Aggregator::async_in_flight() const {
+  int n = 0;
+  for (const InFlight& s : slots_) n += s.busy ? 1 : 0;
+  return n;
+}
+
+void Aggregator::apply_membership(RoundRecord& record) {
+  if (!membership_plan_.enabled()) return;
+  obs::Tracer* tracer = config_.tracer;
+  const bool tracing = tracer != nullptr && tracer->sampled(round_);
+  for (int c = 0; c < population(); ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const MembershipAction action =
+        membership_plan_.action(round_, c, membership_[i]);
+    if (action == MembershipAction::kArrive) {
+      // The joiner bootstraps from the current global model through the
+      // ordinary broadcast path at its first dispatch/sampling — arrival
+      // itself only flips the lifecycle state.
+      membership_[i] = MembershipState::kActive;
+      sampler_.set_available(c, true);
+      defer_counts_[i] = 0;
+      next_eligible_[i] = sim_now_;
+      ++record.arrivals;
+      obs_.arrivals.add();
+      if (tracing) {
+        tracer->record({obs::SpanKind::kClientArrive, round_, c, 0, sim_now_,
+                        sim_now_, 0});
+      }
+    } else if (action == MembershipAction::kLeave) {
+      membership_[i] = MembershipState::kLeft;
+      sampler_.set_available(c, false);
+      ++record.departures;
+      obs_.departures.add();
+      if (tracing) {
+        tracer->record({obs::SpanKind::kClientLeave, round_, c, 0, sim_now_,
+                        sim_now_, 0});
+      }
+    }
+  }
+}
+
+int Aggregator::async_buffer_goal() const {
+  if (config_.async.buffer_goal > 0) return config_.async.buffer_goal;
+  return config_.clients_per_round > 0 ? config_.clients_per_round
+                                       : static_cast<int>(clients_.size());
+}
+
+int Aggregator::async_max_in_flight() const {
+  if (config_.async.max_in_flight > 0) return config_.async.max_in_flight;
+  return 2 * async_buffer_goal();
+}
+
+double Aggregator::staleness_weight(std::uint32_t staleness) const {
+  if (config_.async.staleness ==
+      AggregatorConfig::AsyncAggregation::StalenessWeight::kConstant) {
+    return 1.0;
+  }
+  return std::pow(1.0 + static_cast<double>(staleness),
+                  -config_.async.staleness_exponent);
+}
+
+double Aggregator::defer_backoff(int client, std::uint32_t count) const {
+  const RetryPolicy& rp = config_.retry;
+  double b = rp.backoff_base_s *
+             std::pow(rp.backoff_multiplier, static_cast<double>(count) - 1.0);
+  b = std::min(b, rp.backoff_max_s);
+  const std::uint64_t h = hash_combine(
+      rp.jitter_seed, hash_combine(static_cast<std::uint64_t>(client),
+                                   static_cast<std::uint64_t>(count)));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+  b *= 1.0 + rp.jitter_frac * unit;
+  return std::max(b, 1e-9);  // strictly positive: a defer must advance time
+}
+
+void Aggregator::async_dispatch(InFlight& slot, int id,
+                                const Message& broadcast,
+                                std::uint32_t dispatch_seq, bool tracing) {
+  obs::Tracer* tracer = config_.tracer;
+  SimLink& link = links_[static_cast<std::size_t>(id)];
+  const double t_dispatch = slot.dispatch_time;
+  const LinkStats before = link.stats();
+  const auto sim_elapsed = [&]() {
+    const LinkStats& now = link.stats();
+    return (now.transfer_seconds - before.transfer_seconds) +
+           (now.backoff_seconds - before.backoff_seconds);
+  };
+  const auto mark = [&](obs::SpanKind kind, double begin, double end,
+                        std::uint64_t real_ns) {
+    tracer->record({kind, round_, id, static_cast<std::int32_t>(dispatch_seq),
+                    begin, end, real_ns});
+  };
+  // Fault decisions key on the dispatch sequence number within this drain,
+  // the async analogue of the sync engine's cohort-attempt salt.
+  ClientRoundFault fault;
+  if (fault_hook_) fault = fault_hook_(round_, id, dispatch_seq);
+  const double straggle = std::max(1.0, fault.straggle_factor);
+  const double train_sim = straggle *
+                           static_cast<double>(config_.local_steps) /
+                           config_.sim_throughput_bps;
+  slot.train_sim_seconds = train_sim;
+  link.set_trace_sim_base(t_dispatch);
+  const obs::RealTimer bcast_timer(tracing);
+  try {
+    link.transmit(broadcast, slot.header);
+  } catch (const TransmitError&) {
+    slot.failure_kind = 2;
+    slot.arrive_time = t_dispatch + sim_elapsed();
+    if (tracing) {
+      mark(obs::SpanKind::kBroadcast, t_dispatch, slot.arrive_time,
+           bcast_timer.ns());
+    }
+    return;
+  }
+  const double bcast_end = t_dispatch + sim_elapsed();
+  if (tracing) {
+    mark(obs::SpanKind::kBroadcast, t_dispatch, bcast_end, bcast_timer.ns());
+  }
+  if (fault.crash) {
+    slot.failure_kind = 1;
+    slot.arrive_time = bcast_end;
+    if (tracing) mark(obs::SpanKind::kCrash, bcast_end, bcast_end, 0);
+    return;
+  }
+  clients_[static_cast<std::size_t>(id)]->set_trace(
+      {tracing ? tracer : nullptr, round_, bcast_end,
+       train_sim / static_cast<double>(config_.local_steps)});
+  const obs::RealTimer train_timer(tracing);
+  clients_[static_cast<std::size_t>(id)]->run_round(
+      slot.header.payload, round_, config_.local_steps, schedule_step_base_,
+      slot.update);
+  slot.trained = true;
+  const double train_end = bcast_end + train_sim;
+  if (tracing) {
+    mark(obs::SpanKind::kLocalTrain, bcast_end, train_end, train_timer.ns());
+  }
+  Message up;
+  up.type = MessageType::kClientUpdate;
+  up.round = round_;
+  up.sender = static_cast<std::uint32_t>(id);
+  up.codec = slot.update.post.codec;
+  up.payload_view = slot.update.delta;
+  up.metadata = slot.update.metrics;
+  const Codec* up_codec = codec_by_name(up.codec);
+  const bool stream = up_codec != nullptr && up_codec->quant_bits() != 0;
+  link.set_trace_sim_base(train_end);
+  const obs::RealTimer up_timer(tracing);
+  try {
+    if (stream) {
+      link.transmit_wire(up, slot.header, slot.wire);
+      slot.streamed = true;
+    } else {
+      link.transmit(up, slot.header);
+    }
+  } catch (const TransmitError&) {
+    slot.failure_kind = 2;
+    slot.arrive_time = t_dispatch + sim_elapsed() + train_sim;
+    if (tracing) {
+      mark(obs::SpanKind::kUpdateReturn, train_end, slot.arrive_time,
+           up_timer.ns());
+    }
+    return;
+  }
+  slot.arrive_time = t_dispatch + sim_elapsed() + train_sim;
+  if (tracing) {
+    mark(obs::SpanKind::kUpdateReturn, train_end, slot.arrive_time,
+         up_timer.ns());
+  }
+}
+
+RoundRecord Aggregator::run_round_async() {
+  const auto t_round = std::chrono::steady_clock::now();
+  obs::Tracer* tracer = config_.tracer;
+  const bool tracing = tracer != nullptr && tracer->sampled(round_);
+  const obs::RealTimer round_timer(tracing);
+  const double t0 = sim_now_;
+
+  LinkStats agg_before;
+  for (const auto& link : links_) {
+    const LinkStats& s = link.stats();
+    agg_before.wire_bytes += s.wire_bytes;
+    agg_before.retries += s.retries;
+    agg_before.corrupt_chunks += s.corrupt_chunks;
+    agg_before.backoff_seconds += s.backoff_seconds;
+  }
+
+  RoundRecord record;
+  record.round = round_;
+  record.async_drain = true;
+  record.server_version = round_;
+  apply_membership(record);
+
+  const int goal = async_buffer_goal();
+  const std::size_t cap = slots_.size();
+  std::fill(dispatch_seq_.begin(), dispatch_seq_.end(), 0u);
+
+  const std::size_t n = global_params_.size();
+  if (async_acc_.size() != n) async_acc_.resize(n);
+  std::fill(async_acc_.begin(), async_acc_.end(), 0.0);
+  double weight_sum = 0.0;
+  int accepted = 0;
+  double staleness_sum = 0.0;
+  std::vector<int> accepted_clients;
+  std::vector<MetricDict> accepted_metrics;
+  std::vector<double> accepted_weights;
+  accepted_clients.reserve(static_cast<std::size_t>(goal));
+  accepted_metrics.reserve(static_cast<std::size_t>(goal));
+  accepted_weights.reserve(static_cast<std::size_t>(goal));
+  double first_dispatch = -1.0;
+
+  // One broadcast borrows the global parameters for the whole drain: the
+  // model only mutates at drain boundaries, so every dispatch wave in this
+  // drain ships identical bytes and `round` pins the trained-on version.
+  Message broadcast;
+  broadcast.type = MessageType::kModelBroadcast;
+  broadcast.round = round_;
+  broadcast.sender = 0;
+  broadcast.payload_view = global_params_;
+  broadcast.metadata["local_steps"] = config_.local_steps;
+
+  std::vector<int> wave;
+  std::vector<std::size_t> wave_slots;
+  std::vector<std::uint32_t> wave_seq;
+  std::vector<std::pair<std::uint64_t, int>> candidates;
+
+  while (accepted < goal) {
+    // --- admission control: batched top-up waves ------------------------
+    std::size_t busy = 0;
+    for (const InFlight& s : slots_) busy += s.busy ? 1 : 0;
+    const std::size_t free = cap - busy;
+    // Waves are chunky on purpose: top up only when at least half the
+    // slots are free (or nothing is in flight), so admitted clients train
+    // as one parallel_for instead of trickling through one at a time.
+    if (free > 0 && (busy == 0 || free >= std::max<std::size_t>(1, cap / 2))) {
+      candidates.clear();
+      for (int c = 0; c < population(); ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        if (membership_[ci] != MembershipState::kActive) continue;
+        if (client_slot_[ci] >= 0) continue;  // already in flight
+        if (next_eligible_[ci] > sim_now_) continue;
+        // Priority is a stateless hash of (seed, version, client): fair
+        // across the population and identical on replay and restore.
+        const std::uint64_t key = hash_combine(
+            hash_combine(hash_combine(config_.seed, kAdmitTag), round_),
+            static_cast<std::uint64_t>(c));
+        candidates.emplace_back(key, c);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      wave.clear();
+      wave_slots.clear();
+      wave_seq.clear();
+      std::size_t next_free = 0;
+      for (const auto& [key, c] : candidates) {
+        const auto ci = static_cast<std::size_t>(c);
+        if (wave.size() < free) {
+          while (slots_[next_free].busy) ++next_free;
+          InFlight& slot = slots_[next_free];
+          slot.busy = true;
+          slot.client = c;
+          slot.dispatch_time = sim_now_;
+          slot.arrive_time = sim_now_;
+          slot.dispatch_version = round_;
+          slot.failure_kind = 0;
+          slot.trained = false;
+          slot.streamed = false;
+          slot.train_sim_seconds = 0.0;
+          client_slot_[ci] = static_cast<int>(next_free);
+          defer_counts_[ci] = 0;
+          wave.push_back(c);
+          wave_slots.push_back(next_free);
+          wave_seq.push_back(dispatch_seq_[ci]++);
+          ++next_free;
+          if (first_dispatch < 0.0) first_dispatch = sim_now_;
+        } else {
+          // In-flight cap reached: tell the client to back off.  The
+          // deferral timeline is a pure function of (retry policy, client,
+          // defer count), so a restored run reproduces it exactly.
+          ++defer_counts_[ci];
+          next_eligible_[ci] = sim_now_ + defer_backoff(c, defer_counts_[ci]);
+          ++record.admission_deferred;
+          obs_.async_deferred.add();
+          if (tracing) {
+            tracer->record({obs::SpanKind::kAdmissionDefer, round_, c,
+                            static_cast<std::int32_t>(defer_counts_[ci]),
+                            sim_now_, sim_now_, 0});
+          }
+        }
+      }
+      if (!wave.empty()) {
+        auto dispatch_one = [&](std::size_t i) {
+          async_dispatch(slots_[wave_slots[i]], wave[i], broadcast,
+                         wave_seq[i], tracing);
+        };
+        if (config_.parallel_clients && wave.size() > 1) {
+          global_pool().parallel_for(wave.size(), dispatch_one);
+        } else {
+          for (std::size_t i = 0; i < wave.size(); ++i) dispatch_one(i);
+        }
+        // Serial bookkeeping: data-stream positions advance in wave order.
+        for (std::size_t i = 0; i < wave.size(); ++i) {
+          if (slots_[wave_slots[i]].trained) {
+            ++client_rounds_[static_cast<std::size_t>(wave[i])];
+          }
+        }
+      }
+    }
+
+    std::size_t busy_now = 0;
+    for (const InFlight& s : slots_) busy_now += s.busy ? 1 : 0;
+    if (busy_now == 0) {
+      // Nothing in flight and nobody admissible right now: jump the sim
+      // clock to the earliest deferral expiry and run admission again.
+      double t_next = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < population(); ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        if (membership_[ci] != MembershipState::kActive) continue;
+        t_next = std::min(t_next, next_eligible_[ci]);
+      }
+      if (!std::isfinite(t_next)) {
+        throw std::runtime_error(
+            "Aggregator::run_round_async: no active clients in round " +
+            std::to_string(round_));
+      }
+      sim_now_ = std::max(sim_now_, t_next);
+      continue;
+    }
+
+    // --- pop the earliest pending outcome, ordered on (arrival, client) —
+    // content-based, never slot-index-based, so replay and restore pop the
+    // identical sequence regardless of slot packing or thread count.
+    std::size_t pick = cap;
+    for (std::size_t i = 0; i < cap; ++i) {
+      const InFlight& s = slots_[i];
+      if (!s.busy) continue;
+      if (pick == cap || s.arrive_time < slots_[pick].arrive_time ||
+          (s.arrive_time == slots_[pick].arrive_time &&
+           s.client < slots_[pick].client)) {
+        pick = i;
+      }
+    }
+    InFlight& slot = slots_[pick];
+    sim_now_ = std::max(sim_now_, slot.arrive_time);
+    const int id = slot.client;
+    if (slot.failure_kind == 1) {
+      ++record.crashed_clients;
+      obs_.crashes.add();
+    } else if (slot.failure_kind == 2) {
+      ++record.link_failed_clients;
+      obs_.link_failures.add();
+    } else if (membership_[static_cast<std::size_t>(id)] !=
+               MembershipState::kActive) {
+      // The client departed while its update was in flight: discard.
+      ++record.discarded_updates;
+      ++async_discarded_total_;
+      obs_.async_discarded.add();
+    } else {
+      // Accept into the buffer: staleness-weighted fp64 accumulate,
+      // streamed chunk-wise from the retained wire image — the full fp32
+      // update of a quantized client is never materialized.
+      const std::uint32_t staleness = round_ - slot.dispatch_version;
+      const double w = staleness_weight(staleness);
+      if (slot.streamed) {
+        const WireView& v = slot.wire;
+        if (static_cast<std::size_t>(v.elems) != n) {
+          throw std::runtime_error(
+              "Aggregator::run_round_async: update size mismatch");
+        }
+        const Codec* codec = codec_by_name(v.codec);
+        auto accum_chunk = [&](std::size_t c) {
+          const obs::RealTimer chunk_timer(tracing);
+          const std::size_t len = v.raw_len(c) / sizeof(float);
+          std::vector<float> tmp(len);
+          codec->decompress_into(v.chunk(c),
+                                 {reinterpret_cast<std::uint8_t*>(tmp.data()),
+                                  len * sizeof(float)});
+          double* acc = async_acc_.data() + v.raw_off(c) / sizeof(float);
+          for (std::size_t e = 0; e < len; ++e) {
+            acc[e] += w * static_cast<double>(tmp[e]);
+          }
+          if (tracing) {
+            tracer->record({obs::SpanKind::kDequantAccum, round_,
+                            obs::kAggregatorActor,
+                            static_cast<std::int32_t>(c), sim_now_, sim_now_,
+                            chunk_timer.ns()});
+          }
+        };
+        if (config_.parallel_clients && v.n_chunks() > 1) {
+          global_pool().parallel_for(v.n_chunks(), accum_chunk);
+        } else {
+          for (std::size_t c = 0; c < v.n_chunks(); ++c) accum_chunk(c);
+        }
+      } else {
+        const std::vector<float>& p = slot.header.payload;
+        if (p.size() != n) {
+          throw std::runtime_error(
+              "Aggregator::run_round_async: update size mismatch");
+        }
+        for (std::size_t e = 0; e < n; ++e) {
+          async_acc_[e] += w * static_cast<double>(p[e]);
+        }
+      }
+      weight_sum += w;
+      ++accepted;
+      ++async_accepted_total_;
+      staleness_sum += static_cast<double>(staleness);
+      record.max_staleness = std::max(record.max_staleness, staleness);
+      obs_.async_accepted.add();
+      obs_.async_staleness.observe(static_cast<double>(staleness));
+      record.tokens_this_round += slot.update.tokens;
+      record.mean_train_loss += slot.update.mean_train_loss;
+      accepted_clients.push_back(id);
+      accepted_metrics.push_back(slot.header.metadata);
+      accepted_weights.push_back(static_cast<double>(slot.update.tokens));
+      obs_.client_sim_seconds.observe(slot.arrive_time - slot.dispatch_time);
+    }
+    // Free the slot; the client may request admission again immediately.
+    slot.busy = false;
+    client_slot_[static_cast<std::size_t>(id)] = -1;
+  }
+
+  // --- drain: staleness-weighted server step ----------------------------
+  record.participants = accepted_clients;
+  record.survivors = accepted;
+  record.mean_train_loss =
+      accepted > 0 ? record.mean_train_loss / accepted : 0.0;
+  record.mean_staleness =
+      accepted > 0 ? staleness_sum / static_cast<double>(accepted) : 0.0;
+  pseudo_grad_.resize(n);
+  const double inv = weight_sum > 0.0 ? 1.0 / weight_sum : 0.0;
+  for (std::size_t e = 0; e < n; ++e) {
+    pseudo_grad_[e] = static_cast<float>(async_acc_[e] * inv);
+  }
+  record.update_norm = kernels::l2_norm(pseudo_grad_.data(), n);
+
+  const obs::RealTimer server_opt_timer(tracing);
+  checkpoints_.journal_begin(round_);
+  server_opt_->apply(global_params_, pseudo_grad_);
+  if (tracing) {
+    tracer->record({obs::SpanKind::kServerOpt, round_, obs::kAggregatorActor,
+                    -1, sim_now_, sim_now_, server_opt_timer.ns()});
+  }
+  record.client_metrics =
+      aggregate_metrics(accepted_metrics, accepted_weights);
+  if (config_.checkpoint_every > 0 &&
+      round_ % static_cast<std::uint32_t>(config_.checkpoint_every) == 0) {
+    const obs::RealTimer ckpt_timer(tracing);
+    Checkpoint ckpt;
+    ckpt.round = round_;
+    ckpt.params = global_params_;
+    ckpt.schedule_step_base = schedule_step_base_ + config_.local_steps;
+    ckpt.client_trained_rounds = client_rounds_;
+    BinaryWriter w;
+    server_opt_->save_state(w);
+    ckpt.server_opt_state = w.take();
+    ckpt.client_ef_residuals.reserve(clients_.size());
+    for (const auto& c : clients_) {
+      ckpt.client_ef_residuals.push_back(c->ef_residual());
+    }
+    // The drain boundary is the async save point: the accumulator is empty
+    // here, so the buffer's durable form is the pending in-flight updates
+    // plus the admission/membership counters and the sim clock.
+    ckpt.async_state = capture_async_state();
+    checkpoints_.save(std::move(ckpt));
+    checkpoints_.journal_commit(round_);
+    if (tracing) {
+      tracer->record({obs::SpanKind::kCheckpoint, round_,
+                      obs::kAggregatorActor, -1, sim_now_, sim_now_,
+                      ckpt_timer.ns()});
+    }
+  }
+
+  LinkStats agg_after;
+  for (const auto& link : links_) {
+    const LinkStats& s = link.stats();
+    agg_after.wire_bytes += s.wire_bytes;
+    agg_after.retries += s.retries;
+    agg_after.corrupt_chunks += s.corrupt_chunks;
+    agg_after.backoff_seconds += s.backoff_seconds;
+  }
+  record.comm_bytes = agg_after.wire_bytes - agg_before.wire_bytes;
+  record.link_retries = agg_after.retries - agg_before.retries;
+  record.corrupt_chunks = agg_after.corrupt_chunks - agg_before.corrupt_chunks;
+  record.backoff_seconds =
+      agg_after.backoff_seconds - agg_before.backoff_seconds;
+  record.sim_local_seconds =
+      static_cast<double>(config_.local_steps) / config_.sim_throughput_bps;
+  record.sim_slowest_client_seconds = sim_now_ - t0;
+  record.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_round)
+          .count();
+
+  if (tracing) {
+    const double drain_begin = first_dispatch >= 0.0 ? first_dispatch : t0;
+    tracer->record({obs::SpanKind::kBufferDrain, round_, obs::kAggregatorActor,
+                    accepted, drain_begin, sim_now_, 0});
+    tracer->record({obs::SpanKind::kRound, round_, obs::kAggregatorActor,
+                    accepted, t0, sim_now_, round_timer.ns()});
+  }
+  obs_.rounds.add();
+  obs_.async_drains.add();
+  obs_.tokens.add(record.tokens_this_round);
+  obs_.async_in_flight.set(static_cast<double>(async_in_flight()));
+  if (sim_now_ > t0) {
+    obs_.tokens_per_sim_second.set(
+        static_cast<double>(record.tokens_this_round) / (sim_now_ - t0));
+  }
+
+  PHOTON_LOG_INFO("aggregator",
+                  "drain %u: accepted=%d staleness mean %.2f max %u "
+                  "deferred=%u loss %.4f",
+                  round_, accepted, record.mean_staleness,
+                  record.max_staleness, record.admission_deferred,
+                  record.mean_train_loss);
+
+  history_.add(record);
+  ++round_;
+  schedule_step_base_ += config_.local_steps;
+  return record;
+}
+
+AsyncAggregatorState Aggregator::capture_async_state() const {
+  AsyncAggregatorState s;
+  s.valid = true;
+  s.sim_now = sim_now_;
+  s.accepted_total = async_accepted_total_;
+  s.discarded_total = async_discarded_total_;
+  s.membership.reserve(membership_.size());
+  for (const MembershipState m : membership_) {
+    s.membership.push_back(static_cast<std::uint8_t>(m));
+  }
+  s.defer_counts = defer_counts_;
+  s.next_eligible = next_eligible_;
+  std::vector<const InFlight*> pending;
+  for (const InFlight& slot : slots_) {
+    if (slot.busy) pending.push_back(&slot);
+  }
+  // Client order, not slot order: slot packing differs between a recovered
+  // process and its uninterrupted twin, the set of pending clients doesn't.
+  std::sort(pending.begin(), pending.end(),
+            [](const InFlight* a, const InFlight* b) {
+              return a->client < b->client;
+            });
+  s.in_flight.reserve(pending.size());
+  for (const InFlight* slot : pending) {
+    AsyncInFlightSnapshot u;
+    u.client = slot->client;
+    u.arrive_time = slot->arrive_time;
+    u.dispatch_version = slot->dispatch_version;
+    u.failure_kind = slot->failure_kind;
+    u.tokens = slot->update.tokens;
+    u.mean_train_loss = slot->update.mean_train_loss;
+    u.train_sim_seconds = slot->train_sim_seconds;
+    u.metrics = slot->header.metadata;
+    if (slot->failure_kind == 0) {
+      if (slot->streamed) {
+        const WireView& v = slot->wire;
+        u.codec = v.codec;
+        u.elems = v.elems;
+        u.chunk_raw_bytes = v.chunk_raw_bytes;
+        u.chunk_lens = v.lens;
+        std::uint64_t total = 0;
+        for (const std::uint64_t len : v.lens) total += len;
+        u.chunk_bytes.reserve(static_cast<std::size_t>(total));
+        for (std::size_t c = 0; c < v.n_chunks(); ++c) {
+          const auto chunk = v.chunk(c);
+          u.chunk_bytes.insert(u.chunk_bytes.end(), chunk.begin(),
+                               chunk.end());
+        }
+      } else {
+        // Lossless/raw update: persist the decoded fp32 payload directly
+        // (codec stays empty, marking the non-streamed replay path).
+        const std::vector<float>& p = slot->header.payload;
+        u.elems = p.size();
+        u.chunk_raw_bytes = p.size() * sizeof(float);
+        u.chunk_lens = {static_cast<std::uint64_t>(p.size() * sizeof(float))};
+        const auto* bytes = reinterpret_cast<const std::uint8_t*>(p.data());
+        u.chunk_bytes.assign(bytes, bytes + p.size() * sizeof(float));
+      }
+    }
+    s.in_flight.push_back(std::move(u));
+  }
+  return s;
+}
+
+void Aggregator::restore_async_state(const AsyncAggregatorState& st) {
+  if (st.membership.size() != clients_.size() ||
+      st.defer_counts.size() != clients_.size() ||
+      st.next_eligible.size() != clients_.size()) {
+    throw std::runtime_error(
+        "Aggregator: async checkpoint population mismatch");
+  }
+  sim_now_ = st.sim_now;
+  async_accepted_total_ = st.accepted_total;
+  async_discarded_total_ = st.discarded_total;
+  // The checkpointed lifecycle states win over anything plan-derived: a
+  // restore may run under a *different* membership plan (late joiners that
+  // were absent at save time), and the saved states are the truth.
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    membership_[c] = static_cast<MembershipState>(st.membership[c]);
+    sampler_.set_available(static_cast<int>(c),
+                           membership_[c] == MembershipState::kActive);
+  }
+  defer_counts_ = st.defer_counts;
+  next_eligible_ = st.next_eligible;
+  if (slots_.size() < st.in_flight.size()) slots_.resize(st.in_flight.size());
+  for (InFlight& slot : slots_) {
+    slot.busy = false;
+    slot.client = -1;
+  }
+  std::fill(client_slot_.begin(), client_slot_.end(), -1);
+  for (std::size_t i = 0; i < st.in_flight.size(); ++i) {
+    const AsyncInFlightSnapshot& u = st.in_flight[i];
+    if (u.client < 0 || u.client >= population()) {
+      throw std::runtime_error("Aggregator: async checkpoint bad client id");
+    }
+    InFlight& slot = slots_[i];
+    slot.busy = true;
+    slot.client = u.client;
+    slot.dispatch_time = u.arrive_time - u.train_sim_seconds;
+    slot.arrive_time = u.arrive_time;
+    slot.dispatch_version = u.dispatch_version;
+    slot.failure_kind = u.failure_kind;
+    slot.trained = false;  // its stream advance is already in the ckpt
+    slot.train_sim_seconds = u.train_sim_seconds;
+    slot.update.tokens = u.tokens;
+    slot.update.mean_train_loss = u.mean_train_loss;
+    slot.header.metadata = u.metrics;
+    slot.header.sender = static_cast<std::uint32_t>(u.client);
+    slot.header.round = u.dispatch_version;
+    slot.streamed = u.failure_kind == 0 && !u.codec.empty();
+    if (slot.streamed) {
+      WireView& v = slot.wire;
+      v.bytes = u.chunk_bytes;
+      v.codec = u.codec;
+      v.elems = u.elems;
+      v.raw_bytes = static_cast<std::size_t>(u.elems) * sizeof(float);
+      v.chunk_raw_bytes = static_cast<std::size_t>(u.chunk_raw_bytes);
+      v.lens = u.chunk_lens;
+      v.offs.clear();
+      std::uint64_t off = 0;
+      for (const std::uint64_t len : u.chunk_lens) {
+        v.offs.push_back(off);
+        off += len;
+      }
+    } else if (u.failure_kind == 0) {
+      slot.header.payload.resize(static_cast<std::size_t>(u.elems));
+      std::memcpy(slot.header.payload.data(), u.chunk_bytes.data(),
+                  u.chunk_bytes.size());
+    }
+    client_slot_[static_cast<std::size_t>(u.client)] = static_cast<int>(i);
+  }
+}
+
 void Aggregator::record_eval(double perplexity) {
   if (history_.empty()) {
     throw std::runtime_error("Aggregator::record_eval: no rounds yet");
@@ -695,6 +1470,36 @@ bool Aggregator::restore_latest_checkpoint() {
   if (ckpt->client_ef_residuals.size() == clients_.size()) {
     for (std::size_t c = 0; c < clients_.size(); ++c) {
       clients_[c]->set_ef_residual(std::move(ckpt->client_ef_residuals[c]));
+    }
+  }
+  if (ckpt->async_state.valid) {
+    // Async engine: resume mid-buffer.  Membership, admission counters, the
+    // sim clock, and every pending in-flight update come back exactly as the
+    // drain boundary saved them.
+    restore_async_state(ckpt->async_state);
+  } else if (membership_plan_.enabled()) {
+    // Sync checkpoint under an elastic plan: replay the plan's lifecycle
+    // actions for every completed round so membership matches what the
+    // uninterrupted run would hold entering round_.
+    for (int c = 0; c < population(); ++c) {
+      membership_[static_cast<std::size_t>(c)] =
+          membership_plan_.initial_state(c);
+    }
+    for (std::uint32_t r = 0; r < round_; ++r) {
+      for (int c = 0; c < population(); ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        const MembershipAction action =
+            membership_plan_.action(r, c, membership_[i]);
+        if (action == MembershipAction::kArrive) {
+          membership_[i] = MembershipState::kActive;
+        } else if (action == MembershipAction::kLeave) {
+          membership_[i] = MembershipState::kLeft;
+        }
+      }
+    }
+    for (int c = 0; c < population(); ++c) {
+      sampler_.set_available(c, membership_[static_cast<std::size_t>(c)] ==
+                                    MembershipState::kActive);
     }
   }
   checkpoints_.journal_recovered(round_);

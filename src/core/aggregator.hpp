@@ -31,6 +31,7 @@
 #include "core/client.hpp"
 #include "core/metrics.hpp"
 #include "core/sampler.hpp"
+#include "core/selection.hpp"
 #include "core/server_opt.hpp"
 #include "nn/config.hpp"
 #include "nn/model.hpp"
@@ -74,8 +75,40 @@ struct AggregatorConfig {
   double min_cohort_fraction = 0.0;
   /// Fresh-cohort retries after quorum loss before run_round throws.
   int max_cohort_retries = 2;
+  /// Opt-in: when every cohort attempt collapses below quorum, emit a clean
+  /// skipped RoundRecord (survivors == 0, no aggregation, no server step,
+  /// round index still advances) instead of throwing.  Default false keeps
+  /// the historical throw-on-exhaustion contract.
+  bool skip_on_quorum_loss = false;
   /// Link-level retry/backoff policy installed on every client link.
   RetryPolicy retry;
+
+  // --- elastic async federation (DESIGN.md §12) --------------------------
+  /// FedBuff-style asynchronous aggregation: run_round becomes one buffer
+  /// drain — updates are accepted continuously as they arrive (each client
+  /// trains on whatever global version it was dispatched with), and a
+  /// staleness-weighted server-opt step fires once `buffer_goal` accepted
+  /// updates accumulate.  Pending in-flight updates carry across drains,
+  /// which is where staleness > 0 comes from.  Deterministic at any thread
+  /// count: arrivals are processed in (sim arrival time, client id) order
+  /// and the global model only changes at drain boundaries.
+  struct AsyncAggregation {
+    bool enabled = false;
+    /// Accepted updates per server step; 0 = clients_per_round (or the full
+    /// population when that is 0 too).
+    int buffer_goal = 0;
+    /// Admission control: server-side cap on concurrently in-flight
+    /// updates; 0 = 2 * buffer_goal.  Non-admitted clients are deferred
+    /// with RetryPolicy-style exponential backoff in sim time.
+    int max_in_flight = 0;
+    /// Staleness discount w(s) applied to an update trained s server
+    /// versions ago: kPolynomial = (1 + s)^-staleness_exponent (FedBuff's
+    /// choice), kConstant = 1 (plain buffer mean).  The drain normalizes by
+    /// the sum of applied weights.
+    enum class StalenessWeight { kConstant, kPolynomial };
+    StalenessWeight staleness = StalenessWeight::kPolynomial;
+    double staleness_exponent = 0.5;
+  } async;
 
   // --- observability -----------------------------------------------------
   /// Span sink for the round path (nullptr = no tracing).  Not owned; must
@@ -143,13 +176,69 @@ class Aggregator {
     fault_hook_ = std::move(hook);
   }
 
+  /// Install an elastic membership plan (arrivals / permanent departures,
+  /// applied at round/drain boundaries).  Resets every client to the plan's
+  /// initial state; a default-constructed (disabled) plan restores the
+  /// fixed full population.
+  void set_membership_plan(const MembershipPlan& plan);
+  /// Lifecycle state of one client under the installed membership plan.
+  MembershipState membership_state(int id) const {
+    return membership_.at(static_cast<std::size_t>(id));
+  }
+  /// Active (joined, not departed) clients right now.
+  int active_population() const;
+  /// Async engine: updates currently in flight (dispatched, not resolved).
+  int async_in_flight() const;
+
   /// Annotate the most recent round's record with an eval result.
   void record_eval(double perplexity);
 
   /// Restore the global model from the latest checkpoint (crash recovery).
+  /// In async mode this also restores the mid-buffer engine state (pending
+  /// in-flight updates, membership, admission counters, the sim clock), so
+  /// the recovered timeline is bit-identical to an uninterrupted run.
   bool restore_latest_checkpoint();
 
  private:
+  /// One occupied admission slot: a dispatched update in flight between the
+  /// server and a client.  Slots are reused across the whole run (their
+  /// message/wire/update buffers keep capacity), so async resident memory
+  /// is bounded by max_in_flight regardless of population.
+  struct InFlight {
+    bool busy = false;
+    int client = -1;
+    double dispatch_time = 0.0;
+    double arrive_time = 0.0;            // when the outcome reaches the server
+    std::uint32_t dispatch_version = 0;  // server version trained against
+    std::uint8_t failure_kind = 0;       // 0 ok, 1 crash, 2 link failure
+    bool trained = false;                // local data stream advanced
+    bool streamed = false;               // update retained as a wire image
+    double train_sim_seconds = 0.0;
+    Message header;       // received update header (metadata = metrics)
+    WireView wire;        // retained quantized wire image when streamed
+    ClientUpdate update;  // reused delta/metric storage
+  };
+
+  RoundRecord run_round_sync();
+  RoundRecord run_round_async();
+  /// Apply the membership plan's arrivals/departures for round_ (client-id
+  /// order; pure given (plan, round, states)).
+  void apply_membership(RoundRecord& record);
+  /// Effective FedBuff buffer goal / in-flight cap for this config.
+  int async_buffer_goal() const;
+  int async_max_in_flight() const;
+  double staleness_weight(std::uint32_t staleness) const;
+  /// Deterministic admission-deferral backoff for a client's count'th
+  /// consecutive defer; keyed on (retry.jitter_seed, client, count) so a
+  /// restored run reproduces the exact deferral timeline.
+  double defer_backoff(int client, std::uint32_t count) const;
+  /// Train + transmit one admitted client into `slot` (parallel-safe: only
+  /// this slot, this client, and this client's link are touched).
+  void async_dispatch(InFlight& slot, int client, const Message& broadcast,
+                      std::uint32_t dispatch_seq, bool tracing);
+  AsyncAggregatorState capture_async_state() const;
+  void restore_async_state(const AsyncAggregatorState& state);
+
   ModelConfig model_config_;
   AggregatorConfig config_;
   std::unique_ptr<ServerOpt> server_opt_;
@@ -174,6 +263,15 @@ class Aggregator {
     obs::CounterHandle rounds;
     obs::GaugeHandle tokens_per_sim_second;
     obs::HistogramHandle client_sim_seconds;
+    // elastic async engine
+    obs::CounterHandle async_drains;
+    obs::CounterHandle async_accepted;
+    obs::CounterHandle async_discarded;
+    obs::CounterHandle async_deferred;
+    obs::CounterHandle arrivals;
+    obs::CounterHandle departures;
+    obs::GaugeHandle async_in_flight;
+    obs::HistogramHandle async_staleness;
   } obs_;
   /// Rounds of local training each client has run (== its data-stream
   /// position in rounds); persisted in checkpoints so recovery can fast-
@@ -189,6 +287,18 @@ class Aggregator {
   std::vector<WireView> wire_rx_;
   std::vector<ClientUpdate> updates_;
   std::vector<float> pseudo_grad_;
+
+  // --- elastic async engine state (DESIGN.md §12) -----------------------
+  MembershipPlan membership_plan_;
+  std::vector<MembershipState> membership_;   // per client
+  std::vector<std::uint32_t> defer_counts_;   // consecutive admission defers
+  std::vector<double> next_eligible_;         // sim time a defer expires
+  std::vector<std::uint32_t> dispatch_seq_;   // dispatches per client per drain
+  std::vector<InFlight> slots_;               // sized max_in_flight, reused
+  std::vector<int> client_slot_;              // client -> slot, -1 = idle
+  std::uint64_t async_accepted_total_ = 0;
+  std::uint64_t async_discarded_total_ = 0;
+  std::vector<double> async_acc_;  // fp64 staleness-weighted accumulator
 };
 
 }  // namespace photon

@@ -15,6 +15,79 @@ constexpr std::uint32_t kCkptMagic = 0x324B4350;
 
 constexpr const char* kJournalFile = "round.journal";
 
+void write_metric_dict(BinaryWriter& w,
+                       const std::map<std::string, double>& metrics) {
+  w.write(static_cast<std::uint64_t>(metrics.size()));
+  for (const auto& [key, value] : metrics) {
+    w.write_string(key);
+    w.write(value);
+  }
+}
+
+std::map<std::string, double> read_metric_dict(BinaryReader& r) {
+  std::map<std::string, double> metrics;
+  const auto n = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.read_string();
+    metrics[std::move(key)] = r.read<double>();
+  }
+  return metrics;
+}
+
+void write_async_state(BinaryWriter& w, const AsyncAggregatorState& s) {
+  w.write(s.sim_now);
+  w.write(s.accepted_total);
+  w.write(s.discarded_total);
+  w.write_vector(s.membership);
+  w.write_vector(s.defer_counts);
+  w.write_vector(s.next_eligible);
+  w.write(static_cast<std::uint64_t>(s.in_flight.size()));
+  for (const AsyncInFlightSnapshot& u : s.in_flight) {
+    w.write(u.client);
+    w.write(u.arrive_time);
+    w.write(u.dispatch_version);
+    w.write(u.failure_kind);
+    w.write(u.tokens);
+    w.write(u.mean_train_loss);
+    w.write(u.train_sim_seconds);
+    write_metric_dict(w, u.metrics);
+    w.write_string(u.codec);
+    w.write(u.elems);
+    w.write(u.chunk_raw_bytes);
+    w.write_vector(u.chunk_lens);
+    w.write_vector(u.chunk_bytes);
+  }
+}
+
+AsyncAggregatorState read_async_state(BinaryReader& r) {
+  AsyncAggregatorState s;
+  s.valid = true;
+  s.sim_now = r.read<double>();
+  s.accepted_total = r.read<std::uint64_t>();
+  s.discarded_total = r.read<std::uint64_t>();
+  s.membership = r.read_vector<std::uint8_t>();
+  s.defer_counts = r.read_vector<std::uint32_t>();
+  s.next_eligible = r.read_vector<double>();
+  const auto n = r.read<std::uint64_t>();
+  s.in_flight.resize(n);
+  for (AsyncInFlightSnapshot& u : s.in_flight) {
+    u.client = r.read<int>();
+    u.arrive_time = r.read<double>();
+    u.dispatch_version = r.read<std::uint32_t>();
+    u.failure_kind = r.read<std::uint8_t>();
+    u.tokens = r.read<std::uint64_t>();
+    u.mean_train_loss = r.read<double>();
+    u.train_sim_seconds = r.read<double>();
+    u.metrics = read_metric_dict(r);
+    u.codec = r.read_string();
+    u.elems = r.read<std::uint64_t>();
+    u.chunk_raw_bytes = r.read<std::uint64_t>();
+    u.chunk_lens = r.read_vector<std::uint64_t>();
+    u.chunk_bytes = r.read_vector<std::uint8_t>();
+  }
+  return s;
+}
+
 }  // namespace
 
 CheckpointStore::CheckpointStore(std::filesystem::path dir,
@@ -137,6 +210,12 @@ void CheckpointStore::write_to_disk(const Checkpoint& ckpt) const {
   for (const auto& residual : ckpt.client_ef_residuals) {
     w.write_vector(residual);
   }
+  // Second trailing field: elastic async engine state.  Sync-mode saves
+  // write nothing here, keeping their byte layout identical to before.
+  if (ckpt.async_state.valid) {
+    w.write(static_cast<std::uint8_t>(1));
+    write_async_state(w, ckpt.async_state);
+  }
   const auto path = dir_ / ("ckpt_" + std::to_string(ckpt.round) + ".bin");
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("CheckpointStore: cannot write " + path.string());
@@ -167,6 +246,9 @@ std::optional<Checkpoint> CheckpointStore::read_from_disk(
       for (auto& residual : ckpt.client_ef_residuals) {
         residual = r.read_vector<float>();
       }
+    }
+    if (r.remaining() > 0 && r.read<std::uint8_t>() != 0) {
+      ckpt.async_state = read_async_state(r);
     }
   } else {
     // Legacy (pre-journal) layout: round, perplexity, params.

@@ -7,12 +7,53 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace photon {
+
+/// One in-flight async update pending at a drain boundary, retained as its
+/// compressed wire image so a restored run replays it through the exact
+/// dequantize-accumulate path the uninterrupted run would have used.
+struct AsyncInFlightSnapshot {
+  int client = -1;
+  double arrive_time = 0.0;          // absolute sim time the update lands
+  std::uint32_t dispatch_version = 0;  // server model version it trained on
+  /// 0 = delivers normally; 1 = client crashed mid-round; 2 = the return
+  /// transmit aborted.  Failed slots still occupy admission capacity until
+  /// their arrive_time, so they must survive recovery too.
+  std::uint8_t failure_kind = 0;
+  std::uint64_t tokens = 0;
+  double mean_train_loss = 0.0;
+  double train_sim_seconds = 0.0;
+  std::map<std::string, double> metrics;
+  // --- retained wire image (empty for failed slots) ---
+  std::string codec;
+  std::uint64_t elems = 0;
+  std::uint64_t chunk_raw_bytes = 0;
+  std::vector<std::uint64_t> chunk_lens;
+  std::vector<std::uint8_t> chunk_bytes;  // compressed chunks, concatenated
+};
+
+/// Async engine state captured at a FedBuff drain boundary (the fp64
+/// accumulator is always empty there, so "buffer contents" = the in-flight
+/// updates plus the per-client counters that gate admission).  Trailing v2
+/// checkpoint field; absent for sync-mode saves and older snapshots.
+struct AsyncAggregatorState {
+  bool valid = false;
+  /// Async rounds consume sim time across drain boundaries, so unlike the
+  /// sync engine the clock itself is part of the restart state.
+  double sim_now = 0.0;
+  std::uint64_t accepted_total = 0;
+  std::uint64_t discarded_total = 0;
+  std::vector<std::uint8_t> membership;     // MembershipState per client
+  std::vector<std::uint32_t> defer_counts;  // consecutive admission defers
+  std::vector<double> next_eligible;        // sim time a defer expires
+  std::vector<AsyncInFlightSnapshot> in_flight;
+};
 
 struct Checkpoint {
   std::uint32_t round = 0;
@@ -37,6 +78,10 @@ struct Checkpoint {
   /// run.  Trailing v2 field: absent in older snapshots, read only when
   /// bytes remain.
   std::vector<std::vector<float>> client_ef_residuals;
+  /// Elastic async engine state (valid only for async-mode saves); second
+  /// trailing field, written after the residuals and skipped entirely for
+  /// sync saves so their byte layout is unchanged.
+  AsyncAggregatorState async_state;
 };
 
 class CheckpointStore {

@@ -18,8 +18,7 @@ LLMClient::LLMClient(int id, ClientTrainConfig config,
     : id_(id),
       config_(std::move(config)),
       data_(std::move(data)),
-      model_(config_.model, hash_combine(seed, static_cast<std::uint64_t>(id))),
-      opt_(model_.num_params(), config_.adamw),
+      replica_seed_(hash_combine(seed, static_cast<std::uint64_t>(id))),
       schedule_(config_.schedule) {
   if (data_ == nullptr) {
     throw std::invalid_argument("LLMClient: null data source");
@@ -29,6 +28,11 @@ LLMClient::LLMClient(int id, ClientTrainConfig config,
   }
   if (config_.sub_nodes < 1) {
     throw std::invalid_argument("LLMClient: sub_nodes must be >= 1");
+  }
+  if (config_.ephemeral && !config_.stateless_optimizer) {
+    throw std::invalid_argument(
+        "LLMClient: ephemeral requires stateless_optimizer (optimizer state "
+        "cannot survive the post-round release)");
   }
   if (config_.link_codec.empty()) {
     // tools/ci.sh reruns tier-1 with PHOTON_WIRE_CODEC=q8 to sweep the
@@ -52,6 +56,12 @@ LLMClient::LLMClient(int id, ClientTrainConfig config,
   post_.add(std::make_unique<CompressStage>(config_.link_codec));
 }
 
+void LLMClient::ensure_replica() {
+  if (model_ != nullptr) return;
+  model_ = std::make_unique<GptModel>(config_.model, replica_seed_);
+  opt_ = std::make_unique<AdamW>(model_->num_params(), config_.adamw);
+}
+
 std::pair<double, std::uint64_t> LLMClient::train_replica(
     int local_steps, std::int64_t step_base) {
   const int batch = config_.local_batch;
@@ -64,16 +74,16 @@ std::pair<double, std::uint64_t> LLMClient::train_replica(
   for (int step = 0; step < local_steps; ++step) {
     const obs::RealTimer step_timer(tracing);
     const Batch b = data_->next_batch(batch, seq);
-    model_.zero_grad();
-    const float loss = model_.train_step_fb(b.tokens, b.targets, batch, seq);
+    model_->zero_grad();
+    const float loss = model_->train_step_fb(b.tokens, b.targets, batch, seq);
     // Fused schedule + clip + AdamW: the cosine LR is evaluated inside the
     // step call and the clip folds into the per-element grad read — one
     // optimizer call, one pass over the grads.  Grads are left unscaled,
     // which is fine — zero_grad() clears them before the next step reads
     // them.
     const double norm =
-        opt_.step_clipped(model_.params(), model_.grads(), schedule_,
-                          step_base + step, config_.max_grad_norm);
+        opt_->step_clipped(model_->params(), model_->grads(), schedule_,
+                           step_base + step, config_.max_grad_norm);
     loss_sum += loss;
     grad_norm_sum += norm;
     tokens += static_cast<std::uint64_t>(batch) * seq;
@@ -120,7 +130,8 @@ void LLMClient::run_round(std::span<const float> global_params,
                           std::uint32_t round, int local_steps,
                           std::int64_t schedule_step_base,
                           ClientUpdate& update) {
-  if (global_params.size() != model_.num_params()) {
+  ensure_replica();
+  if (global_params.size() != model_->num_params()) {
     throw std::invalid_argument("LLMClient::run_round: param size mismatch");
   }
   if (local_steps <= 0) {
@@ -139,38 +150,41 @@ void LLMClient::run_round(std::span<const float> global_params,
   if (config_.sub_nodes == 1) {
     // Fast interconnect path (Alg. 1 L16-18): one logical replica at the
     // autotuned device batch.
-    model_.load_params(global_params);
-    if (config_.stateless_optimizer) opt_.reset();
+    model_->load_params(global_params);
+    if (config_.stateless_optimizer) opt_->reset();
     auto [loss, toks] = train_replica(local_steps, schedule_step_base);
     mean_loss = loss;
     tokens = toks;
   } else {
     // Nested sub-federation (Alg. 1 L19-25): train `sub_nodes` replicas on
     // sub-partitioned data (IID default) and average their parameters.
-    std::vector<double> param_sum(model_.num_params(), 0.0);
+    std::vector<double> param_sum(model_->num_params(), 0.0);
     for (int node = 0; node < config_.sub_nodes; ++node) {
-      model_.load_params(global_params);
-      opt_.reset();  // each node replica starts fresh
+      model_->load_params(global_params);
+      opt_->reset();  // each node replica starts fresh
       auto [loss, toks] = train_replica(local_steps, schedule_step_base);
       mean_loss += loss / config_.sub_nodes;
       tokens += toks;
-      const auto params = model_.params();
+      const auto params = model_->params();
       for (std::size_t i = 0; i < params.size(); ++i) {
         param_sum[i] += params[i];
       }
     }
-    auto params = model_.params();
+    auto params = model_->params();
     for (std::size_t i = 0; i < params.size(); ++i) {
       params[i] = static_cast<float>(param_sum[i] / config_.sub_nodes);
     }
   }
 
-  // Local checkpoint for fast recovery (Alg. 1 L27).
-  checkpoint_.assign(model_.params().begin(), model_.params().end());
+  // Local checkpoint for fast recovery (Alg. 1 L27); skipped for ephemeral
+  // clients, which would otherwise pin a param-sized buffer per client.
+  if (!config_.ephemeral) {
+    checkpoint_.assign(model_->params().begin(), model_->params().end());
+  }
 
   // delta_k = theta_global - theta_k (Alg. 1 L7), in one vectorized pass.
-  update.delta.resize(model_.num_params());
-  const auto params = model_.params();
+  update.delta.resize(model_->num_params());
+  const auto params = model_->params();
   kernels::sub(update.delta.data(), global_params.data(), params.data(),
                params.size());
 
@@ -192,6 +206,14 @@ void LLMClient::run_round(std::span<const float> global_params,
                             qbits);
     update.metrics["ef_residual_norm"] =
         kernels::l2_norm(ef_residual_.data(), n);
+  }
+
+  // Ephemeral mode: the delta is computed and post-processed, so the
+  // replica (params + grads + activations + AdamW moments) can go — the
+  // next round rebuilds it from the same seed and loads the broadcast.
+  if (config_.ephemeral) {
+    model_.reset();
+    opt_.reset();
   }
 
   update.tokens = tokens;

@@ -66,6 +66,14 @@ struct ClientTrainConfig {
   /// bench_round_path shows q8 without this visibly diverges).  No effect
   /// under lossless codecs.
   bool quant_error_feedback = true;
+  /// Release the model replica and optimizer between rounds: both are
+  /// constructed on demand inside run_round and freed before it returns, so
+  /// an idle client costs only its data stream and EF residual.  This is
+  /// what makes a 10k-client elastic population resident-memory-bounded
+  /// (10k eager micro-model replicas ≈ 28 GB; 10k ephemeral ones ≈ 0).
+  /// Requires stateless_optimizer (state cannot survive the release) and
+  /// disables the local fast-recovery checkpoint.
+  bool ephemeral = false;
 };
 
 struct ClientUpdate {
@@ -102,7 +110,8 @@ class LLMClient {
                  ClientUpdate& out);
 
   /// Local checkpoint from the last completed round (Alg. 1 L27), for fast
-  /// recovery; empty before the first round.
+  /// recovery; empty before the first round and always empty for ephemeral
+  /// clients (recovery re-broadcasts the global model instead).
   std::span<const float> local_checkpoint() const { return checkpoint_; }
 
   /// Crash recovery: advance the data stream past `rounds` already-trained
@@ -125,6 +134,11 @@ class LLMClient {
   }
 
  private:
+  /// Construct the model replica and optimizer if absent.  Deterministic in
+  /// (config, seed), so a lazily built replica is bit-identical to an eager
+  /// one — run_round overwrites its params with the broadcast anyway.
+  void ensure_replica();
+
   /// Train one replica for `local_steps` from the model's current params.
   /// Returns (mean loss, tokens).
   std::pair<double, std::uint64_t> train_replica(int local_steps,
@@ -133,8 +147,9 @@ class LLMClient {
   int id_;
   ClientTrainConfig config_;
   std::unique_ptr<DataSource> data_;
-  GptModel model_;
-  AdamW opt_;
+  std::uint64_t replica_seed_;
+  std::unique_ptr<GptModel> model_;  // lazily built; freed when ephemeral
+  std::unique_ptr<AdamW> opt_;
   CosineSchedule schedule_;
   PostProcessPipeline post_;
   std::vector<float> checkpoint_;

@@ -47,6 +47,22 @@ struct RoundRecord {
   /// Simulated (transfer + backoff + local train) seconds of the slowest
   /// surviving client; what a round deadline is compared against.
   double sim_slowest_client_seconds = 0.0;
+  /// Sync mode with skip_on_quorum_loss: every cohort collapsed below
+  /// quorum, so no aggregation/server step happened.  survivors == 0 and the
+  /// loss/norm fields are zero — a clean no-op record, never a 0/0 mean.
+  bool skipped = false;
+
+  // --- elastic async engine telemetry (DESIGN.md §12) ---
+  bool async_drain = false;       // record is one FedBuff buffer drain
+  /// Server model version the drain stepped FROM (== round for drain N).
+  std::uint32_t server_version = 0;
+  double mean_staleness = 0.0;    // over accepted updates this drain
+  std::uint32_t max_staleness = 0;
+  std::uint32_t admission_deferred = 0;  // back-off verdicts issued
+  /// Updates that arrived but were discarded (client left before arrival).
+  std::uint32_t discarded_updates = 0;
+  std::uint32_t arrivals = 0;     // clients that joined at this boundary
+  std::uint32_t departures = 0;   // clients that left at this boundary
 };
 
 /// Full training history with convenience queries used by benches.

@@ -73,6 +73,7 @@ PhotonRunner::PhotonRunner(RunnerConfig config) : config_(std::move(config)) {
   ctc.stateless_optimizer = config_.stateless_optimizer;
   ctc.sub_nodes = config_.sub_nodes;
   ctc.link_codec = config_.link_codec;
+  ctc.ephemeral = config_.ephemeral_clients;
 
   std::vector<std::unique_ptr<LLMClient>> clients;
   clients.reserve(static_cast<std::size_t>(config_.population));
@@ -94,6 +95,10 @@ PhotonRunner::PhotonRunner(RunnerConfig config) : config_(std::move(config)) {
   ac.secure_aggregation = config_.secure_aggregation;
   ac.sim_throughput_bps = config_.sim_throughput_bps;
   ac.seed = hash_combine(config_.seed, 0x5A3FULL);
+  ac.async = config_.async;
+  ac.skip_on_quorum_loss = config_.skip_on_quorum_loss;
+  ac.min_cohort_fraction = config_.min_cohort_fraction;
+  ac.max_cohort_retries = config_.max_cohort_retries;
 
   // PHOTON_TRACE=1 opts a run into tracing with zero code changes.
   if (config_.tracer == nullptr && config_.metrics == nullptr) {
@@ -110,6 +115,9 @@ PhotonRunner::PhotonRunner(RunnerConfig config) : config_(std::move(config)) {
       make_server_opt(config_.server_opt, config_.server_lr,
                       config_.server_momentum),
       std::move(clients), hash_combine(config_.seed, 0x1217ULL));
+  if (config_.membership.enabled()) {
+    aggregator_->set_membership_plan(config_.membership);
+  }
 
   // Validation set: equal-weight mixture over every style (the paper
   // evaluates all settings on the C4 validation set; for heterogeneous

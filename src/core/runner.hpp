@@ -45,6 +45,16 @@ struct RunnerConfig {
   bool secure_aggregation = false;
   std::string link_codec;
 
+  // Elastic async federation (DESIGN.md §12).  Forwarded verbatim to
+  // AggregatorConfig; the round loop is unchanged — each run_round() is one
+  // buffer drain in async mode.
+  AggregatorConfig::AsyncAggregation async;
+  bool skip_on_quorum_loss = false;
+  double min_cohort_fraction = 0.0;
+  int max_cohort_retries = 2;
+  bool ephemeral_clients = false;  // release client replicas between rounds
+  MembershipPlan membership;       // join/leave churn; disabled by default
+
   // Data: blend 1.0 = IID C4-style; < 1.0 = Pile-style heterogeneous
   // sources dealt round-robin across clients.
   double heterogeneity_blend = 1.0;

@@ -34,11 +34,15 @@ const char* span_category(SpanKind kind) {
     case SpanKind::kServerOpt:
     case SpanKind::kCheckpoint:
     case SpanKind::kEval:
+    case SpanKind::kBufferDrain:
     case SpanKind::kRound: return "server";
     case SpanKind::kRetryWait:
     case SpanKind::kStragglerCut:
     case SpanKind::kCrash:
-    case SpanKind::kLinkFail: return "fault";
+    case SpanKind::kLinkFail:
+    case SpanKind::kAdmissionDefer:
+    case SpanKind::kClientArrive:
+    case SpanKind::kClientLeave: return "fault";
   }
   return "?";
 }

@@ -16,6 +16,7 @@ constexpr const char* kSpanNames[kNumSpanKinds] = {
     "encode",        "decode",     "collective",  "server_opt",
     "checkpoint",    "retry_wait", "update_return", "eval",
     "straggler_cut", "crash",      "link_fail",   "dequant_accum",
+    "buffer_drain",  "admission_defer", "client_arrive", "client_leave",
 };
 
 /// One slot per (thread, tracer) pairing.  A thread that alternates

@@ -65,6 +65,13 @@ enum class SpanKind : std::uint8_t {
   kLinkFail,         // instant: transmit gave up (attempts/deadline)
   kDequantAccum,     // streamed dequantize+accumulate of one wire chunk,
                      // pipelined inside the update-return transfer window
+  kBufferDrain,      // async engine: one staleness-weighted server step over
+                     // a full FedBuff buffer (width = first dispatch to the
+                     // buffer_goal'th accepted arrival)
+  kAdmissionDefer,   // instant: admission control told a client to back off
+                     // (in-flight cap reached); detail = consecutive defers
+  kClientArrive,     // instant: elastic membership — client joined mid-run
+  kClientLeave,      // instant: elastic membership — client left permanently
 };
 
 /// Stable lower_snake name used by every exporter ("round", "retry_wait"...).
@@ -74,7 +81,7 @@ const char* span_name(SpanKind kind);
 SpanKind span_kind_from_name(std::string_view name);
 
 /// Number of distinct SpanKind values (for iteration / histograms).
-inline constexpr int kNumSpanKinds = 16;
+inline constexpr int kNumSpanKinds = 20;
 
 struct TraceEvent {
   SpanKind kind = SpanKind::kRound;

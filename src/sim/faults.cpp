@@ -45,6 +45,7 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
     throw std::invalid_argument(
         "FaultPlan: need 1 <= straggle_factor_min <= straggle_factor_max");
   }
+  plan_.membership.validate();
 }
 
 ClientRoundFault FaultInjector::client_fault(std::uint32_t round, int client,
@@ -120,6 +121,9 @@ void FaultInjector::install(Aggregator& agg) const {
       return link_fault(id, m, attempt);
     });
   }
+  if (plan_.membership.enabled()) {
+    agg.set_membership_plan(plan_.membership);
+  }
 }
 
 void FaultInjector::uninstall(Aggregator& agg) {
@@ -127,6 +131,7 @@ void FaultInjector::uninstall(Aggregator& agg) {
   for (int id = 0; id < agg.population(); ++id) {
     agg.link(id).set_fault_hook(nullptr);
   }
+  agg.set_membership_plan(MembershipPlan{});
 }
 
 }  // namespace photon

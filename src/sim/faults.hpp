@@ -19,6 +19,7 @@
 
 #include "comm/link.hpp"
 #include "core/aggregator.hpp"
+#include "core/selection.hpp"
 #include "obs/metrics.hpp"
 
 namespace photon {
@@ -51,6 +52,12 @@ struct FaultPlan {
   /// Faults fire only for rounds in [first_round, last_round].
   std::uint32_t first_round = 0;
   std::uint32_t last_round = std::numeric_limits<std::uint32_t>::max();
+
+  /// Elastic membership churn (kClientArrive / kClientLeave events) layered
+  /// on top of the transient fault mix.  Disabled by default; install()
+  /// forwards it to Aggregator::set_membership_plan, where the async engine
+  /// applies it at drain boundaries.
+  MembershipPlan membership;
 };
 
 class FaultInjector {

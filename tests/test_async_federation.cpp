@@ -1,0 +1,527 @@
+// Elastic asynchronous federation (DESIGN.md §12): FedBuff-style buffered
+// aggregation with staleness discounting, admission control, mid-run
+// membership churn, and bit-exact mid-buffer crash recovery.
+//
+// The determinism twins here are the async engine's contract: serial and
+// pool-parallel drains, and interrupted-and-restored vs uninterrupted runs,
+// must produce bit-identical global parameters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "comm/link.hpp"
+#include "comm/message.hpp"
+#include "core/aggregator.hpp"
+#include "core/checkpoint.hpp"
+#include "core/client.hpp"
+#include "core/selection.hpp"
+#include "core/server_opt.hpp"
+#include "data/corpus.hpp"
+#include "data/stream.hpp"
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+
+namespace photon {
+namespace {
+
+ModelConfig tiny_model() {
+  ModelConfig c;
+  c.n_layers = 2;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.vocab_size = 64;
+  c.seq_len = 16;
+  c.expansion_ratio = 2;
+  return c;
+}
+
+ClientTrainConfig tiny_client_config() {
+  ClientTrainConfig ctc;
+  ctc.model = tiny_model();
+  ctc.local_batch = 2;
+  ctc.schedule.max_lr = 5e-3f;
+  ctc.schedule.warmup_steps = 2;
+  ctc.schedule.total_steps = 1000;
+  return ctc;
+}
+
+std::unique_ptr<DataSource> tiny_stream(std::uint64_t seed) {
+  CorpusConfig cc;
+  cc.vocab_size = 64;
+  auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
+  return std::make_unique<CorpusStreamSource>(corpus, seed);
+}
+
+std::unique_ptr<Aggregator> build_async_aggregator(
+    AggregatorConfig ac, int population = 4,
+    const std::string& opt = "fedavg", bool ephemeral = false) {
+  ac.async.enabled = true;
+  ac.seed = 33;
+  std::vector<std::unique_ptr<LLMClient>> clients;
+  for (int i = 0; i < population; ++i) {
+    auto cfg = tiny_client_config();
+    cfg.ephemeral = ephemeral;
+    clients.push_back(std::make_unique<LLMClient>(
+        i, cfg, tiny_stream(100 + static_cast<std::uint64_t>(i)), 7));
+  }
+  return std::make_unique<Aggregator>(tiny_model(), ac,
+                                      make_server_opt(opt, 0.5f, 0.9f),
+                                      std::move(clients), 55);
+}
+
+bool params_equal(const Aggregator& a, const Aggregator& b) {
+  return a.global_params().size() == b.global_params().size() &&
+         std::memcmp(a.global_params().data(), b.global_params().data(),
+                     a.global_params().size() * sizeof(float)) == 0;
+}
+
+// ---------------------------------------------------------- basic drains --
+TEST(AsyncFederation, DrainRecordIsCoherent) {
+  AggregatorConfig ac;
+  ac.local_steps = 2;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 3;
+  auto agg = build_async_aggregator(ac);
+  const RoundRecord rec = agg->run_round();
+  EXPECT_TRUE(rec.async_drain);
+  EXPECT_EQ(rec.round, 0u);
+  EXPECT_EQ(rec.server_version, 0u);
+  EXPECT_EQ(rec.survivors, 3);
+  EXPECT_EQ(rec.participants.size(), 3u);
+  EXPECT_GT(rec.mean_train_loss, 0.0);
+  EXPECT_GT(rec.update_norm, 0.0);
+  EXPECT_GT(rec.comm_bytes, 0u);
+  EXPECT_GT(agg->sim_now(), 0.0);
+  EXPECT_EQ(agg->round(), 1u);
+  // Drain 0 dispatches at version 0 and accepts at round 0: no staleness.
+  EXPECT_EQ(rec.mean_staleness, 0.0);
+  EXPECT_EQ(rec.max_staleness, 0u);
+}
+
+TEST(AsyncFederation, SurplusInFlightUpdatesCarryStalenessIntoNextDrain) {
+  // buffer_goal 2 with 4 slots: the drain accepts 2 and leaves in-flight
+  // work dispatched at the old version; the next drain accepts it at
+  // version+1, so staleness shows up and the polynomial discount < 1.
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 2;
+  ac.async.max_in_flight = 4;
+  auto agg = build_async_aggregator(ac);
+  (void)agg->run_round();
+  const RoundRecord rec1 = agg->run_round();
+  EXPECT_GT(rec1.max_staleness, 0u);
+  EXPECT_GT(rec1.mean_staleness, 0.0);
+}
+
+TEST(AsyncFederation, ConstantAndPolynomialStalenessWeightingDiverge) {
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 2;
+  ac.async.max_in_flight = 4;
+  auto poly = build_async_aggregator(ac);
+  ac.async.staleness =
+      AggregatorConfig::AsyncAggregation::StalenessWeight::kConstant;
+  auto constant = build_async_aggregator(ac);
+  for (int r = 0; r < 3; ++r) {
+    (void)poly->run_round();
+    (void)constant->run_round();
+  }
+  // Same dispatch/accept timeline, different discount: models must differ.
+  EXPECT_FALSE(params_equal(*poly, *constant));
+}
+
+TEST(AsyncFederation, SecureAggregationIsRejected) {
+  AggregatorConfig ac;
+  ac.async.enabled = true;
+  ac.secure_aggregation = true;
+  EXPECT_THROW(build_async_aggregator(ac), std::invalid_argument);
+}
+
+// ---------------------------------------------------- determinism twins --
+TEST(AsyncFederation, SerialAndParallelDrainsAreBitIdentical) {
+  AggregatorConfig ac;
+  ac.local_steps = 2;
+  ac.async.buffer_goal = 3;
+  ac.async.max_in_flight = 6;
+  ac.parallel_clients = false;
+  auto serial = build_async_aggregator(ac, /*population=*/8);
+  ac.parallel_clients = true;
+  auto parallel = build_async_aggregator(ac, /*population=*/8);
+  for (int r = 0; r < 3; ++r) {
+    const RoundRecord rs = serial->run_round();
+    const RoundRecord rp = parallel->run_round();
+    EXPECT_EQ(rs.participants, rp.participants);
+    EXPECT_EQ(rs.mean_staleness, rp.mean_staleness);
+    EXPECT_EQ(rs.admission_deferred, rp.admission_deferred);
+    ASSERT_TRUE(params_equal(*serial, *parallel)) << "drain " << r;
+  }
+}
+
+TEST(AsyncFederation, ChurnedFaultedTwinsAreBitIdentical) {
+  // The full gauntlet: crashes, stragglers, link drops, wire corruption,
+  // and join/leave churn — serial vs pool-parallel must still agree bit
+  // for bit, because every decision is content-keyed, never thread-keyed.
+  FaultPlan plan;
+  plan.crash_prob = 0.1;
+  plan.straggle_prob = 0.3;
+  plan.link_drop_prob = 0.05;
+  plan.corrupt_prob = 0.05;
+  plan.membership.initial_population = 6;
+  plan.membership.arrive_prob = 0.3;
+  plan.membership.leave_prob = 0.05;
+  FaultInjector injector(plan);
+
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.async.buffer_goal = 3;
+  ac.async.max_in_flight = 5;
+  ac.parallel_clients = false;
+  auto serial = build_async_aggregator(ac, /*population=*/8);
+  ac.parallel_clients = true;
+  auto parallel = build_async_aggregator(ac, /*population=*/8);
+  injector.install(*serial);
+  injector.install(*parallel);
+  for (int r = 0; r < 4; ++r) {
+    const RoundRecord rs = serial->run_round();
+    const RoundRecord rp = parallel->run_round();
+    EXPECT_EQ(rs.participants, rp.participants);
+    EXPECT_EQ(rs.crashed_clients, rp.crashed_clients);
+    EXPECT_EQ(rs.arrivals, rp.arrivals);
+    EXPECT_EQ(rs.departures, rp.departures);
+    EXPECT_EQ(rs.discarded_updates, rp.discarded_updates);
+    ASSERT_TRUE(params_equal(*serial, *parallel)) << "drain " << r;
+  }
+  EXPECT_EQ(serial->sim_now(), parallel->sim_now());
+}
+
+// ------------------------------------------------------ admission control --
+TEST(AsyncFederation, InFlightCapDefersAdmissionDeterministically) {
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 4;
+  ac.async.max_in_flight = 2;  // 8 hungry clients, 2 seats
+  auto agg = build_async_aggregator(ac, /*population=*/8);
+  auto twin = build_async_aggregator(ac, /*population=*/8);
+  const RoundRecord rec = agg->run_round();
+  const RoundRecord rec2 = twin->run_round();
+  EXPECT_GT(rec.admission_deferred, 0u);
+  EXPECT_EQ(rec.admission_deferred, rec2.admission_deferred);
+  EXPECT_EQ(rec.participants, rec2.participants);
+  EXPECT_EQ(rec.survivors, 4);
+  EXPECT_EQ(agg->async_in_flight(), twin->async_in_flight());
+}
+
+// --------------------------------------------------------------- churn ----
+TEST(AsyncFederation, ScheduledJoinBootstrapsNewClientMidRun) {
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 2;
+  auto agg = build_async_aggregator(ac, /*population=*/3);
+  MembershipPlan plan;
+  plan.initial_population = 2;  // client 2 starts absent
+  plan.scheduled.push_back({1, 2, MembershipAction::kArrive});
+  agg->set_membership_plan(plan);
+  EXPECT_EQ(agg->membership_state(2), MembershipState::kAbsent);
+  EXPECT_EQ(agg->active_population(), 2);
+
+  const RoundRecord r0 = agg->run_round();
+  EXPECT_EQ(r0.arrivals, 0u);
+  for (int c : r0.participants) EXPECT_NE(c, 2);
+
+  const RoundRecord r1 = agg->run_round();
+  EXPECT_EQ(r1.arrivals, 1u);
+  EXPECT_EQ(agg->membership_state(2), MembershipState::kActive);
+  EXPECT_EQ(agg->active_population(), 3);
+
+  // The joiner is dispatched (bootstrapped via the ordinary broadcast) in
+  // the drain it arrived in; its update lands in this drain's buffer or —
+  // if the goal filled first — carries into the next as a stale accept.
+  EXPECT_GT(agg->client_trained_rounds()[2], 0u);
+  const RoundRecord r2 = agg->run_round();
+  bool seen = false;
+  for (int c : r1.participants) seen |= c == 2;
+  for (int c : r2.participants) seen |= c == 2;
+  EXPECT_TRUE(seen);
+}
+
+TEST(AsyncFederation, ScheduledLeaveIsPermanentAndInFlightWorkIsDiscarded) {
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 2;
+  ac.async.max_in_flight = 4;  // surplus stays in flight across the drain
+  auto agg = build_async_aggregator(ac, /*population=*/4);
+  // All four dispatch in drain 0 with identical fault-free timing, so the
+  // buffer accepts the two lowest ids (arrival ties break on client id) and
+  // leaves clients 2 and 3 in flight across the drain boundary — exactly
+  // the clients the plan then removes.
+  MembershipPlan plan;
+  plan.scheduled.push_back({1, 2, MembershipAction::kLeave});
+  plan.scheduled.push_back({1, 3, MembershipAction::kLeave});
+  agg->set_membership_plan(plan);
+
+  const RoundRecord r0 = agg->run_round();
+  EXPECT_EQ(r0.participants, (std::vector<int>{0, 1}));
+  EXPECT_EQ(agg->async_in_flight(), 2);
+
+  const RoundRecord r1 = agg->run_round();
+  EXPECT_EQ(r1.departures, 2u);
+  EXPECT_EQ(agg->membership_state(2), MembershipState::kLeft);
+  EXPECT_EQ(agg->membership_state(3), MembershipState::kLeft);
+  EXPECT_EQ(agg->active_population(), 2);
+  // The departed clients' in-flight updates arrive first (their dispatch
+  // predates the drain) and must be discarded, never aggregated.
+  EXPECT_EQ(r1.discarded_updates, 2u);
+
+  for (int r = 2; r < 4; ++r) {
+    const RoundRecord rec = agg->run_round();
+    for (int c : rec.participants) {
+      EXPECT_NE(c, 2);
+      EXPECT_NE(c, 3);
+    }
+  }
+}
+
+// ------------------------------------------------------- crash recovery ---
+TEST(AsyncFederation, MidBufferCrashRecoveryIsBitExactUnderFaults) {
+  // Kill the server between drains (the checkpoint holds a non-empty
+  // in-flight buffer because max_in_flight > buffer_goal), rebuild from
+  // disk, and finish the run: parameters must match the uninterrupted twin
+  // bit for bit, with faults and churn active the whole time.
+  const auto base =
+      std::filesystem::temp_directory_path() / "photon_async_recovery";
+  std::filesystem::remove_all(base);
+
+  FaultPlan plan;
+  plan.crash_prob = 0.1;
+  plan.straggle_prob = 0.2;
+  plan.link_drop_prob = 0.05;
+  plan.membership.initial_population = 5;
+  plan.membership.arrive_prob = 0.25;
+  plan.membership.leave_prob = 0.05;
+  FaultInjector injector(plan);
+
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 2;
+  ac.async.max_in_flight = 4;
+  ac.checkpoint_every = 1;
+
+  ac.checkpoint_dir = base / "ref";
+  auto ref = build_async_aggregator(ac, /*population=*/6, "nesterov");
+  injector.install(*ref);
+  for (int r = 0; r < 6; ++r) ref->run_round();
+
+  ac.checkpoint_dir = base / "crash";
+  {
+    auto doomed = build_async_aggregator(ac, /*population=*/6, "nesterov");
+    injector.install(*doomed);
+    for (int r = 0; r < 3; ++r) doomed->run_round();
+    EXPECT_GT(doomed->async_in_flight(), 0);  // the buffer is mid-flight
+  }  // dies here
+
+  auto revived = build_async_aggregator(ac, /*population=*/6, "nesterov");
+  injector.install(*revived);
+  ASSERT_TRUE(revived->restore_latest_checkpoint());
+  EXPECT_EQ(revived->round(), 3u);
+  EXPECT_GT(revived->async_in_flight(), 0);  // pending updates came back
+  for (int r = 3; r < 6; ++r) revived->run_round();
+
+  EXPECT_EQ(ref->sim_now(), revived->sim_now());
+  EXPECT_TRUE(params_equal(*ref, *revived));
+  std::filesystem::remove_all(base);
+}
+
+TEST(AsyncFederation, RestoreUnderDifferentMembershipPlanKeepsSavedStates) {
+  // Satellite: a checkpoint written under plan A restores into an engine
+  // configured with plan B.  The saved lifecycle states win for the past;
+  // plan B's future events still fire.
+  const auto base =
+      std::filesystem::temp_directory_path() / "photon_async_replan";
+  std::filesystem::remove_all(base);
+
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 2;
+  ac.checkpoint_every = 1;
+  ac.checkpoint_dir = base;
+
+  MembershipPlan plan_a;
+  plan_a.initial_population = 3;  // client 3 absent under plan A
+  {
+    auto agg = build_async_aggregator(ac, /*population=*/4);
+    agg->set_membership_plan(plan_a);
+    for (int r = 0; r < 2; ++r) agg->run_round();
+    EXPECT_EQ(agg->membership_state(3), MembershipState::kAbsent);
+  }
+
+  MembershipPlan plan_b;  // everyone active initially, and a future leave
+  plan_b.scheduled.push_back({3, 1, MembershipAction::kLeave});
+  auto revived = build_async_aggregator(ac, /*population=*/4);
+  revived->set_membership_plan(plan_b);
+  ASSERT_TRUE(revived->restore_latest_checkpoint());
+  // The checkpoint's states survive the plan swap: client 3 stays absent
+  // even though plan B would have had it active from round 0.
+  EXPECT_EQ(revived->membership_state(3), MembershipState::kAbsent);
+  EXPECT_EQ(revived->membership_state(1), MembershipState::kActive);
+  // Plan B's future event still fires at round 3.
+  (void)revived->run_round();  // round 2
+  const RoundRecord r3 = revived->run_round();
+  EXPECT_EQ(r3.departures, 1u);
+  EXPECT_EQ(revived->membership_state(1), MembershipState::kLeft);
+  std::filesystem::remove_all(base);
+}
+
+TEST(AsyncFederation, SyncCheckpointsStayByteStableWithoutAsyncState) {
+  // The async-state field is a trailing optional: a sync engine writes
+  // nothing new, and its checkpoints restore with async_state invalid.
+  const auto base =
+      std::filesystem::temp_directory_path() / "photon_sync_ckpt_compat";
+  std::filesystem::remove_all(base);
+  AggregatorConfig ac;
+  ac.local_steps = 1;
+  ac.parallel_clients = false;
+  ac.checkpoint_every = 1;
+  ac.checkpoint_dir = base;
+  ac.seed = 33;
+  std::vector<std::unique_ptr<LLMClient>> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(std::make_unique<LLMClient>(
+        i, tiny_client_config(), tiny_stream(100 + i), 7));
+  }
+  Aggregator agg(tiny_model(), ac, make_server_opt("fedavg", 1.0f, 0.0f),
+                 std::move(clients), 55);
+  agg.run_round();
+  CheckpointStore mgr(base);
+  const auto ckpt = mgr.latest();
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_FALSE(ckpt->async_state.valid);
+  std::filesystem::remove_all(base);
+}
+
+// ------------------------------------------------------------ quorum skip --
+TEST(FaultEngine, QuorumLossSkipsRoundCleanlyWhenOptedIn) {
+  // Satellite regression: K=1 cohort, every client always crashes, quorum
+  // fraction 1.0 — with skip_on_quorum_loss the round must come back as a
+  // clean skipped record (no divide-by-zero, no param change), and the
+  // round/schedule/sim clocks must advance exactly one round.
+  AggregatorConfig ac;
+  ac.clients_per_round = 1;
+  ac.local_steps = 2;
+  ac.parallel_clients = false;
+  ac.min_cohort_fraction = 1.0;
+  ac.max_cohort_retries = 1;
+  ac.skip_on_quorum_loss = true;
+  ac.seed = 33;
+  std::vector<std::unique_ptr<LLMClient>> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(std::make_unique<LLMClient>(
+        i, tiny_client_config(), tiny_stream(100 + i), 7));
+  }
+  Aggregator agg(tiny_model(), ac, make_server_opt("fedavg", 1.0f, 0.0f),
+                 std::move(clients), 55);
+  agg.set_client_fault_hook([](std::uint32_t, int, std::uint32_t) {
+    ClientRoundFault f;
+    f.crash = true;
+    return f;
+  });
+  const std::vector<float> before(agg.global_params().begin(),
+                                  agg.global_params().end());
+  const RoundRecord rec = agg.run_round();
+  EXPECT_TRUE(rec.skipped);
+  EXPECT_EQ(rec.survivors, 0);
+  EXPECT_EQ(rec.mean_train_loss, 0.0);
+  EXPECT_EQ(rec.update_norm, 0.0);
+  EXPECT_EQ(rec.crashed_clients, 2);  // both attempts counted
+  EXPECT_EQ(agg.round(), 1u);
+  EXPECT_GT(agg.sim_now(), 0.0);
+  EXPECT_EQ(0, std::memcmp(before.data(), agg.global_params().data(),
+                           before.size() * sizeof(float)));
+  // The next round with the faults lifted completes normally.
+  agg.set_client_fault_hook(nullptr);
+  const RoundRecord rec1 = agg.run_round();
+  EXPECT_FALSE(rec1.skipped);
+  EXPECT_EQ(rec1.round, 1u);
+  EXPECT_GT(rec1.survivors, 0);
+}
+
+// ------------------------------------------------------ ephemeral clients --
+TEST(AsyncFederation, EphemeralClientsMatchResidentClientsBitForBit) {
+  // Releasing the replica between rounds must not change a single bit:
+  // the replica is rebuilt from the same seed and the broadcast carries
+  // all cross-round state (ephemeral requires a stateless optimizer).
+  AggregatorConfig ac;
+  ac.local_steps = 2;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 2;
+  ac.async.max_in_flight = 4;
+  auto resident = build_async_aggregator(ac, 4, "fedavg", false);
+  auto ephemeral = build_async_aggregator(ac, 4, "fedavg", true);
+  for (int r = 0; r < 3; ++r) {
+    (void)resident->run_round();
+    (void)ephemeral->run_round();
+    ASSERT_TRUE(params_equal(*resident, *ephemeral)) << "drain " << r;
+  }
+}
+
+TEST(AsyncFederation, EphemeralRequiresStatelessOptimizer) {
+  auto cfg = tiny_client_config();
+  cfg.ephemeral = true;
+  cfg.stateless_optimizer = false;
+  EXPECT_THROW(LLMClient(0, cfg, tiny_stream(1), 7), std::invalid_argument);
+}
+
+// ----------------------------------------------------- link telemetry ----
+TEST(SimLinkTelemetry, RetransmitAndDeadlineMissCountersExport) {
+  obs::MetricsRegistry reg;
+  SimLink link("flaky", 1.0);
+  link.set_metrics(&reg);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  link.set_retry_policy(policy);
+  link.set_fault_hook([](const Message&, int attempt) {
+    LinkFault f;
+    f.drop = attempt == 1;  // first try fails, retry succeeds
+    return f;
+  });
+  Message m;
+  m.payload = {1.0f, 2.0f};
+  Message out;
+  link.transmit(m, out);
+  EXPECT_EQ(reg.counter_value("link.retransmits"), 1u);
+  EXPECT_EQ(reg.counter_value("link.deadline_misses"), 0u);
+  EXPECT_EQ(link.stats().deadline_misses, 0u);
+
+  // Now a dead peer behind a tight deadline: the abort is a deadline miss.
+  SimLink dead("dead", 1.0);
+  dead.set_metrics(&reg);
+  RetryPolicy slow;
+  slow.max_attempts = 100;
+  slow.backoff_base_s = 10.0;
+  slow.message_deadline_s = 1.0;
+  dead.set_retry_policy(slow);
+  dead.set_fault_hook([](const Message&, int) {
+    LinkFault f;
+    f.drop = true;
+    return f;
+  });
+  EXPECT_THROW(dead.transmit(m, out), TransmitError);
+  EXPECT_EQ(dead.stats().deadline_misses, 1u);
+  EXPECT_EQ(reg.counter_value("link.deadline_misses"), 1u);
+  EXPECT_EQ(reg.counter_value("link.retransmits"),
+            link.stats().retries + dead.stats().retries);
+}
+
+}  // namespace
+}  // namespace photon

@@ -19,7 +19,13 @@
 #include "comm/link.hpp"
 #include "comm/message.hpp"
 #include "comm/secure_agg.hpp"
+#include "core/aggregator.hpp"
+#include "core/client.hpp"
+#include "core/server_opt.hpp"
+#include "data/corpus.hpp"
+#include "data/stream.hpp"
 #include "nn/optimizer.hpp"
+#include "sim/faults.hpp"
 #include "tensor/kernel_context.hpp"
 #include "tensor/kernels.hpp"
 #include "util/threadpool.hpp"
@@ -298,9 +304,87 @@ bool fused_paths_race_free(ThreadPool& pool) {
   return true;
 }
 
+// Elastic async federation under churn (DESIGN.md §12): the full engine —
+// parallel dispatch waves, streamed dequant-accumulate, admission deferral,
+// crash/straggle/drop faults, and join/leave churn — runs with TSan
+// watching every frame, and the pool-parallel drains must stay bit-exact
+// against a serial twin.
+bool async_churn_race_free() {
+  photon::ModelConfig model;
+  model.n_layers = 1;
+  model.d_model = 16;
+  model.n_heads = 2;
+  model.vocab_size = 64;
+  model.seq_len = 16;
+  model.expansion_ratio = 2;
+
+  auto build = [&](bool parallel) {
+    photon::CorpusConfig cc;
+    cc.vocab_size = 64;
+    auto corpus =
+        std::make_shared<photon::MarkovSource>(cc, photon::c4_style());
+    std::vector<std::unique_ptr<photon::LLMClient>> clients;
+    for (int i = 0; i < 8; ++i) {
+      photon::ClientTrainConfig ctc;
+      ctc.model = model;
+      ctc.local_batch = 1;
+      ctc.schedule.max_lr = 5e-3f;
+      ctc.schedule.warmup_steps = 2;
+      ctc.schedule.total_steps = 1000;
+      clients.push_back(std::make_unique<photon::LLMClient>(
+          i, ctc,
+          std::make_unique<photon::CorpusStreamSource>(corpus, 100 + i), 7));
+    }
+    photon::AggregatorConfig ac;
+    ac.local_steps = 1;
+    ac.parallel_clients = parallel;
+    ac.async.enabled = true;
+    ac.async.buffer_goal = 3;
+    ac.async.max_in_flight = 5;
+    ac.seed = 33;
+    return std::make_unique<photon::Aggregator>(
+        model, ac, photon::make_server_opt("fedavg", 0.5f, 0.9f),
+        std::move(clients), 55);
+  };
+
+  photon::FaultPlan plan;
+  plan.crash_prob = 0.1;
+  plan.straggle_prob = 0.3;
+  plan.link_drop_prob = 0.05;
+  plan.corrupt_prob = 0.05;
+  plan.membership.initial_population = 6;
+  plan.membership.arrive_prob = 0.3;
+  plan.membership.leave_prob = 0.05;
+  photon::FaultInjector injector(plan);
+
+  auto serial = build(false);
+  auto parallel = build(true);
+  injector.install(*serial);
+  injector.install(*parallel);
+  for (int r = 0; r < 3; ++r) {
+    const photon::RoundRecord rs = serial->run_round();
+    const photon::RoundRecord rp = parallel->run_round();
+    if (rs.participants != rp.participants ||
+        std::memcmp(serial->global_params().data(),
+                    parallel->global_params().data(),
+                    serial->global_params().size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "FAIL async churn twin divergence at drain %d\n",
+                   r);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int churn_reps = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--churn-reps=", 13) == 0) {
+      churn_reps = std::atoi(argv[i] + 13);
+    }
+  }
   ThreadPool pool(4);
   bool ok = true;
   ok = nested_parallel_for(pool) && ok;
@@ -308,6 +392,9 @@ int main() {
   for (int rep = 0; rep < 5; ++rep) ok = comm_race_free(pool) && ok;
   for (int rep = 0; rep < 5; ++rep) ok = collectives_race_free(pool) && ok;
   for (int rep = 0; rep < 5; ++rep) ok = fused_paths_race_free(pool) && ok;
+  for (int rep = 0; rep < churn_reps; ++rep) {
+    ok = async_churn_race_free() && ok;
+  }
   if (!ok) return 1;
   std::printf("tsan stress ok\n");
   return 0;

@@ -66,6 +66,15 @@ PHOTON_WIRE_CODEC=q8 ctest --test-dir "$ROOT/build" --output-on-failure \
       -j "$JOBS" --timeout "$PER_TEST_TIMEOUT"
 
 if [[ "$FAST" -eq 0 ]]; then
+  # Elastic-churn TSan rerun (DESIGN.md §12): tier-1 ctest already runs the
+  # async churn scenario twice inside tsan_kernel_threadpool_stress; rerun
+  # it here with more repetitions so thread-scheduling jitter gets more
+  # chances to surface an ordering race in the dispatch-wave / drain path.
+  if [[ -x "$ROOT/build/tests/photon_tsan_stress" ]]; then
+    echo "==> [tsan-churn] photon_tsan_stress --churn-reps=8"
+    "$ROOT/build/tests/photon_tsan_stress" --churn-reps=8
+  fi
+
   # Hardened pass: whole tree under ASan+UBSan.  halt_on_error makes any
   # UBSan report a test failure rather than a log line.
   export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
