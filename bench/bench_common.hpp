@@ -9,7 +9,9 @@
 // throughputs.  Headline shape — who wins, by what factor, where the
 // crossovers sit — is the reproduction target, not absolute numbers.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,77 @@
 #include "sim/mfu.hpp"
 
 namespace photon::bench {
+
+/// Shared command-line contract for every bench binary (tools/bench.sh
+/// depends on it): --smoke, --rounds=N, --samples=N, --threads=N, --seed=N,
+/// --json=PATH.  Flags a bench doesn't use are simply ignored by it; flags
+/// the parser doesn't know land in `extra` for bench-specific handling
+/// (e.g. bench_faults --churn).
+struct BenchArgs {
+  bool smoke = false;
+  int rounds = 0;    ///< 0 = bench default
+  int samples = 0;   ///< 0 = bench default
+  int threads = 0;   ///< 0 = library default
+  std::uint64_t seed = 0;  ///< 0 = bench default
+  std::string json_path;   ///< empty = bench default
+  std::vector<std::string> extra;
+
+  int rounds_or(int def) const { return rounds > 0 ? rounds : def; }
+  int samples_or(int def) const { return samples > 0 ? samples : def; }
+  std::uint64_t seed_or(std::uint64_t def) const {
+    return seed != 0 ? seed : def;
+  }
+  const std::string& json_or(const std::string& def) {
+    if (json_path.empty()) json_path = def;
+    return json_path;
+  }
+
+  /// True when `flag` (e.g. "--churn") was passed; removes it from extra.
+  bool take_flag(const std::string& flag) {
+    for (auto it = extra.begin(); it != extra.end(); ++it) {
+      if (*it == flag) {
+        extra.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Exit 2 with a usage line if unconsumed bench-specific args remain.
+  void reject_extra(const char* prog, const char* extra_usage = "") const {
+    if (extra.empty()) return;
+    std::fprintf(stderr,
+                 "%s: unknown argument '%s'\nusage: %s [--smoke] "
+                 "[--rounds=N] [--samples=N] [--threads=N] [--seed=N] "
+                 "[--json=PATH]%s%s\n",
+                 prog, extra.front().c_str(), prog,
+                 extra_usage[0] != '\0' ? " " : "", extra_usage);
+    std::exit(2);
+  }
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      a.smoke = true;
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      a.rounds = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--samples=", 0) == 0) {
+      a.samples = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      a.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      a.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      a.json_path = arg.substr(7);
+    } else {
+      a.extra.push_back(arg);
+    }
+  }
+  return a;
+}
 
 /// Stand-in architectures used by the trained benches (vocab/seq sized for
 /// CPU-speed federated sweeps).

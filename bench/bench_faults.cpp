@@ -16,6 +16,7 @@
 //   * a zero FaultPlan is exactly the fault-free path.
 //
 //   bench_faults [--smoke] [--rounds=N] [--json=PATH] [--churn]
+//                (shared flags: bench_common.hpp BenchArgs)
 //
 // --smoke       short soak for tier-1 ctest
 // --rounds=N    soak length (default 50)
@@ -34,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/aggregator.hpp"
 #include "core/client.hpp"
 #include "data/corpus.hpp"
@@ -357,28 +359,12 @@ int churn_soak(int drains, const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int rounds = 50;
-  bool churn = false;
-  bool smoke = false;
-  std::string json_path = "BENCH_faults.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--smoke") {
-      smoke = true;
-      rounds = 8;
-    } else if (arg == "--churn") {
-      churn = true;
-    } else if (arg.rfind("--rounds=", 0) == 0) {
-      rounds = std::stoi(arg.substr(9));
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--rounds=N] [--json=PATH] [--churn]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  photon::bench::BenchArgs args = photon::bench::parse_bench_args(argc, argv);
+  const bool churn = args.take_flag("--churn");
+  args.reject_extra("bench_faults", "[--churn]");
+  const bool smoke = args.smoke;
+  const int rounds = args.rounds_or(smoke ? 8 : 50);
+  const std::string json_path = args.json_or("BENCH_faults.json");
   if (churn) {
     return churn_soak(smoke ? 5 : std::min(rounds, 30), json_path);
   }

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/aggregator.hpp"
 #include "core/client.hpp"
 #include "data/corpus.hpp"
@@ -110,30 +111,12 @@ double median_loop_seconds(int rounds, int samples, obs::Tracer* tracer,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int rounds = 12;
-  int samples = 3;
-  bool smoke = false;
-  std::string json_path = "BENCH_obs.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--smoke") {
-      smoke = true;
-      rounds = 2;
-      samples = 1;
-    } else if (arg.rfind("--rounds=", 0) == 0) {
-      rounds = std::stoi(arg.substr(9));
-    } else if (arg.rfind("--samples=", 0) == 0) {
-      samples = std::stoi(arg.substr(10));
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--rounds=N] [--samples=N] "
-                   "[--json=PATH]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  photon::bench::BenchArgs args = photon::bench::parse_bench_args(argc, argv);
+  args.reject_extra("bench_obs_overhead");
+  const bool smoke = args.smoke;
+  const int rounds = args.rounds_or(smoke ? 2 : 12);
+  const int samples = args.samples_or(smoke ? 1 : 3);
+  const std::string json_path = args.json_or("BENCH_obs.json");
 
   const double disabled_s =
       median_loop_seconds(rounds, samples, nullptr, nullptr);

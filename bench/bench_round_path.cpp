@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "comm/collective.hpp"
 #include "comm/compression.hpp"
 #include "comm/cost_model.hpp"
@@ -822,18 +823,11 @@ bool write_json(const std::string& path, const std::vector<CommResult>& comm,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path = "BENCH_round.json";
-  bool smoke = false;
-  bool ablation_only = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--ablation-only") == 0) {
-      ablation_only = true;
-    }
-  }
+  photon::bench::BenchArgs args = photon::bench::parse_bench_args(argc, argv);
+  const bool ablation_only = args.take_flag("--ablation-only");
+  args.reject_extra("bench_round_path", "[--ablation-only]");
+  const bool smoke = args.smoke;
+  const std::string json_path = args.json_or("BENCH_round.json");
 
   if (ablation_only) {
     const auto ablation = run_ablation(/*rounds=*/48, /*clients=*/2);

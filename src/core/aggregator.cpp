@@ -135,6 +135,46 @@ RoundRecord Aggregator::run_round() {
   return config_.async.enabled ? run_round_async() : run_round_sync();
 }
 
+void Aggregator::set_clients_per_round(int k) {
+  if (k < 0 || k > population()) {
+    throw std::invalid_argument(
+        "Aggregator::set_clients_per_round: K must be in [0, population]");
+  }
+  config_.clients_per_round = k;
+}
+
+void Aggregator::set_wire_codec(const std::string& codec) {
+  if (codec_by_name(codec) == nullptr) {
+    throw std::invalid_argument("Aggregator::set_wire_codec: unknown codec " +
+                                codec);
+  }
+  for (auto& c : clients_) c->set_link_codec(codec);
+}
+
+void Aggregator::set_async_limits(int buffer_goal, int max_in_flight) {
+  if (buffer_goal < 0 || max_in_flight < 0) {
+    throw std::invalid_argument(
+        "Aggregator::set_async_limits: limits must be >= 0");
+  }
+  config_.async.buffer_goal = buffer_goal;
+  config_.async.max_in_flight = max_in_flight;
+  if (config_.async.enabled) {
+    // Grow-only: updates already in flight keep their slots; a lowered cap
+    // takes effect through the admission arithmetic, not by dropping slots.
+    const auto want = static_cast<std::size_t>(async_max_in_flight());
+    if (slots_.size() < want) slots_.resize(want);
+  }
+}
+
+void Aggregator::set_tracer(obs::Tracer* tracer) {
+  config_.tracer = tracer;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkTraceContext ctx = links_[i].trace_context();
+    ctx.tracer = tracer;
+    links_[i].set_trace_context(ctx);
+  }
+}
+
 RoundRecord Aggregator::run_round_sync() {
   const auto t_round = std::chrono::steady_clock::now();
   obs::Tracer* tracer = config_.tracer;
@@ -661,34 +701,8 @@ RoundRecord Aggregator::run_round_sync() {
                     -1, t_round_end, t_round_end, server_opt_timer.ns()});
   }
 
-  // AggMetrics (L10) and Checkpoint (L11) with recovery metadata.
+  // AggMetrics (L10).
   record.client_metrics = aggregate_metrics(client_metrics, weights);
-  if (config_.checkpoint_every > 0 &&
-      round_ % static_cast<std::uint32_t>(config_.checkpoint_every) == 0) {
-    const obs::RealTimer ckpt_timer(tracing);
-    Checkpoint ckpt;
-    ckpt.round = round_;
-    ckpt.params = global_params_;
-    ckpt.schedule_step_base = schedule_step_base_ + config_.local_steps;
-    ckpt.client_trained_rounds = client_rounds_;
-    BinaryWriter w;
-    server_opt_->save_state(w);
-    ckpt.server_opt_state = w.take();
-    // Error-feedback residuals are part of the deterministic client state:
-    // recovery must hand each client the exact residual it carried, or the
-    // post-restore timeline diverges from an uninterrupted run.
-    ckpt.client_ef_residuals.reserve(clients_.size());
-    for (const auto& c : clients_) {
-      ckpt.client_ef_residuals.push_back(c->ef_residual());
-    }
-    checkpoints_.save(std::move(ckpt));
-    checkpoints_.journal_commit(round_);
-    if (tracing) {
-      tracer->record({obs::SpanKind::kCheckpoint, round_,
-                      obs::kAggregatorActor, -1, t_round_end, t_round_end,
-                      ckpt_timer.ns()});
-    }
-  }
 
   // Wire bytes: broadcast + update message bytes through Agg links (all
   // attempts, including retransmissions) plus the collective's fabric
@@ -716,6 +730,47 @@ RoundRecord Aggregator::run_round_sync() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_round)
           .count();
 
+  // Advance the sim clock before checkpointing so a state extension that
+  // persists it (the autotuner does: post-restore span arithmetic must run
+  // at the exact pre-crash epoch or durations drift by an ULP) captures the
+  // clock this round ends at.
+  sim_now_ = t_round_end;
+
+  // Checkpoint (L11) with recovery metadata.  Runs after the record is
+  // complete (but before the kRound span) so a state extension can fold the
+  // finished round into the state it is about to capture — the contract
+  // that makes tuned crash recovery bit-identical to an uninterrupted run.
+  if (config_.checkpoint_every > 0 &&
+      round_ % static_cast<std::uint32_t>(config_.checkpoint_every) == 0) {
+    const obs::RealTimer ckpt_timer(tracing);
+    Checkpoint ckpt;
+    ckpt.round = round_;
+    ckpt.params = global_params_;
+    ckpt.schedule_step_base = schedule_step_base_ + config_.local_steps;
+    ckpt.client_trained_rounds = client_rounds_;
+    BinaryWriter w;
+    server_opt_->save_state(w);
+    ckpt.server_opt_state = w.take();
+    // Error-feedback residuals are part of the deterministic client state:
+    // recovery must hand each client the exact residual it carried, or the
+    // post-restore timeline diverges from an uninterrupted run.
+    ckpt.client_ef_residuals.reserve(clients_.size());
+    for (const auto& c : clients_) {
+      ckpt.client_ef_residuals.push_back(c->ef_residual());
+    }
+    if (state_ext_ != nullptr) {
+      state_ext_->on_checkpoint(record);
+      ckpt.tuner_state = state_ext_->capture_state();
+    }
+    checkpoints_.save(std::move(ckpt));
+    checkpoints_.journal_commit(round_);
+    if (tracing) {
+      tracer->record({obs::SpanKind::kCheckpoint, round_,
+                      obs::kAggregatorActor, -1, t_round_end, t_round_end,
+                      ckpt_timer.ns()});
+    }
+  }
+
   if (tracing) {
     tracer->record({obs::SpanKind::kRound, round_, obs::kAggregatorActor,
                     static_cast<std::int32_t>(record.survivors), t0,
@@ -727,7 +782,6 @@ RoundRecord Aggregator::run_round_sync() {
     obs_.tokens_per_sim_second.set(
         static_cast<double>(record.tokens_this_round) / (t_round_end - t0));
   }
-  sim_now_ = t_round_end;
 
   PHOTON_LOG_INFO("aggregator",
                   "round %u: K=%zu survivors=%zu loss %.4f update-norm %.4f",
@@ -958,7 +1012,11 @@ RoundRecord Aggregator::run_round_async() {
   apply_membership(record);
 
   const int goal = async_buffer_goal();
-  const std::size_t cap = slots_.size();
+  // Admission cap follows the (possibly tuned) config value each drain; the
+  // slot pool only grows, so a lowered cap simply leaves surplus slots to
+  // drain out before any new admission fills them.
+  const auto cap = static_cast<std::size_t>(async_max_in_flight());
+  if (slots_.size() < cap) slots_.resize(cap);
   std::fill(dispatch_seq_.begin(), dispatch_seq_.end(), 0u);
 
   const std::size_t n = global_params_.size();
@@ -994,7 +1052,7 @@ RoundRecord Aggregator::run_round_async() {
     // --- admission control: batched top-up waves ------------------------
     std::size_t busy = 0;
     for (const InFlight& s : slots_) busy += s.busy ? 1 : 0;
-    const std::size_t free = cap - busy;
+    const std::size_t free = cap > busy ? cap - busy : 0;
     // Waves are chunky on purpose: top up only when at least half the
     // slots are free (or nothing is in flight), so admitted clients train
     // as one parallel_for instead of trickling through one at a time.
@@ -1095,11 +1153,11 @@ RoundRecord Aggregator::run_round_async() {
     // --- pop the earliest pending outcome, ordered on (arrival, client) —
     // content-based, never slot-index-based, so replay and restore pop the
     // identical sequence regardless of slot packing or thread count.
-    std::size_t pick = cap;
-    for (std::size_t i = 0; i < cap; ++i) {
+    std::size_t pick = slots_.size();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
       const InFlight& s = slots_[i];
       if (!s.busy) continue;
-      if (pick == cap || s.arrive_time < slots_[pick].arrive_time ||
+      if (pick == slots_.size() || s.arrive_time < slots_[pick].arrive_time ||
           (s.arrive_time == slots_[pick].arrive_time &&
            s.client < slots_[pick].client)) {
         pick = i;
@@ -1208,33 +1266,6 @@ RoundRecord Aggregator::run_round_async() {
   }
   record.client_metrics =
       aggregate_metrics(accepted_metrics, accepted_weights);
-  if (config_.checkpoint_every > 0 &&
-      round_ % static_cast<std::uint32_t>(config_.checkpoint_every) == 0) {
-    const obs::RealTimer ckpt_timer(tracing);
-    Checkpoint ckpt;
-    ckpt.round = round_;
-    ckpt.params = global_params_;
-    ckpt.schedule_step_base = schedule_step_base_ + config_.local_steps;
-    ckpt.client_trained_rounds = client_rounds_;
-    BinaryWriter w;
-    server_opt_->save_state(w);
-    ckpt.server_opt_state = w.take();
-    ckpt.client_ef_residuals.reserve(clients_.size());
-    for (const auto& c : clients_) {
-      ckpt.client_ef_residuals.push_back(c->ef_residual());
-    }
-    // The drain boundary is the async save point: the accumulator is empty
-    // here, so the buffer's durable form is the pending in-flight updates
-    // plus the admission/membership counters and the sim clock.
-    ckpt.async_state = capture_async_state();
-    checkpoints_.save(std::move(ckpt));
-    checkpoints_.journal_commit(round_);
-    if (tracing) {
-      tracer->record({obs::SpanKind::kCheckpoint, round_,
-                      obs::kAggregatorActor, -1, sim_now_, sim_now_,
-                      ckpt_timer.ns()});
-    }
-  }
 
   LinkStats agg_after;
   for (const auto& link : links_) {
@@ -1255,6 +1286,41 @@ RoundRecord Aggregator::run_round_async() {
   record.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_round)
           .count();
+
+  // Checkpoint at the drain boundary, after the record is complete (but
+  // before the kBufferDrain / kRound spans) so a state extension folds the
+  // finished drain into what it captures — same contract as the sync path.
+  if (config_.checkpoint_every > 0 &&
+      round_ % static_cast<std::uint32_t>(config_.checkpoint_every) == 0) {
+    const obs::RealTimer ckpt_timer(tracing);
+    Checkpoint ckpt;
+    ckpt.round = round_;
+    ckpt.params = global_params_;
+    ckpt.schedule_step_base = schedule_step_base_ + config_.local_steps;
+    ckpt.client_trained_rounds = client_rounds_;
+    BinaryWriter w;
+    server_opt_->save_state(w);
+    ckpt.server_opt_state = w.take();
+    ckpt.client_ef_residuals.reserve(clients_.size());
+    for (const auto& c : clients_) {
+      ckpt.client_ef_residuals.push_back(c->ef_residual());
+    }
+    // The drain boundary is the async save point: the accumulator is empty
+    // here, so the buffer's durable form is the pending in-flight updates
+    // plus the admission/membership counters and the sim clock.
+    ckpt.async_state = capture_async_state();
+    if (state_ext_ != nullptr) {
+      state_ext_->on_checkpoint(record);
+      ckpt.tuner_state = state_ext_->capture_state();
+    }
+    checkpoints_.save(std::move(ckpt));
+    checkpoints_.journal_commit(round_);
+    if (tracing) {
+      tracer->record({obs::SpanKind::kCheckpoint, round_,
+                      obs::kAggregatorActor, -1, sim_now_, sim_now_,
+                      ckpt_timer.ns()});
+    }
+  }
 
   if (tracing) {
     const double drain_begin = first_dispatch >= 0.0 ? first_dispatch : t0;
@@ -1501,6 +1567,11 @@ bool Aggregator::restore_latest_checkpoint() {
       sampler_.set_available(c, membership_[static_cast<std::size_t>(c)] ==
                                     MembershipState::kActive);
     }
+  }
+  if (state_ext_ != nullptr && !ckpt->tuner_state.empty()) {
+    // Restored last so the extension can immediately re-apply its knob
+    // decisions against the fully recovered engine state.
+    state_ext_->restore_state(ckpt->tuner_state);
   }
   checkpoints_.journal_recovered(round_);
   PHOTON_LOG_INFO("aggregator", "recovered at round %u (ckpt %u)", round_,

@@ -135,6 +135,25 @@ struct ClientRoundFault {
 using ClientFaultHook = std::function<ClientRoundFault(
     std::uint32_t round, int client, std::uint32_t attempt)>;
 
+/// Opaque per-round state extension serialized into checkpoints as the
+/// third trailing v2 field (the trace-driven autotuner, src/tune).  The
+/// aggregator never interprets the bytes; it captures them at every
+/// checkpoint save and hands them back on restore, which is what makes a
+/// tuned run's crash recovery bit-identical to an uninterrupted one.
+class RoundStateExtension {
+ public:
+  virtual ~RoundStateExtension() = default;
+  /// Called immediately before capture_state() at every checkpoint save,
+  /// once the round's record is complete (the kCheckpoint / kRound spans
+  /// are not yet recorded).  Gives the extension its one chance to fold
+  /// the finishing round into the state about to be captured — the spans
+  /// of a completed round die with a crash, so any decision that depends
+  /// on them must reach the checkpoint here or it cannot be replayed.
+  virtual void on_checkpoint(const RoundRecord& record) { (void)record; }
+  virtual std::vector<std::uint8_t> capture_state() const = 0;
+  virtual void restore_state(std::span<const std::uint8_t> bytes) = 0;
+};
+
 class Aggregator {
  public:
   Aggregator(const ModelConfig& model, AggregatorConfig config,
@@ -189,6 +208,40 @@ class Aggregator {
   int active_population() const;
   /// Async engine: updates currently in flight (dispatched, not resolved).
   int async_in_flight() const;
+
+  // --- per-round tuning knobs (src/tune decision interface) --------------
+  // All setters take effect at the next round/drain boundary; calling them
+  // mid-round is undefined.  They exist so the trace-driven autotuner can
+  // close the loop from observed spans back into configuration.
+  const AggregatorConfig& config() const { return config_; }
+  /// Aggregation topology for subsequent rounds (ignored while
+  /// secure_aggregation forces PS accounting).
+  void set_topology(Topology t) { config_.topology = t; }
+  /// Cohort size K for subsequent rounds (0 = full participation).
+  void set_clients_per_round(int k);
+  /// Wire codec for every client's update link ("" = identity fp32).
+  /// Throws on an unknown codec name; error-feedback residuals are kept
+  /// across switches (deterministic in both the live and restored timeline).
+  void set_wire_codec(const std::string& codec);
+  /// Async engine limits (0 keeps the config default derivation).  The
+  /// in-flight slot pool only ever grows, so pending updates keep their
+  /// slots when the cap is lowered; the admission cap applies immediately.
+  void set_async_limits(int buffer_goal, int max_in_flight);
+  /// Late tracer attachment (the tuner needs spans even when the caller
+  /// did not configure a tracer); rewires every client link's span sink.
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return config_.tracer; }
+  /// Attach the opaque checkpoint state extension (nullptr = detach).
+  /// Not owned; must outlive the aggregator.
+  void set_state_extension(RoundStateExtension* ext) { state_ext_ = ext; }
+  /// Restore-only: pin the sim clock to a checkpointed value.  Sync saves
+  /// do not persist the clock (restored runs restart at sim 0, which is
+  /// harmless for training state), but span *durations* are differences of
+  /// absolute sim timestamps, so an extension that feeds spans back into
+  /// decisions must reinstate the exact pre-crash epoch or the arithmetic
+  /// drifts by an ULP.  The async engine restores its own clock; calling
+  /// this afterwards with the same checkpoint's value is a no-op.
+  void set_sim_clock(double t) { sim_now_ = t; }
 
   /// Annotate the most recent round's record with an eval result.
   void record_eval(double perplexity);
@@ -252,6 +305,7 @@ class Aggregator {
   std::int64_t schedule_step_base_ = 0;
   double sim_now_ = 0.0;
   ClientFaultHook fault_hook_;
+  RoundStateExtension* state_ext_ = nullptr;
   /// Typed metric handles resolved once at construction; null (no-op) when
   /// config_.metrics is null, so hot-path increments cost one branch.
   struct {

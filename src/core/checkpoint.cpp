@@ -211,10 +211,19 @@ void CheckpointStore::write_to_disk(const Checkpoint& ckpt) const {
     w.write_vector(residual);
   }
   // Second trailing field: elastic async engine state.  Sync-mode saves
-  // write nothing here, keeping their byte layout identical to before.
+  // write nothing here, keeping their byte layout identical to before —
+  // unless a third trailing field follows, in which case the async flag
+  // byte must be present (as 0) so readers can tell the fields apart.
   if (ckpt.async_state.valid) {
     w.write(static_cast<std::uint8_t>(1));
     write_async_state(w, ckpt.async_state);
+  } else if (!ckpt.tuner_state.empty()) {
+    w.write(static_cast<std::uint8_t>(0));
+  }
+  // Third trailing field: opaque autotuner state (flag-prefixed).
+  if (!ckpt.tuner_state.empty()) {
+    w.write(static_cast<std::uint8_t>(1));
+    w.write_vector(ckpt.tuner_state);
   }
   const auto path = dir_ / ("ckpt_" + std::to_string(ckpt.round) + ".bin");
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
@@ -249,6 +258,9 @@ std::optional<Checkpoint> CheckpointStore::read_from_disk(
     }
     if (r.remaining() > 0 && r.read<std::uint8_t>() != 0) {
       ckpt.async_state = read_async_state(r);
+    }
+    if (r.remaining() > 0 && r.read<std::uint8_t>() != 0) {
+      ckpt.tuner_state = r.read_vector<std::uint8_t>();
     }
   } else {
     // Legacy (pre-journal) layout: round, perplexity, params.

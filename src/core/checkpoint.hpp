@@ -82,6 +82,11 @@ struct Checkpoint {
   /// trailing field, written after the residuals and skipped entirely for
   /// sync saves so their byte layout is unchanged.
   AsyncAggregatorState async_state;
+  /// Opaque autotuner state (src/tune decision history + trace digests);
+  /// third trailing field, flag-prefixed, written only when a tuner is
+  /// attached so untuned saves keep their exact historical byte layout.
+  /// Restoring it replays the tuner's knob decisions bit-identically.
+  std::vector<std::uint8_t> tuner_state;
 };
 
 class CheckpointStore {

@@ -56,6 +56,15 @@ LLMClient::LLMClient(int id, ClientTrainConfig config,
   post_.add(std::make_unique<CompressStage>(config_.link_codec));
 }
 
+void LLMClient::set_link_codec(const std::string& codec) {
+  if (codec_by_name(codec) == nullptr) {
+    throw std::invalid_argument("LLMClient::set_link_codec: unknown codec " +
+                                codec);
+  }
+  config_.link_codec = codec;
+  post_.set_codec(codec);
+}
+
 void LLMClient::ensure_replica() {
   if (model_ != nullptr) return;
   model_ = std::make_unique<GptModel>(config_.model, replica_seed_);

@@ -125,6 +125,14 @@ class LLMClient {
   /// Install the tracing context for the next run_round (copy; cheap).
   void set_trace(const ClientTraceContext& ctx) { trace_ = ctx; }
 
+  /// Runtime wire-codec knob (the autotuner's decision interface): retarget
+  /// the post-processing pipeline's compression stage for subsequent
+  /// rounds.  The error-feedback residual is deliberately kept across
+  /// switches — it folds into the next lossy round deterministically in
+  /// both the live and any crash-restored timeline.  Throws on an unknown
+  /// codec name.
+  void set_link_codec(const std::string& codec);
+
   /// Error-feedback residual carried from the last quantized-codec round
   /// (empty until one ran).  The Aggregator checkpoints and restores it so
   /// crash recovery reproduces the exact wire stream bit for bit.

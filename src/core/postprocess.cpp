@@ -49,6 +49,13 @@ void CompressStage::apply(std::span<float> /*update*/,
   report.codec = codec_;
 }
 
+void CompressStage::set_codec(std::string codec) {
+  if (codec_by_name(codec) == nullptr) {
+    throw std::invalid_argument("CompressStage: unknown codec " + codec);
+  }
+  codec_ = std::move(codec);
+}
+
 PostProcessPipeline& PostProcessPipeline::add(
     std::unique_ptr<UpdateStage> stage) {
   if (stage == nullptr) {
@@ -56,6 +63,17 @@ PostProcessPipeline& PostProcessPipeline::add(
   }
   stages_.push_back(std::move(stage));
   return *this;
+}
+
+bool PostProcessPipeline::set_codec(const std::string& codec) {
+  bool found = false;
+  for (auto& stage : stages_) {
+    if (auto* compress = dynamic_cast<CompressStage*>(stage.get())) {
+      compress->set_codec(codec);
+      found = true;
+    }
+  }
+  return found;
 }
 
 PostProcessReport PostProcessPipeline::run(std::span<float> update) {

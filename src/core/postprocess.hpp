@@ -62,6 +62,9 @@ class CompressStage final : public UpdateStage {
   explicit CompressStage(std::string codec);
   std::string name() const override { return "compress"; }
   void apply(std::span<float> update, PostProcessReport& report) override;
+  /// Retarget the codec (autotuner knob); throws on an unknown name.
+  void set_codec(std::string codec);
+  const std::string& codec() const { return codec_; }
 
  private:
   std::string codec_;
@@ -73,6 +76,10 @@ class PostProcessPipeline {
 
   PostProcessPipeline& add(std::unique_ptr<UpdateStage> stage);
   std::size_t num_stages() const { return stages_.size(); }
+
+  /// Retarget every compression stage's codec (the autotuner's wire-codec
+  /// knob); returns false when the pipeline has no compression stage.
+  bool set_codec(const std::string& codec);
 
   PostProcessReport run(std::span<float> update);
 

@@ -92,8 +92,12 @@ PhotonRunner::PhotonRunner(RunnerConfig config) : config_(std::move(config)) {
   ac.local_steps = config_.local_steps;
   ac.topology = config_.topology;
   ac.bandwidth_mbps = config_.bandwidth_mbps;
+  ac.link_bandwidth_gbps = config_.link_bandwidth_gbps;
   ac.secure_aggregation = config_.secure_aggregation;
   ac.sim_throughput_bps = config_.sim_throughput_bps;
+  ac.round_deadline_s = config_.round_deadline_s;
+  ac.checkpoint_dir = config_.checkpoint_dir;
+  ac.checkpoint_every = config_.checkpoint_every;
   ac.seed = hash_combine(config_.seed, 0x5A3FULL);
   ac.async = config_.async;
   ac.skip_on_quorum_loss = config_.skip_on_quorum_loss;
@@ -149,6 +153,7 @@ const TrainingHistory& PhotonRunner::run() {
   obs::Tracer* tracer = config_.tracer;
   for (int r = 0; r < config_.rounds; ++r) {
     const RoundRecord record = aggregator_->run_round();
+    if (round_hook_) round_hook_(*aggregator_, record);
     const bool eval_round =
         (r + 1) % config_.eval_every == 0 || r + 1 == config_.rounds;
     if (eval_round) {

@@ -7,6 +7,8 @@
 // perplexity.  Every bench reproducing a paper figure drives this class.
 
 #include <cstdint>
+#include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -42,8 +44,16 @@ struct RunnerConfig {
   // Communication.
   Topology topology = Topology::kRingAllReduce;
   double bandwidth_mbps = 1250.0;  // 10 Gbps
+  /// Per-client Agg<->LLM-C link speed (Gbps); scales with bandwidth_mbps
+  /// when modeling LAN vs WAN deployments.
+  double link_bandwidth_gbps = 10.0;
   bool secure_aggregation = false;
   std::string link_codec;
+
+  // Fault tolerance (forwarded to AggregatorConfig).
+  double round_deadline_s = 0.0;
+  std::filesystem::path checkpoint_dir;  // empty = memory-only checkpoints
+  int checkpoint_every = 1;
 
   // Elastic async federation (DESIGN.md §12).  Forwarded verbatim to
   // AggregatorConfig; the round loop is unchanged — each run_round() is one
@@ -84,6 +94,12 @@ struct RunnerConfig {
 
 class PhotonRunner {
  public:
+  /// Invoked after every completed round (before that round's eval) with
+  /// the aggregator and the fresh record.  This is the trace-driven
+  /// autotuner's attachment point (src/tune): observe the round, decide,
+  /// and push next-round knobs — without the runner depending on the tuner.
+  using RoundHook = std::function<void(Aggregator&, const RoundRecord&)>;
+
   explicit PhotonRunner(RunnerConfig config);
   ~PhotonRunner();
 
@@ -100,8 +116,12 @@ class PhotonRunner {
   const RunnerConfig& config() const { return config_; }
   const TokenDataset& eval_set() const { return eval_set_; }
 
+  /// Install (or clear, with nullptr) the after-round hook.
+  void set_round_hook(RoundHook hook) { round_hook_ = std::move(hook); }
+
  private:
   RunnerConfig config_;
+  RoundHook round_hook_;
   std::unique_ptr<Aggregator> aggregator_;
   std::unique_ptr<GptModel> eval_model_;
   TokenDataset eval_set_;

@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
@@ -139,43 +140,84 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
   return out;
 }
 
-std::string render_round_table(const std::vector<TraceEvent>& events) {
-  struct RoundRow {
-    double round_s = 0.0;
-    double broadcast_s = 0.0;
-    double train_s = 0.0;
-    double update_s = 0.0;
-    double collective_s = 0.0;
-    double retry_wait_s = 0.0;
-    int straggler_cuts = 0;
-    int crashes = 0;
-    int link_fails = 0;
+std::vector<RoundAttribution> attribute_rounds(
+    const std::vector<TraceEvent>& events) {
+  struct Accum {
+    RoundAttribution attr;
+    // Per-client critical-path seconds (bcast + train + update + retry),
+    // keyed by actor id.  std::map keeps iteration deterministic.
+    std::map<std::int32_t, double> client_s;
   };
-  std::map<std::uint32_t, RoundRow> rows;
+  std::map<std::uint32_t, Accum> rounds;
   for (const TraceEvent& e : events) {
-    RoundRow& row = rows[e.round];
+    Accum& acc = rounds[e.round];
+    RoundAttribution& row = acc.attr;
     const double width = e.sim_end - e.sim_begin;
+    bool client_path = false;
     switch (e.kind) {
       case SpanKind::kRound: row.round_s += width; break;
-      case SpanKind::kBroadcast: row.broadcast_s += width; break;
-      case SpanKind::kLocalTrain: row.train_s += width; break;
-      case SpanKind::kUpdateReturn: row.update_s += width; break;
+      case SpanKind::kBroadcast:
+        row.broadcast_s += width;
+        client_path = true;
+        break;
+      case SpanKind::kLocalTrain:
+        row.local_train_s += width;
+        client_path = true;
+        break;
+      case SpanKind::kUpdateReturn:
+        row.update_return_s += width;
+        client_path = true;
+        break;
       case SpanKind::kCollective: row.collective_s += width; break;
-      case SpanKind::kRetryWait: row.retry_wait_s += width; break;
+      case SpanKind::kServerOpt: row.server_opt_s += width; break;
+      case SpanKind::kCheckpoint: row.checkpoint_s += width; break;
+      case SpanKind::kRetryWait:
+        row.retry_wait_s += width;
+        client_path = true;
+        break;
+      case SpanKind::kEncode: row.encode_s += width; break;
+      case SpanKind::kDecode: row.decode_s += width; break;
+      case SpanKind::kDequantAccum: row.dequant_accum_s += width; break;
+      case SpanKind::kBufferDrain: row.buffer_drain_s += width; break;
+      case SpanKind::kEval: row.eval_s += width; break;
       case SpanKind::kStragglerCut: ++row.straggler_cuts; break;
       case SpanKind::kCrash: ++row.crashes; break;
       case SpanKind::kLinkFail: ++row.link_fails; break;
-      default: break;
+      case SpanKind::kAdmissionDefer: ++row.admission_defers; break;
+      case SpanKind::kClientArrive: ++row.client_arrivals; break;
+      case SpanKind::kClientLeave: ++row.client_departures; break;
+      case SpanKind::kLocalStep: break;
     }
+    if (client_path && e.actor >= 0) acc.client_s[e.actor] += width;
   }
+  std::vector<RoundAttribution> out;
+  out.reserve(rounds.size());
+  for (auto& [round, acc] : rounds) {
+    acc.attr.round = round;
+    acc.attr.clients = static_cast<int>(acc.client_s.size());
+    if (!acc.client_s.empty()) {
+      std::vector<double> per_client;
+      per_client.reserve(acc.client_s.size());
+      for (const auto& [actor, s] : acc.client_s) per_client.push_back(s);
+      std::sort(per_client.begin(), per_client.end());
+      acc.attr.slowest_client_s = per_client.back();
+      acc.attr.median_client_s = per_client[per_client.size() / 2];
+    }
+    out.push_back(acc.attr);
+  }
+  return out;
+}
+
+std::string render_round_table(const std::vector<TraceEvent>& events) {
   TablePrinter table({"round", "sim_s", "bcast_s", "train_s", "update_s",
                       "collective_s", "retry_s", "cuts", "crashes",
                       "link_fails"});
-  for (const auto& [round, row] : rows) {
-    table.add_row({std::to_string(round), TablePrinter::fmt(row.round_s, 4),
+  for (const RoundAttribution& row : attribute_rounds(events)) {
+    table.add_row({std::to_string(row.round),
+                   TablePrinter::fmt(row.round_s, 4),
                    TablePrinter::fmt(row.broadcast_s, 4),
-                   TablePrinter::fmt(row.train_s, 4),
-                   TablePrinter::fmt(row.update_s, 4),
+                   TablePrinter::fmt(row.local_train_s, 4),
+                   TablePrinter::fmt(row.update_return_s, 4),
                    TablePrinter::fmt(row.collective_s, 4),
                    TablePrinter::fmt(row.retry_wait_s, 4),
                    std::to_string(row.straggler_cuts),

@@ -88,4 +88,10 @@ void set_default_threads(int threads) {
                                     threads, default_context().grain());
 }
 
+void set_default_grain(std::size_t grain) {
+  const int threads = default_context().threads();
+  default_context() = KernelContext(threads > 1 ? &global_pool() : nullptr,
+                                    threads, grain);
+}
+
 }  // namespace photon::kernels

@@ -94,4 +94,11 @@ KernelContext& default_context();
 /// Call at startup, not while kernels are running.
 void set_default_threads(int threads);
 
+/// Reconfigure the default context's grain — minimum scalar ops per shard
+/// (threads preserved).  The autotuner's thread-grain knob: safe to move
+/// between rounds because shard boundaries only affect work partitioning,
+/// never reduction results (the per-shard fold order is fixed).  Call at a
+/// quiescent point, not while kernels are running.
+void set_default_grain(std::size_t grain);
+
 }  // namespace photon::kernels

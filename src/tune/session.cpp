@@ -1,0 +1,49 @@
+#include "tune/session.hpp"
+
+namespace photon::tune {
+
+TunedSession::TunedSession(Aggregator& agg, TunerConfig config)
+    : agg_(agg), tuner_(std::move(config)) {
+  tracer_ = agg_.tracer();
+  if (tracer_ == nullptr) {
+    // No observability opted in: install a private tracer so the tuner has
+    // spans to digest.  Per-round drains keep the ring bounded.
+    owned_tracer_ = std::make_unique<obs::Tracer>();
+    tracer_ = owned_tracer_.get();
+    agg_.set_tracer(tracer_);
+  }
+  tuner_.bind_initial(agg_);  // also registers the checkpoint extension
+}
+
+TunedSession::~TunedSession() {
+  agg_.set_state_extension(nullptr);
+  if (owned_tracer_ != nullptr) agg_.set_tracer(nullptr);
+}
+
+RoundRecord TunedSession::step() {
+  const RoundRecord record = agg_.run_round();
+  on_round(record);
+  return record;
+}
+
+void TunedSession::on_round(const RoundRecord& record) {
+  // Round boundaries are quiescent: every worker the round used has joined.
+  const std::vector<obs::TraceEvent> events = tracer_->drain();
+  tuner_.observe(record, events);
+  tuner_.apply(agg_);
+}
+
+void TunedSession::resume() { tuner_.apply(agg_); }
+
+std::unique_ptr<TunedSession> attach_tuner(PhotonRunner& runner,
+                                           TunerConfig config) {
+  auto session =
+      std::make_unique<TunedSession>(runner.aggregator(), std::move(config));
+  TunedSession* raw = session.get();
+  runner.set_round_hook([raw](Aggregator&, const RoundRecord& record) {
+    raw->on_round(record);
+  });
+  return session;
+}
+
+}  // namespace photon::tune

@@ -1,0 +1,59 @@
+#pragma once
+// TunedSession: owns the observe -> decide -> apply loop around an
+// Aggregator, plus attach_tuner() for PhotonRunner-driven experiments.
+//
+// The session drains the tracer at each round boundary (a quiescent point),
+// feeds the spans to the RoundAutotuner, and pushes the resulting decision
+// before the next round starts.  If the aggregator has no tracer, the
+// session installs a private one so tuning works without the caller opting
+// into observability.  Under PHOTON_TRACE=OFF builds the tracer records
+// nothing, digests come back empty, and the tuner deterministically holds
+// its initial (static) configuration — tuning degrades, nothing breaks.
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/runner.hpp"
+#include "obs/trace.hpp"
+#include "tune/autotuner.hpp"
+
+namespace photon::tune {
+
+class TunedSession {
+ public:
+  TunedSession(Aggregator& agg, TunerConfig config);
+  ~TunedSession();
+
+  TunedSession(const TunedSession&) = delete;
+  TunedSession& operator=(const TunedSession&) = delete;
+
+  /// Run one autotuned round: run_round() + drain + observe + apply.
+  RoundRecord step();
+
+  /// Tuning half of step() for rounds run elsewhere (the PhotonRunner
+  /// RoundHook path): drain the tracer, digest `record`, apply the next
+  /// decision.
+  void on_round(const RoundRecord& record);
+
+  /// Re-apply the current decision after the aggregator restored a
+  /// checkpoint (the restore path already rebuilt the decision history
+  /// through the checkpoint's tuner-state field).
+  void resume();
+
+  RoundAutotuner& tuner() { return tuner_; }
+  const RoundAutotuner& tuner() const { return tuner_; }
+
+ private:
+  Aggregator& agg_;
+  RoundAutotuner tuner_;
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+/// Wire a RoundAutotuner into a PhotonRunner via its RoundHook.  The
+/// returned session must outlive the runner's run() call.
+std::unique_ptr<TunedSession> attach_tuner(PhotonRunner& runner,
+                                           TunerConfig config);
+
+}  // namespace photon::tune

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Unified bench harness: run every bench suite serially and fold their
+# outputs into one BENCH_all.json (schema photon.bench_all.v1; see
+# tools/fold_bench.py for the case layout).
+#
+#   tools/bench.sh                 # full suites -> build/BENCH_all.json
+#   tools/bench.sh --quick         # CI perf-gate sizing (smoke suites; the
+#                                  # autotune grid always runs in full)
+#   tools/bench.sh --out=PATH      # write the folded document elsewhere
+#   tools/bench.sh --skip-build    # reuse existing binaries
+#
+# Suites run serially on purpose: the round-path and kernel numbers are
+# real-time measurements, and sharing cores between benches makes them
+# noise.  The deterministic cases (sim seconds, counters, losses) feed the
+# CI perf gate (tools/ci.sh --perf-gate); the committed baseline at the
+# repo root is BENCH_all.json, generated with --quick to match the gate.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+BUILD="$ROOT/build"
+MODE=full
+OUT=""
+SKIP_BUILD=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) MODE=quick; shift ;;
+    --out=*) OUT="${1#--out=}"; shift ;;
+    --skip-build) SKIP_BUILD=1; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+[[ -n "$OUT" ]] || OUT="$BUILD/BENCH_all.json"
+
+if [[ "$SKIP_BUILD" -eq 0 ]]; then
+  echo "==> bench.sh: build ($BUILD)"
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD" -j "$JOBS" --target \
+        bench_micro_kernels bench_round_path bench_faults \
+        bench_obs_overhead bench_autotune >/dev/null
+fi
+
+WORK="$BUILD/bench_out"
+mkdir -p "$WORK"
+cd "$WORK"
+
+run() {  # run <label> <binary> [args...]
+  local label="$1"; shift
+  echo "==> bench.sh [$MODE] $label: $*"
+  "$@"
+}
+
+run kernels "$BUILD/bench/bench_micro_kernels" \
+    --json="$WORK/BENCH_kernels.json" >/dev/null
+
+if [[ "$MODE" == "quick" ]]; then
+  run round "$BUILD/bench/bench_round_path" --smoke \
+      --json="$WORK/BENCH_round.json" >/dev/null
+  run faults "$BUILD/bench/bench_faults" --smoke \
+      --json="$WORK/BENCH_faults.json" >/dev/null
+  run churn "$BUILD/bench/bench_faults" --churn --smoke \
+      --json="$WORK/BENCH_churn.json" >/dev/null
+  run obs "$BUILD/bench/bench_obs_overhead" --smoke \
+      --json="$WORK/BENCH_obs.json" >/dev/null
+else
+  run round "$BUILD/bench/bench_round_path" \
+      --json="$WORK/BENCH_round.json" >/dev/null
+  run faults "$BUILD/bench/bench_faults" --rounds=50 \
+      --json="$WORK/BENCH_faults.json" >/dev/null
+  run churn "$BUILD/bench/bench_faults" --churn \
+      --json="$WORK/BENCH_churn.json" >/dev/null
+  run obs "$BUILD/bench/bench_obs_overhead" --rounds=12 --samples=3 \
+      --json="$WORK/BENCH_obs.json" >/dev/null
+fi
+
+# The autotuned-vs-static grid always runs at full size: its deterministic
+# s/Mtok cells and never-worse-than-static floors are the headline content
+# of the perf gate, and quick-sized cells would not be comparable.
+run autotune "$BUILD/bench/bench_autotune" \
+    --json="$WORK/BENCH_autotune.json"
+
+python3 "$ROOT/tools/fold_bench.py" --mode="$MODE" --out="$OUT" \
+    kernels="$WORK/BENCH_kernels.json" \
+    round="$WORK/BENCH_round.json" \
+    faults="$WORK/BENCH_faults.json" \
+    churn="$WORK/BENCH_churn.json" \
+    obs="$WORK/BENCH_obs.json" \
+    autotune="$WORK/BENCH_autotune.json"
+
+echo "==> bench.sh: done ($OUT)"

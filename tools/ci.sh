@@ -6,6 +6,10 @@
 #   tools/ci.sh --soak N    # additionally run an N-round chaos soak (default 200)
 #   tools/ci.sh --coverage  # additionally build with gcov instrumentation,
 #                           # ctest it, and summarize via gcovr if installed
+#   tools/ci.sh --perf-gate # additionally run tools/bench.sh --quick and
+#                           # diff the deterministic cases against the
+#                           # committed BENCH_all.json baseline (>5% fails;
+#                           # add --update-baseline to refresh it instead)
 #
 # The obs gate (DESIGN.md §9) builds a PHOTON_TRACE=OFF comparison tree and
 # fails the pipeline if the default build's trace-DISABLED round time is
@@ -24,12 +28,16 @@ PER_TEST_TIMEOUT=300   # seconds; generous for the sanitized build
 FAST=0
 SOAK_ROUNDS=0
 COVERAGE=0
+PERF_GATE=0
+UPDATE_BASELINE=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fast) FAST=1; shift ;;
     --soak) SOAK_ROUNDS="${2:-200}"; shift 2 ;;
     --coverage) COVERAGE=1; shift ;;
+    --perf-gate) PERF_GATE=1; shift ;;
+    --update-baseline) UPDATE_BASELINE=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -130,6 +138,24 @@ if [[ "$SOAK_ROUNDS" -gt 0 ]]; then
   echo "==> chaos soak: $SOAK_ROUNDS rounds"
   "$ROOT/build/bench/bench_faults" --rounds="$SOAK_ROUNDS" \
       --json="$ROOT/build/BENCH_faults_soak.json"
+fi
+
+if [[ "$PERF_GATE" -eq 1 ]]; then
+  # Perf-regression gate (DESIGN.md §13): quick bench run, then diff the
+  # deterministic cases against the committed baseline.  The self-test
+  # first proves the gate actually trips on an injected 10% slowdown.
+  echo "==> [perf-gate] tools/bench.sh --quick"
+  "$ROOT/tools/bench.sh" --quick --skip-build \
+      --out="$ROOT/build/BENCH_all.quick.json"
+  if [[ "$UPDATE_BASELINE" -eq 1 ]]; then
+    cp "$ROOT/build/BENCH_all.quick.json" "$ROOT/BENCH_all.json"
+    echo "==> [perf-gate] baseline refreshed: BENCH_all.json"
+  fi
+  echo "==> [perf-gate] self-test (injected-slowdown detection)"
+  python3 "$ROOT/tools/perf_gate.py" --self-test "$ROOT/BENCH_all.json"
+  echo "==> [perf-gate] diff vs committed baseline"
+  python3 "$ROOT/tools/perf_gate.py" "$ROOT/BENCH_all.json" \
+      "$ROOT/build/BENCH_all.quick.json"
 fi
 
 echo "==> ci.sh: all green"

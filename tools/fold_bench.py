@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Fold per-suite bench JSON outputs into one BENCH_all.json.
+
+Unified schema (consumed by tools/perf_gate.py and committed at the repo
+root as the perf-regression baseline):
+
+    {
+      "schema": "photon.bench_all.v1",
+      "mode": "quick" | "full",
+      "suites": {
+        "<suite>": {
+          "<case>": {
+            "value": <number>,
+            "unit": "<unit>",
+            "dir": "lower" | "higher" | "exact",
+            "det": true | false,       # deterministic (sim-time / counter)
+            "floor": <number>          # optional absolute floor
+          }
+        }
+      }
+    }
+
+`det` cases are pure functions of (seed, config): sim-clock seconds,
+token counts, fault counters, loss values.  They are bit-stable across
+machines and thread counts, so the perf gate diffs them against the
+committed baseline.  Non-det cases (wall time, GB/s) are recorded for
+humans and floor checks but never gated against the baseline.
+
+Usage: fold_bench.py --mode=quick|full --out=BENCH_all.json \
+           [kernels=PATH] [round=PATH] [faults=PATH] [churn=PATH] \
+           [obs=PATH] [autotune=PATH]
+
+Each suite argument is optional; missing files are skipped with a note so
+a partial rerun can still fold (splice into the committed baseline with
+tools/splice_bench_output.py).
+"""
+import json
+import sys
+
+
+def case(value, unit, direction, det, floor=None):
+    c = {"value": value, "unit": unit, "dir": direction, "det": det}
+    if floor is not None:
+        c["floor"] = floor
+    return c
+
+
+def fold_kernels(doc):
+    """photon.bench_kernels.v2: keep each kernel's best-thread GFLOP/s."""
+    out = {}
+    for k in doc.get("kernels", []):
+        results = k.get("results", [])
+        if not results:
+            continue
+        best = max(r.get("gflops", 0.0) for r in results)
+        out[f"{k['name']}_gflops"] = case(best, "GFLOP/s", "higher", False)
+        multi = [r for r in results if r.get("threads", 1) > 1]
+        if multi:
+            speedup = max(r.get("speedup_vs_serial", 1.0) for r in multi)
+            out[f"{k['name']}_thread_speedup"] = case(speedup, "x", "higher",
+                                                     False)
+    return out
+
+
+# Codec encode floors asserted by bench_round_path (GB/s); quantizers have
+# a higher budget because they do arithmetic per element, identity and the
+# byte-level codecs must stream.
+def encode_floor(codec):
+    return 1.0 if codec.startswith("q") else 0.3
+
+
+def fold_round(doc):
+    """bench_round_path output: comm-path speedups + round-0 telemetry."""
+    out = {}
+    for r in doc.get("comm_path", []):
+        label = r["label"]
+        out[f"{label}_speedup"] = case(r["speedup"], "x", "higher", False,
+                                       floor=1.0)
+        out[f"{label}_encode_gbps"] = case(
+            r["encode_gbps"], "GB/s", "higher", False,
+            floor=encode_floor(r.get("codec", "")))
+        # Wire bytes are a pure function of (n, K, codec, topology): a
+        # change means the wire format or chunking moved.
+        out[f"{label}_wire_bytes"] = case(
+            float(r["wire_bytes"]), "B", "exact", True)
+    for r in doc.get("rounds", []):
+        i = r["round"]
+        out[f"round{i}_comm_bytes"] = case(
+            float(r["comm_bytes"]), "B", "exact", True)
+        out[f"round{i}_train_loss"] = case(
+            r["mean_train_loss"], "loss", "exact", True)
+    return out
+
+
+def fold_faults(doc):
+    """bench_faults chaos soak: every counter is sim-deterministic."""
+    out = {}
+    for key in ("crashed", "link_failed", "straggler_drops", "dropped",
+                "cohort_retries", "link_retries", "corrupt_chunks",
+                "topology_fallbacks"):
+        if key in doc:
+            out[key] = case(float(doc[key]), "count", "exact", True)
+    if "backoff_seconds" in doc:
+        out["backoff_sim_s"] = case(doc["backoff_seconds"], "s", "exact",
+                                    True)
+    for key in ("serial_parallel_bit_identical",
+                "link_faults_bit_identical_to_fault_free"):
+        if key in doc:
+            out[key] = case(1.0 if doc[key] else 0.0, "bool", "exact", True,
+                            floor=1.0)
+    return out
+
+
+def fold_churn(doc):
+    """bench_faults --churn: async admission / staleness counters."""
+    out = {}
+    for key in ("admission_deferred", "discarded_updates", "arrivals",
+                "departures", "active_population", "max_staleness"):
+        if key in doc:
+            out[key] = case(float(doc[key]), "count", "exact", True)
+    if "mean_staleness" in doc:
+        out["mean_staleness"] = case(doc["mean_staleness"], "rounds",
+                                     "exact", True)
+    if "final_train_loss" in doc:
+        out["final_train_loss"] = case(doc["final_train_loss"], "loss",
+                                       "exact", True)
+    if "peak_rss_mb" in doc:
+        out["peak_rss_mb"] = case(doc["peak_rss_mb"], "MB", "lower", False)
+    if "serial_parallel_bit_identical" in doc:
+        out["serial_parallel_bit_identical"] = case(
+            1.0 if doc["serial_parallel_bit_identical"] else 0.0, "bool",
+            "exact", True, floor=1.0)
+    return out
+
+
+def fold_obs(doc):
+    """bench_obs_overhead: tracing cost ratios (real time, not gated)."""
+    out = {}
+    for key in ("disabled_round_s", "enabled_round_s", "sampled_round_s"):
+        if key in doc:
+            out[key] = case(doc[key], "s", "lower", False)
+    if "enabled_over_disabled" in doc:
+        out["enabled_over_disabled"] = case(doc["enabled_over_disabled"],
+                                            "x", "lower", False)
+    return out
+
+
+def fold_autotune(doc):
+    """bench_autotune emits the unified case schema natively."""
+    return dict(doc.get("autotune", {}))
+
+
+FOLDERS = {
+    "kernels": fold_kernels,
+    "round": fold_round,
+    "faults": fold_faults,
+    "churn": fold_churn,
+    "obs": fold_obs,
+    "autotune": fold_autotune,
+}
+
+
+def main():
+    mode = None
+    out_path = None
+    inputs = {}
+    for arg in sys.argv[1:]:
+        if arg.startswith("--mode="):
+            mode = arg.split("=", 1)[1]
+        elif arg.startswith("--out="):
+            out_path = arg.split("=", 1)[1]
+        elif "=" in arg:
+            suite, path = arg.split("=", 1)
+            if suite not in FOLDERS:
+                sys.exit(f"unknown suite '{suite}' "
+                         f"(expected one of {sorted(FOLDERS)})")
+            inputs[suite] = path
+        else:
+            sys.exit(__doc__)
+    if mode not in ("quick", "full") or out_path is None or not inputs:
+        sys.exit(__doc__)
+
+    suites = {}
+    for suite, path in inputs.items():
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except FileNotFoundError:
+            print(f"fold_bench: {suite}: {path} missing, skipped",
+                  file=sys.stderr)
+            continue
+        cases = FOLDERS[suite](doc)
+        if cases:
+            suites[suite] = cases
+            print(f"fold_bench: {suite}: {len(cases)} cases from {path}")
+
+    with open(out_path, "w") as f:
+        json.dump({"schema": "photon.bench_all.v1", "mode": mode,
+                   "suites": suites}, f, indent=1, sort_keys=True)
+        f.write("\n")
+    total = sum(len(c) for c in suites.values())
+    det = sum(1 for c in suites.values() for v in c.values() if v["det"])
+    print(f"fold_bench: wrote {out_path}: {len(suites)} suites, "
+          f"{total} cases ({det} deterministic)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,23 +1,37 @@
 #!/usr/bin/env python3
 """Splice rerun bench results into the main results file.
 
-Two modes, chosen by file extension:
+BENCH_all.json (photon.bench_all.v1, the committed perf baseline) is the
+primary mode: when both files carry the unified schema, suites from the
+rerun are merged case-by-case into the main document — a partial rerun
+(one suite, or a few cases of one suite) refreshes just its own entries
+and leaves the rest of the baseline untouched.  Bench modes (quick/full)
+must match; the perf gate refuses cross-mode comparisons and so does the
+splice.
 
-Text logs (default): each section of bench_output.txt is delimited by
+Legacy modes (DEPRECATED — the per-suite files they operate on are
+superseded by tools/bench.sh folding everything into BENCH_all.json):
+
+Text logs: each section of bench_output.txt is delimited by
 '### RUN <path>' ... '### EXIT <code> <path>'.  Sections present in the
 rerun log replace their counterparts in the main log in place; new
 sections are appended.
 
-JSON (both paths end in .json, e.g. BENCH_round.json): top-level keys of
-the rerun object replace their counterparts in the main object; other
-keys are preserved.  Lets a partial bench rerun (one sweep) refresh just
-its own section of the committed results.
+Per-suite JSON (e.g. BENCH_round.json): top-level keys of the rerun
+object replace their counterparts in the main object; other keys are
+preserved.
 
 Usage: splice_bench_output.py <main_file> <rerun_file>
 """
 import json
 import re
 import sys
+
+
+def warn_deprecated(mode):
+    print(f"splice_bench_output: WARNING: {mode} mode is deprecated — "
+          "fold suites into BENCH_all.json with tools/bench.sh and splice "
+          "that instead", file=sys.stderr)
 
 
 def parse_sections(text):
@@ -30,6 +44,7 @@ def parse_sections(text):
 
 
 def splice_text(main_path, rerun_path):
+    warn_deprecated("text-log")
     with open(main_path) as f:
         main_text = f.read()
     with open(rerun_path) as f:
@@ -48,6 +63,28 @@ def splice_text(main_path, rerun_path):
         f.write(main_text)
 
 
+def is_bench_all(obj):
+    return isinstance(obj, dict) and obj.get("schema") == "photon.bench_all.v1"
+
+
+def splice_bench_all(main_path, main_obj, rerun_path, rerun_obj):
+    if main_obj.get("mode") != rerun_obj.get("mode"):
+        sys.exit(f"mode mismatch: {main_path} is "
+                 f"'{main_obj.get('mode')}' but {rerun_path} is "
+                 f"'{rerun_obj.get('mode')}' — case values are only "
+                 "comparable at identical workload sizes")
+    suites = main_obj.setdefault("suites", {})
+    for suite, cases in rerun_obj.get("suites", {}).items():
+        target = suites.setdefault(suite, {})
+        fresh = sum(1 for name in cases if name not in target)
+        target.update(cases)
+        print(f"{suite}: spliced {len(cases) - fresh} cases, "
+              f"appended {fresh}")
+    with open(main_path, "w") as f:
+        json.dump(main_obj, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
 def splice_json(main_path, rerun_path):
     try:
         with open(main_path) as f:
@@ -60,6 +97,15 @@ def splice_json(main_path, rerun_path):
         rerun_obj = json.load(f)
     if not isinstance(rerun_obj, dict):
         sys.exit(f"{rerun_path}: top level must be a JSON object")
+
+    if is_bench_all(rerun_obj) and (is_bench_all(main_obj) or not main_obj):
+        if not main_obj:
+            main_obj = {"schema": "photon.bench_all.v1",
+                        "mode": rerun_obj.get("mode"), "suites": {}}
+        splice_bench_all(main_path, main_obj, rerun_path, rerun_obj)
+        return
+
+    warn_deprecated("per-suite JSON")
     for key, value in rerun_obj.items():
         print(f"{'spliced' if key in main_obj else 'appended'} {key}")
         main_obj[key] = value
