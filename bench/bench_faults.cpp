@@ -89,6 +89,9 @@ std::unique_ptr<Aggregator> build_federation(const AggregatorConfig& ac) {
 
 AggregatorConfig chaos_config(bool parallel) {
   AggregatorConfig ac;
+  // Det counters feed the perf-gate baseline: a PHOTON_SECAGG override in
+  // the environment must not skew them.
+  ac.privacy.ignore_env = true;
   ac.clients_per_round = kCohort;
   ac.local_steps = kLocalSteps;
   ac.topology = Topology::kRingAllReduce;
@@ -241,6 +244,7 @@ std::unique_ptr<Aggregator> build_churn_federation(bool parallel) {
   }
 
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;  // det churn counters feed the baseline
   ac.local_steps = 1;
   ac.parallel_clients = parallel;
   ac.checkpoint_every = 0;
@@ -389,6 +393,7 @@ int main(int argc, char** argv) {
   // 2. Fault-free baseline, and a zero FaultPlan on top of it: installing
   //    an injector that injects nothing must not change a single bit.
   AggregatorConfig plain;
+  plain.privacy.ignore_env = true;
   plain.clients_per_round = kCohort;
   plain.local_steps = kLocalSteps;
   plain.topology = Topology::kRingAllReduce;

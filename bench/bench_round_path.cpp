@@ -57,6 +57,7 @@
 #include "comm/link.hpp"
 #include "comm/message.hpp"
 #include "comm/quantization.hpp"
+#include "comm/secure_agg.hpp"
 #include "core/aggregator.hpp"
 #include "core/client.hpp"
 #include "data/corpus.hpp"
@@ -480,6 +481,7 @@ std::vector<RoundResult> run_federation(int rounds, int clients,
         i, ctc, std::make_unique<CorpusStreamSource>(corpus, 100 + i), 7));
   }
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;  // det losses feed the perf-gate baseline
   ac.local_steps = local_steps;
   ac.topology = Topology::kRingAllReduce;
   std::unique_ptr<ServerOpt> opt =
@@ -547,6 +549,7 @@ SyncAsyncArm run_sync_async_arm(bool async_mode, int steps) {
   }
 
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;  // det arm metrics feed the baseline
   ac.clients_per_round = kCohort;
   ac.local_steps = 2;
   ac.topology = Topology::kRingAllReduce;
@@ -707,6 +710,98 @@ std::vector<BiasTrack> run_bias_loop(int rounds) {
   return tracks;
 }
 
+// Privacy matrix (DESIGN.md §14): the same tiny federation swept over
+// {none, secagg, dp, secagg+dp} x {faults off, crash faults on}.  Every
+// reported number — final loss, comm bytes, per-round epsilon, dropouts
+// recovered, simulated seconds — is a pure function of (seed, config), so
+// the fold marks them det/exact and the perf gate pins the protocol's
+// observable behavior: mask cancellation staying bit-exact, key-exchange
+// sim cost, Shamir recovery counts under the seeded crash plan, and the
+// accountant's epsilon curve.
+struct PrivacyArm {
+  std::string label;
+  bool secagg = false;
+  bool dp = false;
+  bool faults = false;
+  double final_loss = 0.0;
+  double dp_epsilon = -1.0;  // -1 when the arm runs without DP noise
+  int dropouts_recovered = 0;
+  double sim_seconds = 0.0;
+  std::uint64_t comm_bytes = 0;
+};
+
+std::vector<PrivacyArm> run_privacy_matrix(int rounds) {
+  std::vector<PrivacyArm> arms;
+  for (const bool faults : {false, true}) {
+    arms.push_back({faults ? "none_faults" : "none", false, false, faults});
+    arms.push_back({faults ? "secagg_faults" : "secagg", true, false, faults});
+    arms.push_back({faults ? "dp_faults" : "dp", false, true, faults});
+    arms.push_back(
+        {faults ? "secagg_dp_faults" : "secagg_dp", true, true, faults});
+  }
+  for (auto& arm : arms) {
+    ClientTrainConfig ctc;
+    ctc.model = ModelConfig::micro();
+    ctc.local_batch = 2;
+    ctc.schedule.max_lr = 5e-3f;
+    ctc.schedule.warmup_steps = 2;
+    ctc.schedule.total_steps = 1000;
+    if (arm.dp) {
+      ctc.clip_update_norm = 1e-2;
+      ctc.dp_noise_multiplier = 0.5;
+    }
+    CorpusConfig cc;
+    cc.vocab_size = ctc.model.vocab_size;
+    auto corpus = std::make_shared<MarkovSource>(cc, c4_style());
+    std::vector<std::unique_ptr<LLMClient>> cs;
+    for (int i = 0; i < 5; ++i) {
+      cs.push_back(std::make_unique<LLMClient>(
+          i, ctc, std::make_unique<CorpusStreamSource>(corpus, 100 + i), 7));
+    }
+    AggregatorConfig ac;
+    ac.local_steps = 1;
+    ac.secure_aggregation = arm.secagg;
+    ac.privacy.ignore_env = true;  // the matrix sets the mode explicitly
+    Aggregator agg(ctc.model, ac, std::make_unique<FedAvgOpt>(),
+                   std::move(cs), 42);
+    FaultPlan plan;
+    plan.crash_prob = arm.faults ? 0.25 : 0.0;
+    FaultInjector injector(plan);
+    if (arm.faults) injector.install(agg);
+    for (int r = 0; r < rounds; ++r) {
+      const RoundRecord rec = agg.run_round();
+      arm.final_loss = rec.mean_train_loss;
+      arm.dp_epsilon = rec.dp_epsilon;
+      arm.dropouts_recovered += rec.secagg_dropouts_recovered;
+      arm.comm_bytes += rec.comm_bytes;
+    }
+    arm.sim_seconds = agg.sim_now();
+  }
+  return arms;
+}
+
+// Masking-encode throughput: the per-element cost of the SecAgg hot loop —
+// counter-mode PRG, fixed-point encode, wrapping accumulate — measured on
+// a 2-member session (one pair mask live, the worst per-element mask
+// count per peer).  Real time, never baseline-diffed, but floor-checked:
+// masking must not become the round bottleneck.
+double run_mask_encode_gbps(bool smoke) {
+  const std::size_t n = smoke ? (std::size_t{1} << 20) : (std::size_t{1} << 23);
+  SecAggConfig cfg;
+  cfg.session_seed = 0xBE7C;
+  const SecAggSession session({0, 1}, cfg);
+  std::vector<float> update(n);
+  Rng rng(0x3A5C);
+  for (auto& x : update) x = rng.gaussian(0.0f, 1.0f);
+  std::vector<std::uint64_t> acc(n, 0);
+  const auto& ctx = kernels::default_context();
+  const double sec = seconds_of([&] {
+    std::fill(acc.begin(), acc.end(), 0);
+    session.mask_update_into(0, update, acc, ctx);
+  });
+  return static_cast<double>(n) * sizeof(float) / sec / 1e9;
+}
+
 struct WanModelResult {
   double bandwidth_mbps = 0.0;
   double wire_ratio = 0.0;
@@ -717,6 +812,8 @@ struct WanModelResult {
 bool write_json(const std::string& path, const std::vector<CommResult>& comm,
                 const std::vector<RoundResult>& rounds,
                 const std::vector<SyncAsyncArm>& sync_async,
+                const std::vector<PrivacyArm>& privacy,
+                double mask_encode_gbps,
                 const std::vector<AblationArm>& ablation,
                 const std::vector<BiasTrack>& bias, const WanModelResult* wan) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -782,6 +879,25 @@ bool write_json(const std::string& path, const std::vector<CommResult>& comm,
       speedup = sync_async[0].sim_seconds / sync_async[1].sim_seconds;
     }
     std::fprintf(f, "    ],\n    \"async_sim_speedup\": %.3f\n  },\n", speedup);
+  }
+  if (!privacy.empty()) {
+    std::fprintf(f, "  \"privacy\": {\n    \"arms\": [\n");
+    for (std::size_t a = 0; a < privacy.size(); ++a) {
+      const auto& p = privacy[a];
+      std::fprintf(
+          f,
+          "      {\"arm\": \"%s\", \"secagg\": %s, \"dp\": %s, "
+          "\"faults\": %s, \"final_loss\": %.4f, \"dp_epsilon\": %.6f, "
+          "\"dropouts_recovered\": %d, \"sim_seconds\": %.6f, "
+          "\"comm_bytes\": %llu}%s\n",
+          p.label.c_str(), p.secagg ? "true" : "false",
+          p.dp ? "true" : "false", p.faults ? "true" : "false", p.final_loss,
+          p.dp_epsilon, p.dropouts_recovered, p.sim_seconds,
+          static_cast<unsigned long long>(p.comm_bytes),
+          a + 1 < privacy.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n    \"mask_encode_gbps\": %.3f\n  },\n",
+                 mask_encode_gbps);
   }
   std::fprintf(f, "  \"ablation\": [\n");
   for (std::size_t a = 0; a < ablation.size(); ++a) {
@@ -983,6 +1099,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Privacy matrix + masking throughput (DESIGN.md §14).
+  const auto privacy = run_privacy_matrix(smoke ? 2 : 4);
+  for (const auto& p : privacy) {
+    std::printf(
+        "privacy %-16s loss %.4f eps %8.4f recovered %d sim %7.3fs "
+        "comm %llu B\n",
+        p.label.c_str(), p.final_loss, p.dp_epsilon, p.dropouts_recovered,
+        p.sim_seconds, static_cast<unsigned long long>(p.comm_bytes));
+  }
+  const double mask_gbps = run_mask_encode_gbps(smoke);
+  std::printf("secagg mask encode: %.2f GB/s\n", mask_gbps);
+  constexpr double kMinMaskEncodeGbps = 1.0;
+  if (mask_gbps < kMinMaskEncodeGbps) {
+    std::fprintf(stderr,
+                 "FAIL: secagg masking encodes at %.3f GB/s, below the "
+                 "%.1f GB/s floor\n",
+                 mask_gbps, kMinMaskEncodeGbps);
+    floor_ok = false;
+  }
+  // Cross-arm invariants the matrix must satisfy by construction: secagg
+  // changes wire framing, never the learning outcome, so each secagg arm
+  // must land within fixed-point rounding of its plaintext twin; under
+  // the seeded crash plan the faulted secagg arms must exercise share
+  // reconstruction at least once.
+  for (std::size_t a = 0; a + 1 < privacy.size(); a += 2) {
+    const auto& plain = privacy[a];
+    const auto& masked = privacy[a + 1];
+    if (std::abs(plain.final_loss - masked.final_loss) > 5e-3) {
+      std::fprintf(stderr,
+                   "FAIL: secagg arm '%s' loss %.4f diverged from plaintext "
+                   "twin '%s' loss %.4f\n",
+                   masked.label.c_str(), masked.final_loss,
+                   plain.label.c_str(), plain.final_loss);
+      floor_ok = false;
+    }
+    if (masked.faults && masked.dropouts_recovered == 0) {
+      std::fprintf(stderr,
+                   "FAIL: faulted secagg arm '%s' never reconstructed a "
+                   "dropped member's shares\n",
+                   masked.label.c_str());
+      floor_ok = false;
+    }
+  }
+
   std::vector<AblationArm> ablation;
   std::vector<BiasTrack> bias;
   if (!smoke) {
@@ -1025,8 +1185,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!write_json(json_path, comm, rounds, sync_async, ablation, bias,
-                  have_wan ? &wan : nullptr)) {
+  if (!write_json(json_path, comm, rounds, sync_async, privacy, mask_gbps,
+                  ablation, bias, have_wan ? &wan : nullptr)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }

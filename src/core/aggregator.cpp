@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <optional>
 #include <stdexcept>
 
@@ -24,6 +26,10 @@ namespace {
 /// as sim/faults.cpp): which clients win a contested admission wave never
 /// perturbs any other seeded draw.
 constexpr std::uint64_t kAdmitTag = 0xAD317ULL;
+
+/// Decision-kind tag for secagg session seeds: sync sessions key on
+/// (seed, tag, round, attempt), async wave sessions on (seed, tag, wave).
+constexpr std::uint64_t kSecAggTag = 0x5ECA66ULL;
 
 }  // namespace
 
@@ -59,12 +65,27 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
   if (config_.max_cohort_retries < 0) {
     throw std::invalid_argument("Aggregator: max_cohort_retries must be >= 0");
   }
-  if (config_.async.enabled) {
-    if (config_.secure_aggregation) {
-      throw std::invalid_argument(
-          "Aggregator: async aggregation is incompatible with secure "
-          "aggregation (masks require a fixed simultaneous cohort)");
+  // Opt-in environment sweep (tools/ci.sh secagg lane): rerun any
+  // federation under pairwise-masked aggregation.  An explicit config or
+  // the ignore_env pin always wins.
+  if (!config_.secure_aggregation && !config_.privacy.ignore_env) {
+    if (const char* env = std::getenv("PHOTON_SECAGG");
+        env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+      config_.secure_aggregation = true;
     }
+  }
+  if (config_.privacy.secagg_threshold_fraction < 0.0 ||
+      config_.privacy.secagg_threshold_fraction > 1.0) {
+    throw std::invalid_argument(
+        "Aggregator: secagg_threshold_fraction must be in [0, 1]");
+  }
+  if (config_.privacy.secagg_fixed_point_bits < 8 ||
+      config_.privacy.secagg_fixed_point_bits > 48) {
+    throw std::invalid_argument(
+        "Aggregator: secagg_fixed_point_bits must be in [8, 48]");
+  }
+  if (config_.async.enabled) {
     if (config_.async.buffer_goal < 0 || config_.async.max_in_flight < 0) {
       throw std::invalid_argument(
           "Aggregator: async buffer_goal/max_in_flight must be >= 0");
@@ -124,6 +145,21 @@ Aggregator::Aggregator(const ModelConfig& model, AggregatorConfig config,
     obs_.async_in_flight = config_.metrics->gauge("round.async.in_flight");
     obs_.async_staleness =
         config_.metrics->histogram("round.async.staleness");
+    obs_.secagg_rounds = config_.metrics->counter("privacy.secagg_rounds");
+    obs_.share_recoveries =
+        config_.metrics->counter("privacy.share_recoveries");
+    obs_.dp_epsilon = config_.metrics->gauge("privacy.dp_epsilon");
+  }
+
+  // Client-level DP accountant: one Gaussian mechanism per round at the
+  // population's worst-case (largest) noise multiplier.
+  double dp_sigma = 0.0;
+  for (const auto& c : clients_) {
+    dp_sigma = std::max(dp_sigma, c->config().dp_noise_multiplier);
+  }
+  if (dp_sigma > 0.0) {
+    accountant_ = std::make_unique<privacy::RdpAccountant>(
+        dp_sigma, config_.privacy.dp_delta);
   }
 
   // InitModel (Alg. 1 L2): the server initializes the global parameters.
@@ -210,6 +246,18 @@ RoundRecord Aggregator::run_round_sync() {
   std::vector<double> sim_seconds;     // simulated per-client round time
   std::vector<std::size_t> survivors;  // cohort slots with status kOk
 
+  // Pairwise-masking session for the current cohort attempt (DESIGN.md
+  // §14); outlives the attempt loop because the surviving attempt's
+  // session unmasks the aggregate below.
+  std::optional<SecAggSession> secagg;
+  KeyExchangeResult ke;
+  // Slowest client critical path over attempts that LOST quorum.  The
+  // round cannot close before every dispatched client of every attempt has
+  // returned or timed out, so this folds into the round end below — it
+  // keeps the kRound span covering all attempt spans (the obs attribution
+  // invariant) when a retried attempt held the round's slowest straggler.
+  double retry_slowest = 0.0;
+
   // Cohort-attempt loop: a round that loses quorum is retried with a
   // freshly salted cohort (Alg. 1's sampling, salted by the attempt index)
   // rather than aborting the run.
@@ -227,6 +275,34 @@ RoundRecord Aggregator::run_round_sync() {
     train_seconds.assign(cohort.size(), 0.0);
     sim_seconds.assign(cohort.size(), 0.0);
 
+    // Secagg phase 1: simulated key agreement + Shamir share distribution
+    // over the cohort's links, BEFORE the broadcast — the fan-out below
+    // starts at the key-exchange barrier (all members must hold the roster
+    // before anyone's masked update makes sense).  Members whose exchange
+    // transmits fail are dropped here and never receive the broadcast.
+    secagg.reset();
+    ke = {};
+    if (config_.secure_aggregation && cohort.size() > 1) {
+      secagg.emplace(
+          cohort,
+          SecAggConfig{config_.privacy.secagg_fixed_point_bits,
+                       config_.privacy.secagg_threshold_fraction,
+                       hash_combine(hash_combine(config_.seed, kSecAggTag),
+                                    hash_combine(round_, attempt))});
+      std::vector<SimLink*> ke_links(cohort.size());
+      for (std::size_t i = 0; i < cohort.size(); ++i) {
+        ke_links[i] = &links_[static_cast<std::size_t>(cohort[i])];
+      }
+      ke = secagg->run_key_exchange(ke_links, tracer, round_, t0, tracing);
+      for (const int pos : ke.failed) {
+        const auto p = static_cast<std::size_t>(pos);
+        status[p] = SlotStatus::kLinkFailed;
+        sim_seconds[p] = ke.member_seconds[p];
+      }
+      record.sim_privacy_seconds += ke.sim_seconds;
+    }
+    const double t_start = t0 + ke.sim_seconds;
+
     // One broadcast message borrows the global parameters; every client
     // link encodes straight from that buffer, so broadcasting to K clients
     // makes zero copies of the model beyond the wire itself.
@@ -242,6 +318,7 @@ RoundRecord Aggregator::run_round_sync() {
     // (round, client, attempt), and failures only write this slot's state,
     // so the fan-out is bit-identical serial vs parallel.
     auto run_client = [&](std::size_t i) {
+      if (status[i] != SlotStatus::kOk) return;  // dropped at key exchange
       const int id = cohort[i];
       SimLink& link = links_[static_cast<std::size_t>(id)];
       Message& rx = rx_[i];
@@ -264,7 +341,7 @@ RoundRecord Aggregator::run_round_sync() {
         tracer->record({kind, round_, id, static_cast<std::int32_t>(attempt),
                         begin, end, real_ns});
       };
-      link.set_trace_sim_base(t0);
+      link.set_trace_sim_base(t_start);
       const obs::RealTimer bcast_timer(tracing);
       try {
         link.transmit(broadcast, rx);
@@ -272,14 +349,14 @@ RoundRecord Aggregator::run_round_sync() {
         status[i] = SlotStatus::kLinkFailed;
         sim_seconds[i] = sim_elapsed();
         if (tracing) {
-          mark(obs::SpanKind::kBroadcast, t0, t0 + sim_seconds[i],
+          mark(obs::SpanKind::kBroadcast, t_start, t_start + sim_seconds[i],
                bcast_timer.ns());
         }
         return;
       }
-      const double bcast_end = t0 + sim_elapsed();
+      const double bcast_end = t_start + sim_elapsed();
       if (tracing) {
-        mark(obs::SpanKind::kBroadcast, t0, bcast_end, bcast_timer.ns());
+        mark(obs::SpanKind::kBroadcast, t_start, bcast_end, bcast_timer.ns());
       }
       if (fault.crash) {
         // Client dies holding the broadcast, before training starts: its
@@ -297,8 +374,8 @@ RoundRecord Aggregator::run_round_sync() {
         status[i] = SlotStatus::kLate;
         sim_seconds[i] = sim_elapsed() + train_sim;
         if (tracing) {
-          mark(obs::SpanKind::kStragglerCut, bcast_end, t0 + sim_seconds[i],
-               0);
+          mark(obs::SpanKind::kStragglerCut, bcast_end,
+               t_start + sim_seconds[i], 0);
         }
         return;
       }
@@ -348,22 +425,22 @@ RoundRecord Aggregator::run_round_sync() {
         status[i] = SlotStatus::kLinkFailed;
         sim_seconds[i] = sim_elapsed() + train_sim;
         if (tracing) {
-          mark(obs::SpanKind::kUpdateReturn, train_end, t0 + sim_seconds[i],
-               up_timer.ns());
+          mark(obs::SpanKind::kUpdateReturn, train_end,
+               t_start + sim_seconds[i], up_timer.ns());
         }
         return;
       }
       sim_seconds[i] = sim_elapsed() + train_sim;
       if (tracing) {
-        mark(obs::SpanKind::kUpdateReturn, train_end, t0 + sim_seconds[i],
+        mark(obs::SpanKind::kUpdateReturn, train_end, t_start + sim_seconds[i],
              up_timer.ns());
       }
       if (config_.round_deadline_s > 0.0 &&
           sim_seconds[i] > config_.round_deadline_s) {
         status[i] = SlotStatus::kLate;  // update arrived past the deadline
         if (tracing) {
-          mark(obs::SpanKind::kStragglerCut, t0 + sim_seconds[i],
-               t0 + sim_seconds[i], 0);
+          mark(obs::SpanKind::kStragglerCut, t_start + sim_seconds[i],
+               t_start + sim_seconds[i], 0);
         }
       }
     };
@@ -397,10 +474,16 @@ RoundRecord Aggregator::run_round_sync() {
       obs_.client_sim_seconds.observe(sim_seconds[i]);
     }
 
-    const auto quorum = std::max<std::size_t>(
+    auto quorum = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::ceil(
                config_.min_cohort_fraction *
                static_cast<double>(cohort.size()))));
+    // Secagg folds the Shamir share threshold into the quorum: below it the
+    // dropped members' masks cannot be reconstructed (SecAggAbort), so the
+    // round goes through the ordinary retry/skip machinery instead.
+    if (secagg.has_value()) {
+      quorum = std::max(quorum, static_cast<std::size_t>(secagg->threshold()));
+    }
     if (survivors.size() >= quorum) break;
     if (static_cast<int>(attempt) >= config_.max_cohort_retries) {
       if (config_.skip_on_quorum_loss) {
@@ -416,6 +499,11 @@ RoundRecord Aggregator::run_round_sync() {
           record.sim_slowest_client_seconds =
               std::max(record.sim_slowest_client_seconds, sim_seconds[i]);
         }
+        // Client critical paths start at the key-exchange barrier, and a
+        // prior attempt's stragglers can outlast this final one.
+        record.sim_slowest_client_seconds += ke.sim_seconds;
+        record.sim_slowest_client_seconds =
+            std::max(record.sim_slowest_client_seconds, retry_slowest);
         record.sim_local_seconds =
             static_cast<double>(config_.local_steps) /
             config_.sim_throughput_bps;
@@ -445,6 +533,9 @@ RoundRecord Aggregator::run_round_sync() {
         }
         obs_.rounds.add();
         sim_now_ = t_skip_end;
+        // Clients still trained and transmitted noisy updates this round,
+        // so the mechanism released and the accountant must compose it.
+        account_privacy(record);
         PHOTON_LOG_WARN("aggregator",
                         "round %u skipped: quorum lost after %u attempt(s)",
                         round_, attempt + 1);
@@ -460,6 +551,9 @@ RoundRecord Aggregator::run_round_sync() {
     }
     ++record.cohort_retries;
     obs_.cohort_retries.add();
+    for (const double s : sim_seconds) {
+      retry_slowest = std::max(retry_slowest, ke.sim_seconds + s);
+    }
     PHOTON_LOG_WARN("aggregator",
                     "round %u attempt %u: %zu/%zu survivors below quorum "
                     "%zu; resampling cohort",
@@ -475,6 +569,12 @@ RoundRecord Aggregator::run_round_sync() {
     record.sim_slowest_client_seconds =
         std::max(record.sim_slowest_client_seconds, sim_seconds[i]);
   }
+  // Under secagg every client's critical path starts at the key-exchange
+  // barrier, so the exchange window is charged to the slowest client; a
+  // quorum-lost attempt's stragglers can outlast the winning attempt.
+  record.sim_slowest_client_seconds += ke.sim_seconds;
+  record.sim_slowest_client_seconds =
+      std::max(record.sim_slowest_client_seconds, retry_slowest);
 
   // Ordered (cohort-index) combine over the SURVIVING cohort keeps metrics
   // and losses bit-identical between the serial and parallel fan-outs; the
@@ -538,31 +638,50 @@ RoundRecord Aggregator::run_round_sync() {
   std::uint64_t collective_bytes = 0;
   std::vector<std::uint64_t> dequant_real_ns;  // per chunk, streamed path
   const obs::RealTimer collective_timer(tracing);
-  if (config_.secure_aggregation && n_agg > 1) {
-    SecureAggregator sec(static_cast<int>(n_agg),
-                         hash_combine(config_.seed, round_));
-    auto mask_client = [&](std::size_t j) {
-      sec.mask_in_place(static_cast<int>(j), rx_[survivors[j]].payload);
-    };
-    if (config_.parallel_clients && n_agg > 1) {
-      global_pool().parallel_for(n_agg, mask_client);
-    } else {
-      for (std::size_t j = 0; j < n_agg; ++j) mask_client(j);
+  if (secagg.has_value() && n_agg > 0) {
+    // Secagg phases 2+3 (DESIGN.md §14): ring-encode + mask every
+    // surviving update into a shared mod-2^64 accumulator (wrapping adds
+    // commute, so the shard order never matters), reconstruct dropped
+    // members' pair masks from survivor shares, then decode the mean.  The
+    // server only ever combines masked words; pairwise masks cancel in the
+    // wrapped sum bit-exactly.
+    const std::size_t n = rx_[survivors.front()].payload.size();
+    secagg_acc_.assign(n, 0);
+    std::vector<int> surv_pos;
+    std::vector<int> drop_pos;
+    surv_pos.reserve(n_agg);
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      if (status[i] == SlotStatus::kOk) {
+        surv_pos.push_back(static_cast<int>(i));
+      } else {
+        drop_pos.push_back(static_cast<int>(i));
+      }
     }
-    std::vector<std::span<const float>> masked(n_agg);
-    for (std::size_t j = 0; j < n_agg; ++j) {
-      masked[j] = rx_[survivors[j]].payload;
+    for (const int pos : surv_pos) {
+      const auto& payload = rx_[static_cast<std::size_t>(pos)].payload;
+      if (payload.size() != n) {
+        throw std::runtime_error(
+            "Aggregator::run_round: secagg update size mismatch");
+      }
+      secagg->mask_update_into(pos, payload, secagg_acc_,
+                               kernels::default_context());
     }
-    pseudo_grad_.resize(masked.front().size());
-    SecureAggregator::sum_into(masked, pseudo_grad_);
-    const float inv = 1.0f / static_cast<float>(n_agg);
-    kernels::scale_inplace(pseudo_grad_.data(), inv, pseudo_grad_.size());
+    secagg->recover_dropouts(surv_pos, drop_pos, secagg_acc_,
+                             kernels::default_context(), tracer, round_,
+                             t0 + record.sim_slowest_client_seconds, tracing);
+    pseudo_grad_.resize(n);
+    secagg->decode_mean(secagg_acc_, static_cast<int>(n_agg), pseudo_grad_,
+                        kernels::default_context());
     pseudo_grad = pseudo_grad_;
+    record.secure_round = true;
+    record.secagg_dropouts_recovered = static_cast<int>(drop_pos.size());
+    shares_reconstructed_total_ += drop_pos.size();
+    obs_.secagg_rounds.add();
+    if (!drop_pos.empty()) obs_.share_recoveries.add(drop_pos.size());
     const auto report = CollectiveReport{
         Topology::kParameterServer, static_cast<int>(n_agg),
-        static_cast<std::uint64_t>(n_agg) * pseudo_grad_.size() *
-            sizeof(float),
-        2ull * n_agg * pseudo_grad_.size() * sizeof(float), 0.0};
+        static_cast<std::uint64_t>(n_agg) * n * sizeof(float),
+        2ull * n_agg * n * sizeof(float), 0.0};
     collective_bytes = report.total_bytes;
     sim_comm_seconds = static_cast<double>(report.bottleneck_bytes) /
                        (config_.bandwidth_mbps * 1024.0 * 1024.0);
@@ -704,6 +823,10 @@ RoundRecord Aggregator::run_round_sync() {
   // AggMetrics (L10).
   record.client_metrics = aggregate_metrics(client_metrics, weights);
 
+  // DP accounting composes BEFORE the checkpoint below so a restored
+  // accountant already includes this round's mechanism.
+  account_privacy(record);
+
   // Wire bytes: broadcast + update message bytes through Agg links (all
   // attempts, including retransmissions) plus the collective's fabric
   // traffic; the other deltas surface the round's fault telemetry.
@@ -757,6 +880,9 @@ RoundRecord Aggregator::run_round_sync() {
     ckpt.client_ef_residuals.reserve(clients_.size());
     for (const auto& c : clients_) {
       ckpt.client_ef_residuals.push_back(c->ef_residual());
+    }
+    if (accountant_ != nullptr || config_.secure_aggregation) {
+      ckpt.privacy_state = capture_privacy_state();
     }
     if (state_ext_ != nullptr) {
       state_ext_->on_checkpoint(record);
@@ -963,7 +1089,10 @@ void Aggregator::async_dispatch(InFlight& slot, int id,
   up.payload_view = slot.update.delta;
   up.metadata = slot.update.metrics;
   const Codec* up_codec = codec_by_name(up.codec);
-  const bool stream = up_codec != nullptr && up_codec->quant_bits() != 0;
+  // Secagg masks fp32 ring words server-side, so quantized wire images
+  // must materialize through the classic decode path first.
+  const bool stream = !config_.secure_aggregation && up_codec != nullptr &&
+                      up_codec->quant_bits() != 0;
   link.set_trace_sim_base(train_end);
   const obs::RealTimer up_timer(tracing);
   try {
@@ -1085,6 +1214,7 @@ RoundRecord Aggregator::run_round_async() {
           slot.dispatch_time = sim_now_;
           slot.arrive_time = sim_now_;
           slot.dispatch_version = round_;
+          slot.wave_id = 0;
           slot.failure_kind = 0;
           slot.trained = false;
           slot.streamed = false;
@@ -1110,6 +1240,14 @@ RoundRecord Aggregator::run_round_async() {
                             sim_now_, sim_now_, 0});
           }
         }
+      }
+      if (!wave.empty() && config_.secure_aggregation) {
+        // Every member of a dispatch wave trains against the same server
+        // version, so the wave is the async secagg cohort: one session per
+        // wave, seeded by the persisted wave counter (key agreement
+        // piggybacks on the dispatch — no extra exchange round-trips).
+        const std::uint64_t wid = ++secagg_wave_counter_;
+        for (const std::size_t si : wave_slots) slots_[si].wave_id = wid;
       }
       if (!wave.empty()) {
         auto dispatch_one = [&](std::size_t i) {
@@ -1147,6 +1285,151 @@ RoundRecord Aggregator::run_round_async() {
             std::to_string(round_));
       }
       sim_now_ = std::max(sim_now_, t_next);
+      continue;
+    }
+
+    if (config_.secure_aggregation) {
+      // --- pop a whole secagg wave at once ------------------------------
+      // Pair masks cancel only across a complete dispatch wave, so the wave
+      // is the atomic unit of arrival: it resolves at its slowest member's
+      // arrive_time.  Order on (ready_time, wave_id) — content-based, so
+      // replay and restore pop the identical wave sequence.
+      std::uint64_t best_wid = 0;
+      double best_ready = 0.0;
+      bool found = false;
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].busy) continue;
+        const std::uint64_t wid = slots_[i].wave_id;
+        double ready = 0.0;
+        for (const InFlight& s : slots_) {
+          if (s.busy && s.wave_id == wid) {
+            ready = std::max(ready, s.arrive_time);
+          }
+        }
+        if (!found || ready < best_ready ||
+            (ready == best_ready && wid < best_wid)) {
+          found = true;
+          best_wid = wid;
+          best_ready = ready;
+        }
+      }
+      sim_now_ = std::max(sim_now_, best_ready);
+      std::vector<std::size_t> member_slots;
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].busy && slots_[i].wave_id == best_wid) {
+          member_slots.push_back(i);
+        }
+      }
+      // Cohort positions are client-id order, never slot order: slot
+      // packing differs between a recovered process and its twin.
+      std::sort(member_slots.begin(), member_slots.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return slots_[a].client < slots_[b].client;
+                });
+      std::vector<int> cohort;
+      cohort.reserve(member_slots.size());
+      for (const std::size_t si : member_slots) {
+        cohort.push_back(slots_[si].client);
+      }
+      std::vector<int> surv_pos;
+      std::vector<int> drop_pos;
+      for (int pos = 0; pos < static_cast<int>(cohort.size()); ++pos) {
+        const InFlight& s = slots_[member_slots[static_cast<std::size_t>(pos)]];
+        if (s.failure_kind == 1) {
+          ++record.crashed_clients;
+          obs_.crashes.add();
+          drop_pos.push_back(pos);
+        } else if (s.failure_kind == 2) {
+          ++record.link_failed_clients;
+          obs_.link_failures.add();
+          drop_pos.push_back(pos);
+        } else if (membership_[static_cast<std::size_t>(s.client)] !=
+                   MembershipState::kActive) {
+          // Departed while masked and in flight: the update is discarded,
+          // but its pair masks are woven into the survivors' contributions,
+          // so it is a dropout — survivors reconstruct its seed from shares.
+          ++record.discarded_updates;
+          ++async_discarded_total_;
+          obs_.async_discarded.add();
+          drop_pos.push_back(pos);
+        } else {
+          surv_pos.push_back(pos);
+        }
+      }
+      SecAggConfig scfg;
+      scfg.fixed_point_bits = config_.privacy.secagg_fixed_point_bits;
+      scfg.share_threshold_fraction =
+          config_.privacy.secagg_threshold_fraction;
+      scfg.session_seed =
+          hash_combine(hash_combine(config_.seed, kSecAggTag), best_wid);
+      const SecAggSession session(cohort, scfg);
+      if (surv_pos.empty() ||
+          static_cast<int>(surv_pos.size()) < session.threshold()) {
+        // Below the share threshold the wave is unrecoverable; discard it
+        // whole — the protocol never reveals a partial sum.
+        record.discarded_updates += static_cast<int>(surv_pos.size());
+        async_discarded_total_ += surv_pos.size();
+        if (!surv_pos.empty()) obs_.async_discarded.add(surv_pos.size());
+      } else {
+        if (secagg_acc_.size() != n) secagg_acc_.resize(n);
+        std::fill(secagg_acc_.begin(), secagg_acc_.end(),
+                  std::uint64_t{0});
+        for (const int pos : surv_pos) {
+          const InFlight& s =
+              slots_[member_slots[static_cast<std::size_t>(pos)]];
+          if (s.header.payload.size() != n) {
+            throw std::runtime_error(
+                "Aggregator::run_round_async: update size mismatch");
+          }
+          session.mask_update_into(pos, s.header.payload, secagg_acc_,
+                                   kernels::default_context());
+        }
+        if (!drop_pos.empty()) {
+          session.recover_dropouts(surv_pos, drop_pos, secagg_acc_,
+                                   kernels::default_context(), tracer, round_,
+                                   sim_now_, tracing);
+          record.secagg_dropouts_recovered +=
+              static_cast<int>(drop_pos.size());
+          shares_reconstructed_total_ += drop_pos.size();
+          obs_.share_recoveries.add(drop_pos.size());
+        }
+        const int n_ok = static_cast<int>(surv_pos.size());
+        std::vector<float> wave_mean(n);
+        session.decode_mean(secagg_acc_, n_ok, wave_mean,
+                            kernels::default_context());
+        // All wave members trained the same dispatch version, so one
+        // staleness weight covers the wave: fold w * n_ok * mean — exactly
+        // the sum the per-member path would have accumulated.
+        const std::uint32_t staleness =
+            round_ - slots_[member_slots[0]].dispatch_version;
+        const double w = staleness_weight(staleness);
+        const double scale = w * static_cast<double>(n_ok);
+        for (std::size_t e = 0; e < n; ++e) {
+          async_acc_[e] += scale * static_cast<double>(wave_mean[e]);
+        }
+        weight_sum += scale;
+        obs_.secagg_rounds.add();
+        for (const int pos : surv_pos) {
+          const InFlight& s =
+              slots_[member_slots[static_cast<std::size_t>(pos)]];
+          ++accepted;
+          ++async_accepted_total_;
+          staleness_sum += static_cast<double>(staleness);
+          record.max_staleness = std::max(record.max_staleness, staleness);
+          obs_.async_accepted.add();
+          obs_.async_staleness.observe(static_cast<double>(staleness));
+          record.tokens_this_round += s.update.tokens;
+          record.mean_train_loss += s.update.mean_train_loss;
+          accepted_clients.push_back(s.client);
+          accepted_metrics.push_back(s.header.metadata);
+          accepted_weights.push_back(static_cast<double>(s.update.tokens));
+          obs_.client_sim_seconds.observe(s.arrive_time - s.dispatch_time);
+        }
+      }
+      for (const std::size_t si : member_slots) {
+        client_slot_[static_cast<std::size_t>(slots_[si].client)] = -1;
+        slots_[si].busy = false;
+      }
       continue;
     }
 
@@ -1266,6 +1549,8 @@ RoundRecord Aggregator::run_round_async() {
   }
   record.client_metrics =
       aggregate_metrics(accepted_metrics, accepted_weights);
+  record.secure_round = config_.secure_aggregation;
+  account_privacy(record);
 
   LinkStats agg_after;
   for (const auto& link : links_) {
@@ -1312,6 +1597,9 @@ RoundRecord Aggregator::run_round_async() {
     if (state_ext_ != nullptr) {
       state_ext_->on_checkpoint(record);
       ckpt.tuner_state = state_ext_->capture_state();
+    }
+    if (accountant_ != nullptr || config_.secure_aggregation) {
+      ckpt.privacy_state = capture_privacy_state();
     }
     checkpoints_.save(std::move(ckpt));
     checkpoints_.journal_commit(round_);
@@ -1379,6 +1667,7 @@ AsyncAggregatorState Aggregator::capture_async_state() const {
     u.client = slot->client;
     u.arrive_time = slot->arrive_time;
     u.dispatch_version = slot->dispatch_version;
+    u.wave_id = slot->wave_id;
     u.failure_kind = slot->failure_kind;
     u.tokens = slot->update.tokens;
     u.mean_train_loss = slot->update.mean_train_loss;
@@ -1452,6 +1741,7 @@ void Aggregator::restore_async_state(const AsyncAggregatorState& st) {
     slot.dispatch_time = u.arrive_time - u.train_sim_seconds;
     slot.arrive_time = u.arrive_time;
     slot.dispatch_version = u.dispatch_version;
+    slot.wave_id = u.wave_id;
     slot.failure_kind = u.failure_kind;
     slot.trained = false;  // its stream advance is already in the ckpt
     slot.train_sim_seconds = u.train_sim_seconds;
@@ -1482,6 +1772,27 @@ void Aggregator::restore_async_state(const AsyncAggregatorState& st) {
     }
     client_slot_[static_cast<std::size_t>(u.client)] = static_cast<int>(i);
   }
+}
+
+void Aggregator::account_privacy(RoundRecord& record) {
+  if (accountant_ == nullptr) return;
+  accountant_->account_rounds();
+  record.dp_epsilon = accountant_->epsilon();
+  obs_.dp_epsilon.set(record.dp_epsilon);
+}
+
+PrivacyCheckpointState Aggregator::capture_privacy_state() const {
+  PrivacyCheckpointState s;
+  s.valid = true;
+  if (accountant_ != nullptr) {
+    s.accounted_rounds = accountant_->accounted_rounds();
+    s.noise_multiplier = accountant_->noise_multiplier();
+    s.delta = accountant_->delta();
+    s.epsilon = accountant_->epsilon();
+  }
+  s.wave_counter = secagg_wave_counter_;
+  s.shares_reconstructed_total = shares_reconstructed_total_;
+  return s;
 }
 
 void Aggregator::record_eval(double perplexity) {
@@ -1566,6 +1877,21 @@ bool Aggregator::restore_latest_checkpoint() {
     for (int c = 0; c < population(); ++c) {
       sampler_.set_available(c, membership_[static_cast<std::size_t>(c)] ==
                                     MembershipState::kActive);
+    }
+  }
+  if (ckpt->privacy_state.valid) {
+    // The wave counter must keep monotonically increasing across the crash
+    // so post-recovery waves never reuse a pre-crash session seed, and the
+    // accountant resumes mid-composition (epsilon is recomputed, not
+    // trusted from the snapshot).
+    secagg_wave_counter_ = ckpt->privacy_state.wave_counter;
+    shares_reconstructed_total_ =
+        ckpt->privacy_state.shares_reconstructed_total;
+    if (accountant_ != nullptr && ckpt->privacy_state.delta > 0.0) {
+      accountant_ = std::make_unique<privacy::RdpAccountant>(
+          ckpt->privacy_state.noise_multiplier, ckpt->privacy_state.delta);
+      accountant_->account_rounds(ckpt->privacy_state.accounted_rounds);
+      obs_.dp_epsilon.set(accountant_->epsilon());
     }
   }
   if (state_ext_ != nullptr && !ckpt->tuner_state.empty()) {

@@ -30,6 +30,7 @@
 #include "core/checkpoint.hpp"
 #include "core/client.hpp"
 #include "core/metrics.hpp"
+#include "core/privacy.hpp"
 #include "core/sampler.hpp"
 #include "core/selection.hpp"
 #include "core/server_opt.hpp"
@@ -109,6 +110,24 @@ struct AggregatorConfig {
     StalenessWeight staleness = StalenessWeight::kPolynomial;
     double staleness_exponent = 0.5;
   } async;
+
+  // --- privacy engine (DESIGN.md §14) ------------------------------------
+  struct Privacy {
+    /// Target delta of the RDP accountant.  The accountant is built when
+    /// any client adds DP noise (dp_noise_multiplier > 0); eps(delta) is
+    /// published per round via the record and the privacy.dp_epsilon gauge.
+    double dp_delta = 1e-5;
+    /// Shamir share threshold as a fraction of the secagg cohort:
+    /// t = clamp(max(2, ceil(f * n)), 2, n).  Folded into the round quorum
+    /// so a sub-threshold cohort retries/skips instead of aborting.
+    double secagg_threshold_fraction = 0.5;
+    /// Fractional bits of the mask ring's fixed-point encoding (8..48).
+    int secagg_fixed_point_bits = 32;
+    /// Ignore the PHOTON_SECAGG environment opt-in.  Tests that assert
+    /// exact fp32 aggregation semantics pin plain aggregation with this;
+    /// everything else inherits the env sweep (tools/ci.sh secagg lane).
+    bool ignore_env = false;
+  } privacy;
 
   // --- observability -----------------------------------------------------
   /// Span sink for the round path (nullptr = no tracing).  Not owned; must
@@ -252,6 +271,15 @@ class Aggregator {
   /// the recovered timeline is bit-identical to an uninterrupted run.
   bool restore_latest_checkpoint();
 
+  // --- privacy engine introspection (DESIGN.md §14) ----------------------
+  /// The DP accountant, or nullptr when no client adds DP noise.
+  const privacy::RdpAccountant* accountant() const { return accountant_.get(); }
+  /// Lifetime count of dropped secagg members whose masks were
+  /// reconstructed from surviving Shamir shares.
+  std::uint64_t shares_reconstructed_total() const {
+    return shares_reconstructed_total_;
+  }
+
  private:
   /// One occupied admission slot: a dispatched update in flight between the
   /// server and a client.  Slots are reused across the whole run (their
@@ -263,6 +291,7 @@ class Aggregator {
     double dispatch_time = 0.0;
     double arrive_time = 0.0;            // when the outcome reaches the server
     std::uint32_t dispatch_version = 0;  // server version trained against
+    std::uint64_t wave_id = 0;           // secagg dispatch wave (0 = plain)
     std::uint8_t failure_kind = 0;       // 0 ok, 1 crash, 2 link failure
     bool trained = false;                // local data stream advanced
     bool streamed = false;               // update retained as a wire image
@@ -291,6 +320,9 @@ class Aggregator {
                       std::uint32_t dispatch_seq, bool tracing);
   AsyncAggregatorState capture_async_state() const;
   void restore_async_state(const AsyncAggregatorState& state);
+  /// Compose this round into the accountant and publish eps on the record.
+  void account_privacy(RoundRecord& record);
+  PrivacyCheckpointState capture_privacy_state() const;
 
   ModelConfig model_config_;
   AggregatorConfig config_;
@@ -326,6 +358,10 @@ class Aggregator {
     obs::CounterHandle departures;
     obs::GaugeHandle async_in_flight;
     obs::HistogramHandle async_staleness;
+    // privacy engine
+    obs::CounterHandle secagg_rounds;
+    obs::CounterHandle share_recoveries;
+    obs::GaugeHandle dp_epsilon;
   } obs_;
   /// Rounds of local training each client has run (== its data-stream
   /// position in rounds); persisted in checkpoints so recovery can fast-
@@ -353,6 +389,16 @@ class Aggregator {
   std::uint64_t async_accepted_total_ = 0;
   std::uint64_t async_discarded_total_ = 0;
   std::vector<double> async_acc_;  // fp64 staleness-weighted accumulator
+
+  // --- privacy engine state (DESIGN.md §14) -----------------------------
+  /// RDP accountant (built when any client adds DP noise); composes one
+  /// Gaussian mechanism per completed round/drain.
+  std::unique_ptr<privacy::RdpAccountant> accountant_;
+  /// Monotone id of the next async secagg dispatch wave; persisted so a
+  /// restored run seeds the same per-wave mask sessions.
+  std::uint64_t secagg_wave_counter_ = 0;
+  std::uint64_t shares_reconstructed_total_ = 0;
+  std::vector<std::uint64_t> secagg_acc_;  // mod-2^64 masked accumulator
 };
 
 }  // namespace photon

@@ -46,6 +46,7 @@ void write_async_state(BinaryWriter& w, const AsyncAggregatorState& s) {
     w.write(u.client);
     w.write(u.arrive_time);
     w.write(u.dispatch_version);
+    w.write(u.wave_id);
     w.write(u.failure_kind);
     w.write(u.tokens);
     w.write(u.mean_train_loss);
@@ -74,6 +75,7 @@ AsyncAggregatorState read_async_state(BinaryReader& r) {
     u.client = r.read<int>();
     u.arrive_time = r.read<double>();
     u.dispatch_version = r.read<std::uint32_t>();
+    u.wave_id = r.read<std::uint64_t>();
     u.failure_kind = r.read<std::uint8_t>();
     u.tokens = r.read<std::uint64_t>();
     u.mean_train_loss = r.read<double>();
@@ -212,18 +214,32 @@ void CheckpointStore::write_to_disk(const Checkpoint& ckpt) const {
   }
   // Second trailing field: elastic async engine state.  Sync-mode saves
   // write nothing here, keeping their byte layout identical to before —
-  // unless a third trailing field follows, in which case the async flag
+  // unless a later trailing field follows, in which case the async flag
   // byte must be present (as 0) so readers can tell the fields apart.
+  const bool has_privacy = ckpt.privacy_state.valid;
+  const bool has_tuner = !ckpt.tuner_state.empty();
   if (ckpt.async_state.valid) {
     w.write(static_cast<std::uint8_t>(1));
     write_async_state(w, ckpt.async_state);
-  } else if (!ckpt.tuner_state.empty()) {
+  } else if (has_tuner || has_privacy) {
     w.write(static_cast<std::uint8_t>(0));
   }
   // Third trailing field: opaque autotuner state (flag-prefixed).
-  if (!ckpt.tuner_state.empty()) {
+  if (has_tuner) {
     w.write(static_cast<std::uint8_t>(1));
     w.write_vector(ckpt.tuner_state);
+  } else if (has_privacy) {
+    w.write(static_cast<std::uint8_t>(0));
+  }
+  // Fourth trailing field: privacy engine state (flag-prefixed).
+  if (has_privacy) {
+    w.write(static_cast<std::uint8_t>(1));
+    w.write(ckpt.privacy_state.accounted_rounds);
+    w.write(ckpt.privacy_state.noise_multiplier);
+    w.write(ckpt.privacy_state.delta);
+    w.write(ckpt.privacy_state.wave_counter);
+    w.write(ckpt.privacy_state.shares_reconstructed_total);
+    w.write(ckpt.privacy_state.epsilon);
   }
   const auto path = dir_ / ("ckpt_" + std::to_string(ckpt.round) + ".bin");
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
@@ -261,6 +277,15 @@ std::optional<Checkpoint> CheckpointStore::read_from_disk(
     }
     if (r.remaining() > 0 && r.read<std::uint8_t>() != 0) {
       ckpt.tuner_state = r.read_vector<std::uint8_t>();
+    }
+    if (r.remaining() > 0 && r.read<std::uint8_t>() != 0) {
+      ckpt.privacy_state.valid = true;
+      ckpt.privacy_state.accounted_rounds = r.read<std::uint64_t>();
+      ckpt.privacy_state.noise_multiplier = r.read<double>();
+      ckpt.privacy_state.delta = r.read<double>();
+      ckpt.privacy_state.wave_counter = r.read<std::uint64_t>();
+      ckpt.privacy_state.shares_reconstructed_total = r.read<std::uint64_t>();
+      ckpt.privacy_state.epsilon = r.read<double>();
     }
   } else {
     // Legacy (pre-journal) layout: round, perplexity, params.

@@ -22,6 +22,10 @@ struct AsyncInFlightSnapshot {
   int client = -1;
   double arrive_time = 0.0;          // absolute sim time the update lands
   std::uint32_t dispatch_version = 0;  // server model version it trained on
+  /// SecAgg dispatch wave this update was masked under (0 when plain).
+  /// Every member of a wave shares it, so a restored run rebuilds the same
+  /// SecAggSession (seeded by wave id) and unmasking stays bit-exact.
+  std::uint64_t wave_id = 0;
   /// 0 = delivers normally; 1 = client crashed mid-round; 2 = the return
   /// transmit aborted.  Failed slots still occupy admission capacity until
   /// their arrive_time, so they must survive recovery too.
@@ -53,6 +57,20 @@ struct AsyncAggregatorState {
   std::vector<std::uint32_t> defer_counts;  // consecutive admission defers
   std::vector<double> next_eligible;        // sim time a defer expires
   std::vector<AsyncInFlightSnapshot> in_flight;
+};
+
+/// Privacy engine state at a checkpoint boundary (DESIGN.md §14): the RDP
+/// accountant's composition count (epsilon is recomputed from it) and the
+/// SecAgg wave counter that seeds per-dispatch-wave mask sessions.  A
+/// restored run continues both exactly where the crashed run left off.
+struct PrivacyCheckpointState {
+  bool valid = false;
+  std::uint64_t accounted_rounds = 0;   // RDP compositions so far
+  double noise_multiplier = 0.0;        // sigma the accountant was built with
+  double delta = 0.0;                   // target delta; 0 = DP disabled
+  std::uint64_t wave_counter = 0;       // next async secagg wave id
+  std::uint64_t shares_reconstructed_total = 0;  // lifetime dropout recoveries
+  double epsilon = 0.0;                 // eps(delta) at save time (audit)
 };
 
 struct Checkpoint {
@@ -87,6 +105,11 @@ struct Checkpoint {
   /// attached so untuned saves keep their exact historical byte layout.
   /// Restoring it replays the tuner's knob decisions bit-identically.
   std::vector<std::uint8_t> tuner_state;
+  /// Privacy engine state (DESIGN.md §14): DP accountant composition and
+  /// the SecAgg wave counter.  Fourth trailing field, flag-prefixed,
+  /// written only when secure aggregation or DP accounting is active so
+  /// plain saves keep their exact historical byte layout.
+  PrivacyCheckpointState privacy_state;
 };
 
 class CheckpointStore {

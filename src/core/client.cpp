@@ -197,8 +197,9 @@ void LLMClient::run_round(std::span<const float> global_params,
   kernels::sub(update.delta.data(), global_params.data(), params.data(),
                params.size());
 
-  // Post-processing (Alg. 1 L28): clip / DP noise / codec selection.
-  update.post = post_.run(update.delta);
+  // Post-processing (Alg. 1 L28): clip / DP noise / codec selection.  The
+  // (round, client) context keys the stateless DP noise stream.
+  update.post = post_.run(update.delta, PostProcessContext{round, id_});
 
   // Error feedback for lossy wire codecs (DESIGN.md §11): fold the previous
   // round's quantization residual into this update before it hits the wire,

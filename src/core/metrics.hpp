@@ -63,6 +63,18 @@ struct RoundRecord {
   std::uint32_t discarded_updates = 0;
   std::uint32_t arrivals = 0;     // clients that joined at this boundary
   std::uint32_t departures = 0;   // clients that left at this boundary
+
+  // --- privacy telemetry (secure aggregation + DP, DESIGN.md §14) ---
+  /// Aggregate computed under pairwise masking (the server only ever saw
+  /// masked updates and their ring sum).
+  bool secure_round = false;
+  /// Dropped members whose pairwise masks were reconstructed from
+  /// surviving Shamir shares this round.
+  int secagg_dropouts_recovered = 0;
+  /// Simulated seconds spent in key exchange (+ recovery) this round.
+  double sim_privacy_seconds = 0.0;
+  /// RDP accountant's eps(delta) after this round; < 0 = DP disabled.
+  double dp_epsilon = -1.0;
 };
 
 /// Full training history with convenience queries used by benches.

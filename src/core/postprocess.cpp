@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "comm/compression.hpp"
+#include "core/privacy.hpp"
 #include "tensor/kernels.hpp"
 
 namespace photon {
@@ -11,7 +12,8 @@ ClipStage::ClipStage(double max_norm) : max_norm_(max_norm) {
   if (max_norm <= 0.0) throw std::invalid_argument("ClipStage: max_norm <= 0");
 }
 
-void ClipStage::apply(std::span<float> update, PostProcessReport& report) {
+void ClipStage::apply(std::span<float> update, PostProcessReport& report,
+                      const PostProcessContext& /*ctx*/) {
   const double norm = kernels::l2_norm(update.data(), update.size());
   report.preclip_norm = norm;
   if (norm > max_norm_ && norm > 0.0) {
@@ -24,17 +26,25 @@ void ClipStage::apply(std::span<float> update, PostProcessReport& report) {
 
 DpNoiseStage::DpNoiseStage(double noise_multiplier, double max_norm,
                            std::uint64_t seed)
-    : stddev_(noise_multiplier * max_norm), rng_(seed) {
+    : stddev_(noise_multiplier * max_norm), seed_(seed) {
   if (noise_multiplier < 0.0 || max_norm <= 0.0) {
     throw std::invalid_argument("DpNoiseStage: bad parameters");
   }
 }
 
-void DpNoiseStage::apply(std::span<float> update, PostProcessReport& report) {
+void DpNoiseStage::apply(std::span<float> update, PostProcessReport& report,
+                         const PostProcessContext& ctx) {
   report.dp_noise_stddev = stddev_;
   if (stddev_ == 0.0) return;
-  for (auto& x : update) {
-    x += rng_.gaussian(0.0f, static_cast<float>(stddev_));
+  // Key the stream on (stage seed, round, client): stateless per element,
+  // so a replayed or crash-recovered round injects identical noise.
+  const std::uint64_t key = hash_combine(
+      hash_combine(seed_, ctx.round),
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(ctx.client)) +
+          0xD9B4E5ULL);
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    update[i] += static_cast<float>(stddev_ *
+                                    privacy::stateless_gaussian(key, i));
   }
 }
 
@@ -45,7 +55,8 @@ CompressStage::CompressStage(std::string codec) : codec_(std::move(codec)) {
 }
 
 void CompressStage::apply(std::span<float> /*update*/,
-                          PostProcessReport& report) {
+                          PostProcessReport& report,
+                          const PostProcessContext& /*ctx*/) {
   report.codec = codec_;
 }
 
@@ -76,9 +87,10 @@ bool PostProcessPipeline::set_codec(const std::string& codec) {
   return found;
 }
 
-PostProcessReport PostProcessPipeline::run(std::span<float> update) {
+PostProcessReport PostProcessPipeline::run(std::span<float> update,
+                                           const PostProcessContext& ctx) {
   PostProcessReport report;
-  for (auto& stage : stages_) stage->apply(update, report);
+  for (auto& stage : stages_) stage->apply(update, report, ctx);
   return report;
 }
 

@@ -18,6 +18,14 @@
 
 namespace photon {
 
+/// Identifies the (round, client) a pipeline run belongs to, so stages that
+/// draw randomness (DP noise) can derive it statelessly: replays, crash
+/// recovery, and re-ordered execution reproduce identical bytes.
+struct PostProcessContext {
+  std::uint32_t round = 0;
+  int client = -1;
+};
+
 struct PostProcessReport {
   double preclip_norm = 0.0;
   bool clipped = false;
@@ -29,7 +37,8 @@ class UpdateStage {
  public:
   virtual ~UpdateStage() = default;
   virtual std::string name() const = 0;
-  virtual void apply(std::span<float> update, PostProcessReport& report) = 0;
+  virtual void apply(std::span<float> update, PostProcessReport& report,
+                     const PostProcessContext& ctx) = 0;
 };
 
 /// L2-norm clipping of the whole update (pseudo-gradient).
@@ -37,23 +46,27 @@ class ClipStage final : public UpdateStage {
  public:
   explicit ClipStage(double max_norm);
   std::string name() const override { return "clip"; }
-  void apply(std::span<float> update, PostProcessReport& report) override;
+  void apply(std::span<float> update, PostProcessReport& report,
+             const PostProcessContext& ctx) override;
 
  private:
   double max_norm_;
 };
 
 /// Gaussian DP noise: sigma = noise_multiplier * max_norm (to pair with a
-/// preceding ClipStage for (eps, delta)-DP accounting).
+/// preceding ClipStage for (eps, delta)-DP accounting).  Draws are
+/// stateless per (seed, round, client, element) — see core/privacy.hpp —
+/// so the same (round, client) always injects the same noise bytes.
 class DpNoiseStage final : public UpdateStage {
  public:
   DpNoiseStage(double noise_multiplier, double max_norm, std::uint64_t seed);
   std::string name() const override { return "dp-noise"; }
-  void apply(std::span<float> update, PostProcessReport& report) override;
+  void apply(std::span<float> update, PostProcessReport& report,
+             const PostProcessContext& ctx) override;
 
  private:
   double stddev_;
-  Rng rng_;
+  std::uint64_t seed_;
 };
 
 /// Select the lossless Link codec for the outgoing message.
@@ -61,7 +74,8 @@ class CompressStage final : public UpdateStage {
  public:
   explicit CompressStage(std::string codec);
   std::string name() const override { return "compress"; }
-  void apply(std::span<float> update, PostProcessReport& report) override;
+  void apply(std::span<float> update, PostProcessReport& report,
+             const PostProcessContext& ctx) override;
   /// Retarget the codec (autotuner knob); throws on an unknown name.
   void set_codec(std::string codec);
   const std::string& codec() const { return codec_; }
@@ -81,7 +95,8 @@ class PostProcessPipeline {
   /// knob); returns false when the pipeline has no compression stage.
   bool set_codec(const std::string& codec);
 
-  PostProcessReport run(std::span<float> update);
+  PostProcessReport run(std::span<float> update,
+                        const PostProcessContext& ctx = {});
 
  private:
   std::vector<std::unique_ptr<UpdateStage>> stages_;

@@ -44,6 +44,8 @@ const char* span_category(SpanKind kind) {
     case SpanKind::kAdmissionDefer:
     case SpanKind::kClientArrive:
     case SpanKind::kClientLeave: return "fault";
+    case SpanKind::kKeyExchange:
+    case SpanKind::kShareRecovery: return "privacy";
   }
   return "?";
 }
@@ -186,6 +188,11 @@ std::vector<RoundAttribution> attribute_rounds(
       case SpanKind::kAdmissionDefer: ++row.admission_defers; break;
       case SpanKind::kClientArrive: ++row.client_arrivals; break;
       case SpanKind::kClientLeave: ++row.client_departures; break;
+      case SpanKind::kKeyExchange:
+        row.key_exchange_s += width;
+        client_path = true;
+        break;
+      case SpanKind::kShareRecovery: ++row.share_recoveries; break;
       case SpanKind::kLocalStep: break;
     }
     if (client_path && e.actor >= 0) acc.client_s[e.actor] += width;

@@ -64,6 +64,8 @@ struct RoundAttribution {
   double dequant_accum_s = 0.0;
   double buffer_drain_s = 0.0;  ///< async engine drain window
   double eval_s = 0.0;
+  double key_exchange_s = 0.0;  ///< secagg simulated key-agreement rounds
+  int share_recoveries = 0;     ///< dropped members reconstructed via Shamir
   /// Per-client critical path: sum of that client's broadcast + local_train
   /// + update_return + retry_wait spans; max / median over participating
   /// clients.  The ratio is the straggler-tail signal.

@@ -17,6 +17,7 @@ constexpr const char* kSpanNames[kNumSpanKinds] = {
     "checkpoint",    "retry_wait", "update_return", "eval",
     "straggler_cut", "crash",      "link_fail",   "dequant_accum",
     "buffer_drain",  "admission_defer", "client_arrive", "client_leave",
+    "key_exchange",  "share_recovery",
 };
 
 /// One slot per (thread, tracer) pairing.  A thread that alternates

@@ -72,6 +72,10 @@ enum class SpanKind : std::uint8_t {
                      // (in-flight cap reached); detail = consecutive defers
   kClientArrive,     // instant: elastic membership — client joined mid-run
   kClientLeave,      // instant: elastic membership — client left permanently
+  kKeyExchange,      // secagg: one member's simulated key-agreement rounds
+                     // (roster download + share upload); detail = cohort size
+  kShareRecovery,    // instant: Shamir reconstruction of one dropped
+                     // member's secret; detail = survivor count
 };
 
 /// Stable lower_snake name used by every exporter ("round", "retry_wait"...).
@@ -81,7 +85,7 @@ const char* span_name(SpanKind kind);
 SpanKind span_kind_from_name(std::string_view name);
 
 /// Number of distinct SpanKind values (for iteration / histograms).
-inline constexpr int kNumSpanKinds = 20;
+inline constexpr int kNumSpanKinds = 22;
 
 struct TraceEvent {
   SpanKind kind = SpanKind::kRound;

@@ -180,6 +180,25 @@ struct Ops {
   // bit-identical output at any concurrency (hash = photon::hash_combine).
   void (*quant_i8_sr)(std::int8_t* codes, const float* x, std::size_t n,
                       float inv, std::uint64_t seed, std::uint64_t base);
+
+  // -------------------------------------------- secure aggregation ring --
+  // Fixed-point encode + pairwise-mask accumulate (DESIGN.md §14):
+  //   acc[i] += u64(i64(llrint(double(x[i]) * scale)))
+  //           + sum_p signs[p] * hash(seeds[p], base + i)      (mod 2^64)
+  // Stateless per element (counter-based PRG keyed on the absolute index),
+  // so shards across threads/variants are bit-identical; the wrapping u64
+  // ring makes pairwise masks cancel exactly.
+  void (*secagg_mask_accum)(std::uint64_t* acc, const float* x, double scale,
+                            const std::uint64_t* seeds,
+                            const std::int8_t* signs, std::size_t n_pairs,
+                            std::uint64_t base, std::size_t n);
+  // acc[i] += sign * hash(seed, base + i)  (mod 2^64) — dropout-mask strip.
+  void (*secagg_prg_accum)(std::uint64_t* acc, std::uint64_t seed,
+                           std::int8_t sign, std::uint64_t base,
+                           std::size_t n);
+  // out[i] = float(double(i64(acc[i])) * inv) — ring sum back to fp mean.
+  void (*secagg_decode)(float* out, const std::uint64_t* acc, double inv,
+                        std::size_t n);
 };
 
 /// The active op table (startup CPUID detection + PHOTON_SIMD override).

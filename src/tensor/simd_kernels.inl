@@ -969,6 +969,46 @@ inline void k_quant_i8_sr(std::int8_t* codes, const float* x, std::size_t n,
 
 #undef PHOTON_SIMD_1D_LOOP
 
+// Secure-aggregation ring kernels (DESIGN.md §14).  Integer mod-2^64
+// arithmetic and the stateless counter PRG (k_sr_hash keyed on the absolute
+// element index) are exact in every variant, so these portable loops are
+// bit-identical across scalar/AVX2/AVX-512 and any shard width by
+// construction.  The only float op — the fixed-point encode — is one double
+// multiply + llrint, identical everywhere under -ffp-contract=off.
+inline void k_secagg_mask_accum(std::uint64_t* acc, const float* x,
+                                double scale, const std::uint64_t* seeds,
+                                const std::int8_t* signs, std::size_t n_pairs,
+                                std::uint64_t base, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const long long q = std::llrint(static_cast<double>(x[i]) * scale);
+    std::uint64_t v = static_cast<std::uint64_t>(static_cast<std::int64_t>(q));
+    const std::uint64_t idx = base + i;
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+      const std::uint64_t m = k_sr_hash(seeds[p], idx);
+      v += signs[p] >= 0 ? m : 0ULL - m;
+    }
+    acc[i] += v;
+  }
+}
+
+inline void k_secagg_prg_accum(std::uint64_t* acc, std::uint64_t seed,
+                               std::int8_t sign, std::uint64_t base,
+                               std::size_t n) {
+  if (sign >= 0) {
+    for (std::size_t i = 0; i < n; ++i) acc[i] += k_sr_hash(seed, base + i);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) acc[i] -= k_sr_hash(seed, base + i);
+  }
+}
+
+inline void k_secagg_decode(float* out, const std::uint64_t* acc, double inv,
+                            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(
+        static_cast<double>(static_cast<std::int64_t>(acc[i])) * inv);
+  }
+}
+
 inline Ops make_ops_impl(Variant var) {
   Ops o;
   o.variant = var;
@@ -1010,5 +1050,8 @@ inline Ops make_ops_impl(Variant var) {
   o.dequant_i8 = &k_dequant_i8;
   o.quant_i8_ef = &k_quant_i8_ef;
   o.quant_i8_sr = &k_quant_i8_sr;
+  o.secagg_mask_accum = &k_secagg_mask_accum;
+  o.secagg_prg_accum = &k_secagg_prg_accum;
+  o.secagg_decode = &k_secagg_decode;
   return o;
 }

@@ -20,6 +20,9 @@ BindingResource attribute(const TraceDigest& d) {
   }
   const double wire =
       d.client_bcast_s + d.client_update_s + d.client_retry_s + d.collective_s;
+  if (d.privacy_s > wire && d.privacy_s > d.client_train_s) {
+    return BindingResource::kPrivacy;
+  }
   return wire > d.client_train_s ? BindingResource::kWireBandwidth
                                  : BindingResource::kClientCompute;
 }
@@ -32,6 +35,7 @@ const char* binding_resource_name(BindingResource r) {
     case BindingResource::kWireBandwidth: return "wire-bandwidth";
     case BindingResource::kStragglerTail: return "straggler-tail";
     case BindingResource::kServerDrain: return "server-drain";
+    case BindingResource::kPrivacy: return "privacy";
   }
   return "?";
 }
@@ -57,6 +61,7 @@ void TraceDigest::serialize(BinaryWriter& w) const {
   w.write(collective_s);
   w.write(slowest_client_s);
   w.write(median_client_s);
+  w.write(privacy_s);
   w.write(defer_pressure);
   w.write(mean_staleness);
   w.write(clients);
@@ -82,6 +87,7 @@ TraceDigest TraceDigest::deserialize(BinaryReader& r) {
   d.collective_s = r.read<double>();
   d.slowest_client_s = r.read<double>();
   d.median_client_s = r.read<double>();
+  d.privacy_s = r.read<double>();
   d.defer_pressure = r.read<double>();
   d.mean_staleness = r.read<double>();
   d.clients = r.read<std::int32_t>();
@@ -112,6 +118,7 @@ TraceDigest digest_round(const RoundRecord& record,
     d.collective_s = a.collective_s;
     d.slowest_client_s = a.slowest_client_s;
     d.median_client_s = a.median_client_s;
+    d.privacy_s = a.key_exchange_s;
     d.clients = a.clients;
     break;
   }
@@ -122,6 +129,8 @@ TraceDigest digest_round(const RoundRecord& record,
   if (d.round_s <= 0.0) d.round_s = d.slowest_client_s + d.collective_s;
   // Record-side signals (all sim-deterministic; wall_* fields are real time
   // and must never reach a digest).
+  // Tracer-off rounds still carry the privacy window in the record.
+  if (d.privacy_s <= 0.0) d.privacy_s = record.sim_privacy_seconds;
   d.survivors = record.survivors;
   d.straggler_cuts = record.straggler_drops;
   d.crashes = record.crashed_clients;

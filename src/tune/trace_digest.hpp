@@ -26,6 +26,7 @@ enum class BindingResource : std::uint8_t {
   kWireBandwidth = 1,  ///< link transfer + collective dominate
   kStragglerTail = 2,  ///< slowest client far beyond the median
   kServerDrain = 3,    ///< async admission pressure (defers dominate)
+  kPrivacy = 4,        ///< secagg key exchange + share recovery dominate
 };
 
 const char* binding_resource_name(BindingResource r);
@@ -43,6 +44,7 @@ struct TraceDigest {
   double collective_s = 0.0;       ///< fabric aggregation window
   double slowest_client_s = 0.0;   ///< max per-client critical path
   double median_client_s = 0.0;    ///< median per-client critical path
+  double privacy_s = 0.0;          ///< secagg key exchange + recovery
 
   // --- pressure signals --------------------------------------------------
   double defer_pressure = 0.0;     ///< admission defers per accepted update

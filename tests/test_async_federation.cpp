@@ -83,6 +83,7 @@ bool params_equal(const Aggregator& a, const Aggregator& b) {
 // ---------------------------------------------------------- basic drains --
 TEST(AsyncFederation, DrainRecordIsCoherent) {
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;  // asserts the plain single-pop drain shape
   ac.local_steps = 2;
   ac.parallel_clients = false;
   ac.async.buffer_goal = 3;
@@ -107,7 +108,9 @@ TEST(AsyncFederation, SurplusInFlightUpdatesCarryStalenessIntoNextDrain) {
   // buffer_goal 2 with 4 slots: the drain accepts 2 and leaves in-flight
   // work dispatched at the old version; the next drain accepts it at
   // version+1, so staleness shows up and the polynomial discount < 1.
+  // (Secagg pops whole waves, never a surplus — plain path pinned.)
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;
   ac.local_steps = 1;
   ac.parallel_clients = false;
   ac.async.buffer_goal = 2;
@@ -120,7 +123,10 @@ TEST(AsyncFederation, SurplusInFlightUpdatesCarryStalenessIntoNextDrain) {
 }
 
 TEST(AsyncFederation, ConstantAndPolynomialStalenessWeightingDiverge) {
+  // Needs the single-pop staleness profile; wave pops see no staleness
+  // in this 2-drain window.
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;
   ac.local_steps = 1;
   ac.parallel_clients = false;
   ac.async.buffer_goal = 2;
@@ -137,11 +143,47 @@ TEST(AsyncFederation, ConstantAndPolynomialStalenessWeightingDiverge) {
   EXPECT_FALSE(params_equal(*poly, *constant));
 }
 
-TEST(AsyncFederation, SecureAggregationIsRejected) {
+TEST(AsyncFederation, SecureAggregationDrainsMatchPlainClosely) {
+  // Async + secagg drains whole dispatch waves through the masked ring;
+  // with no faults the decoded drain must track the plain drain to
+  // fixed-point rounding, and the record must flag the secure path.
+  // buffer_goal = population so each drain is exactly one dispatch wave
+  // (the wave is secagg's atomic accept unit; a partial-wave goal would
+  // legitimately accept more members than the plain single-pop path).
   AggregatorConfig ac;
-  ac.async.enabled = true;
+  ac.privacy.ignore_env = true;  // the "plain" arm must stay plaintext
+  ac.local_steps = 2;
+  ac.parallel_clients = false;
+  ac.async.buffer_goal = 4;
+  ac.async.max_in_flight = 4;
+  auto plain = build_async_aggregator(ac);
   ac.secure_aggregation = true;
-  EXPECT_THROW(build_async_aggregator(ac), std::invalid_argument);
+  auto secure = build_async_aggregator(ac);
+  const RoundRecord rp = plain->run_round();
+  const RoundRecord rs = secure->run_round();
+  EXPECT_FALSE(rp.secure_round);
+  EXPECT_TRUE(rs.secure_round);
+  auto sp = rp.participants;
+  auto ss = rs.participants;
+  std::sort(sp.begin(), sp.end());
+  std::sort(ss.begin(), ss.end());
+  EXPECT_EQ(sp, ss);
+  EXPECT_EQ(rs.secagg_dropouts_recovered, 0);
+  // After one drain the two engines saw identical updates, so the decoded
+  // masked mean must match the plain fp64 mean to fixed-point rounding.
+  // (Later drains legitimately diverge: wave-atomic pops change the
+  // re-admission timeline, so staleness profiles differ.)
+  const std::span<const float> a = plain->global_params();
+  const std::span<const float> b = secure->global_params();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-6f) << "param " << i;
+  }
+  // A second secure drain keeps working and stays fault-free.
+  const RoundRecord rs2 = secure->run_round();
+  EXPECT_TRUE(rs2.secure_round);
+  EXPECT_EQ(rs2.survivors, 4);
+  EXPECT_EQ(rs2.secagg_dropouts_recovered, 0);
 }
 
 // ---------------------------------------------------- determinism twins --
@@ -254,7 +296,10 @@ TEST(AsyncFederation, ScheduledJoinBootstrapsNewClientMidRun) {
 }
 
 TEST(AsyncFederation, ScheduledLeaveIsPermanentAndInFlightWorkIsDiscarded) {
+  // Single-pop surplus semantics; the secagg wave path has its own
+  // leave-in-flight coverage in test_secure_agg.cpp.
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;
   ac.local_steps = 1;
   ac.parallel_clients = false;
   ac.async.buffer_goal = 2;
@@ -311,6 +356,9 @@ TEST(AsyncFederation, MidBufferCrashRecoveryIsBitExactUnderFaults) {
   FaultInjector injector(plan);
 
   AggregatorConfig ac;
+  // Asserts a mid-flight buffer at the kill point; secagg wave pops drain
+  // whole waves (its crash twin lives in test_secure_agg.cpp).
+  ac.privacy.ignore_env = true;
   ac.local_steps = 1;
   ac.parallel_clients = false;
   ac.async.buffer_goal = 2;

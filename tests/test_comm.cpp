@@ -236,30 +236,41 @@ TEST(SecureAgg, MasksCancelInTheSum) {
   const std::size_t n = 64;
   Rng rng(3);
   std::vector<std::vector<float>> updates(k, std::vector<float>(n));
-  std::vector<float> plain_sum(n, 0.0f);
+  std::vector<float> plain_mean(n, 0.0f);
   for (auto& u : updates) {
     for (auto& x : u) x = rng.gaussian(0, 1);
   }
   for (std::size_t i = 0; i < n; ++i) {
-    for (const auto& u : updates) plain_sum[i] += u[i];
+    for (const auto& u : updates) plain_mean[i] += u[i];
+    plain_mean[i] /= static_cast<float>(k);
   }
 
   SecureAggregator sec(k, 0xFEED);
-  auto masked = updates;
-  for (int c = 0; c < k; ++c) sec.mask_in_place(c, masked[static_cast<std::size_t>(c)]);
+  std::vector<std::vector<std::uint64_t>> masked(
+      k, std::vector<std::uint64_t>(n));
+  for (int c = 0; c < k; ++c) {
+    sec.mask_update(c, updates[static_cast<std::size_t>(c)],
+                    masked[static_cast<std::size_t>(c)]);
+  }
 
-  // Individual updates are hidden...
+  // Individual masked updates decode to garbage...
+  const double scale = sec.session().fixed_point_scale();
   double distortion = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    distortion += std::abs(masked[0][i] - updates[0][i]);
+    const double decoded =
+        static_cast<double>(static_cast<std::int64_t>(masked[0][i])) / scale;
+    distortion += std::min(1e6, std::abs(decoded - updates[0][i]));
   }
   EXPECT_GT(distortion / n, 0.5);
 
-  // ...but the sum is exact (up to float error of the mask cancellation).
-  std::vector<float> masked_sum(n, 0.0f);
-  SecureAggregator::sum_into(masked, masked_sum);
+  // ...but the decoded mean of the wrapped sum matches the plain mean up
+  // to fixed-point rounding.
+  std::vector<std::span<const std::uint64_t>> views(masked.begin(),
+                                                    masked.end());
+  std::vector<float> mean(n, 0.0f);
+  sec.unmask_mean(views, mean);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_NEAR(masked_sum[i], plain_sum[i], 2e-4f);
+    EXPECT_NEAR(mean[i], plain_mean[i], 1e-6f);
   }
 }
 
@@ -267,7 +278,10 @@ TEST(SecureAgg, Validation) {
   EXPECT_THROW(SecureAggregator(1, 1), std::invalid_argument);
   SecureAggregator sec(3, 1);
   std::vector<float> buf(4, 0.0f);
-  EXPECT_THROW(sec.mask_in_place(3, buf), std::out_of_range);
+  std::vector<std::uint64_t> out(4, 0);
+  EXPECT_THROW(sec.mask_update(3, buf, out), std::out_of_range);
+  std::vector<std::uint64_t> ragged(3, 0);
+  EXPECT_THROW(sec.mask_update(0, buf, ragged), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- cost model --

@@ -366,6 +366,7 @@ std::unique_ptr<Aggregator> build_fault_aggregator(
 
 TEST(FaultEngine, CrashedClientIsDroppedAndMeanReweightedToSurvivors) {
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;  // asserts the plaintext ring->PS fallback
   ac.local_steps = 2;
   ac.parallel_clients = false;
   auto agg = build_fault_aggregator(ac, "fedavg");

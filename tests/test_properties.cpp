@@ -147,13 +147,18 @@ TEST_P(SecureAggProperty, SumPreservedForAnyCohortSize) {
     }
   }
   SecureAggregator sec(k, 0xABC + static_cast<std::uint64_t>(k));
+  std::vector<std::vector<std::uint64_t>> masked(
+      static_cast<std::size_t>(k), std::vector<std::uint64_t>(n));
   for (int c = 0; c < k; ++c) {
-    sec.mask_in_place(c, updates[static_cast<std::size_t>(c)]);
+    sec.mask_update(c, updates[static_cast<std::size_t>(c)],
+                    masked[static_cast<std::size_t>(c)]);
   }
-  std::vector<float> sum(n, 0.0f);
-  SecureAggregator::sum_into(updates, sum);
+  std::vector<std::span<const std::uint64_t>> views(masked.begin(),
+                                                    masked.end());
+  std::vector<float> mean(n, 0.0f);
+  sec.unmask_mean(views, mean);
   for (std::size_t i = 0; i < n; ++i) {
-    EXPECT_NEAR(sum[i], plain[i], 1e-3f * k);
+    EXPECT_NEAR(mean[i] * static_cast<float>(k), plain[i], 1e-5f * k);
   }
 }
 

@@ -361,6 +361,7 @@ TEST(StreamedAggregation, ParallelAndSequentialRoundsAgreeBitExactly) {
 
 TEST(StreamedAggregation, QuantizedRoundCutsCommBytesAndCommTime) {
   AggregatorConfig ac;
+  ac.privacy.ignore_env = true;  // asserts the streamed (unmasked) fan-in
   ac.local_steps = 2;
   ac.parallel_clients = false;
   // rle0 is lossless (fp32 content, ~3% framing savings) and, unlike "",

@@ -308,8 +308,11 @@ bool fused_paths_race_free(ThreadPool& pool) {
 // parallel dispatch waves, streamed dequant-accumulate, admission deferral,
 // crash/straggle/drop faults, and join/leave churn — runs with TSan
 // watching every frame, and the pool-parallel drains must stay bit-exact
-// against a serial twin.
-bool async_churn_race_free() {
+// against a serial twin.  With `secure` set, the same churn scenario runs
+// through the pairwise-masked SecAgg wave path (DESIGN.md §14): mask PRG,
+// Shamir share reconstruction for crashed members, and the fixed-point
+// decode all execute under the pool with TSan watching.
+bool async_churn_race_free(bool secure) {
   photon::ModelConfig model;
   model.n_layers = 1;
   model.d_model = 16;
@@ -341,6 +344,7 @@ bool async_churn_race_free() {
     ac.async.enabled = true;
     ac.async.buffer_goal = 3;
     ac.async.max_in_flight = 5;
+    ac.secure_aggregation = secure;
     ac.seed = 33;
     return std::make_unique<photon::Aggregator>(
         model, ac, photon::make_server_opt("fedavg", 0.5f, 0.9f),
@@ -368,8 +372,8 @@ bool async_churn_race_free() {
         std::memcmp(serial->global_params().data(),
                     parallel->global_params().data(),
                     serial->global_params().size() * sizeof(float)) != 0) {
-      std::fprintf(stderr, "FAIL async churn twin divergence at drain %d\n",
-                   r);
+      std::fprintf(stderr, "FAIL async churn twin divergence at drain %d%s\n",
+                   r, secure ? " (secagg)" : "");
       return false;
     }
   }
@@ -393,7 +397,8 @@ int main(int argc, char** argv) {
   for (int rep = 0; rep < 5; ++rep) ok = collectives_race_free(pool) && ok;
   for (int rep = 0; rep < 5; ++rep) ok = fused_paths_race_free(pool) && ok;
   for (int rep = 0; rep < churn_reps; ++rep) {
-    ok = async_churn_race_free() && ok;
+    ok = async_churn_race_free(/*secure=*/false) && ok;
+    ok = async_churn_race_free(/*secure=*/true) && ok;
   }
   if (!ok) return 1;
   std::printf("tsan stress ok\n");

@@ -73,6 +73,16 @@ echo "==> [tier-1/q8-wire] ctest with PHOTON_WIRE_CODEC=q8"
 PHOTON_WIRE_CODEC=q8 ctest --test-dir "$ROOT/build" --output-on-failure \
       -j "$JOBS" --timeout "$PER_TEST_TIMEOUT"
 
+# Secure-aggregation cross-check (DESIGN.md §14): re-run tier-1 with every
+# plaintext federation flipped to the pairwise-masked SecAgg path.  The
+# masked fixed-point sum is bit-exact modulo the 2^-32 encode quantum, so
+# the whole suite — including the parallel-vs-serial and crash-recovery
+# twins — must stay green with masking on.  Tests that pin exact fp32
+# aggregation semantics set privacy.ignore_env and are unaffected.
+echo "==> [tier-1/secagg] ctest with PHOTON_SECAGG=1"
+PHOTON_SECAGG=1 ctest --test-dir "$ROOT/build" --output-on-failure \
+      -j "$JOBS" --timeout "$PER_TEST_TIMEOUT"
+
 if [[ "$FAST" -eq 0 ]]; then
   # Elastic-churn TSan rerun (DESIGN.md §12): tier-1 ctest already runs the
   # async churn scenario twice inside tsan_kernel_threadpool_stress; rerun

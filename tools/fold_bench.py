@@ -89,6 +89,27 @@ def fold_round(doc):
             float(r["comm_bytes"]), "B", "exact", True)
         out[f"round{i}_train_loss"] = case(
             r["mean_train_loss"], "loss", "exact", True)
+    # Privacy matrix (DESIGN.md §14): every arm metric is a pure function
+    # of (seed, config) — loss, sim clock, recovery counts, and the RDP
+    # accountant's epsilon are all pinned exactly.  The masking-encode
+    # throughput is real time: floor-checked, never baseline-diffed.
+    privacy = doc.get("privacy", {})
+    for arm in privacy.get("arms", []):
+        label = arm["arm"]
+        out[f"privacy_{label}_final_loss"] = case(
+            arm["final_loss"], "loss", "exact", True)
+        out[f"privacy_{label}_sim_s"] = case(
+            arm["sim_seconds"], "s", "exact", True)
+        out[f"privacy_{label}_comm_bytes"] = case(
+            float(arm["comm_bytes"]), "B", "exact", True)
+        out[f"privacy_{label}_dropouts_recovered"] = case(
+            float(arm["dropouts_recovered"]), "count", "exact", True)
+        if arm.get("dp_epsilon", -1.0) >= 0.0:
+            out[f"privacy_{label}_epsilon"] = case(
+                arm["dp_epsilon"], "eps", "exact", True)
+    if "mask_encode_gbps" in privacy:
+        out["secagg_mask_encode_gbps"] = case(
+            privacy["mask_encode_gbps"], "GB/s", "higher", False, floor=1.0)
     return out
 
 
